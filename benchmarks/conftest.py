@@ -1,0 +1,25 @@
+"""Shared fixtures for the figure-regeneration benchmark harness.
+
+The full (6 workloads x 9 protocols) sweep is simulated once per
+configuration and cached on disk (``.repro_cache/``); every benchmark
+then regenerates its paper artifact from the cached grid and prints the
+rows/series the paper reports.  Run with ``-s`` to see the tables:
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+from repro.analysis.experiments import run_grid
+
+
+@pytest.fixture(scope="session")
+def grid():
+    """The full result grid at the default (small) scale."""
+    return run_grid()
+
+
+def emit(text: str) -> None:
+    """Print a regenerated table under the pytest output."""
+    print()
+    print(text)

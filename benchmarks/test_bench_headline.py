@@ -1,0 +1,88 @@
+"""H1/H2 — the paper's Section 5.1 headline numbers.
+
+Paper:
+* DBypFull cuts traffic 39.5% vs MESI (range 22.9-64.2%), 35.2% vs
+  MMemL1, 18.9% vs DFlexL1 (range 0.0-42.0%);
+* baseline DeNovo cuts 13.9% vs MESI; MMemL1 cuts 6.2% vs MESI;
+* execution time: DBypFull -10.5% vs MESI, -7.1% vs MMemL1, -8.6% vs
+  DFlexL1; MMemL1 -3.8% vs MESI.
+
+We assert the orderings and that each average lands in a generous band
+around the paper's number (the substrate is a scaled-down simulator, so
+magnitudes shift while the ranking must not).
+"""
+
+from repro.analysis.experiments import (
+    average_exec_time_reduction, average_traffic_reduction,
+    traffic_reduction)
+from repro.workloads import WORKLOAD_ORDER
+
+from conftest import emit
+
+
+def _report(grid) -> str:
+    rows = [
+        ("traffic: DBypFull vs MESI", 0.395,
+         average_traffic_reduction(grid, "DBypFull", "MESI")),
+        ("traffic: DBypFull vs MMemL1", 0.352,
+         average_traffic_reduction(grid, "DBypFull", "MMemL1")),
+        ("traffic: DBypFull vs DFlexL1", 0.189,
+         average_traffic_reduction(grid, "DBypFull", "DFlexL1")),
+        ("traffic: DeNovo vs MESI", 0.139,
+         average_traffic_reduction(grid, "DeNovo", "MESI")),
+        ("traffic: MMemL1 vs MESI", 0.062,
+         average_traffic_reduction(grid, "MMemL1", "MESI")),
+        ("exec: DBypFull vs MESI", 0.105,
+         average_exec_time_reduction(grid, "DBypFull", "MESI")),
+        ("exec: MMemL1 vs MESI", 0.038,
+         average_exec_time_reduction(grid, "MMemL1", "MESI")),
+    ]
+    lines = ["=== Headline averages (Section 5.1) ===",
+             f"{'metric':34s} {'paper':>8s} {'measured':>9s}"]
+    for name, paper, measured in rows:
+        lines.append(f"{name:34s} {paper:7.1%} {measured:8.1%}")
+    per_app = traffic_reduction(grid, "DBypFull", "MESI")
+    lines.append("per-app DBypFull vs MESI: " + ", ".join(
+        f"{w}={per_app[w]:.1%}" for w in WORKLOAD_ORDER))
+    return "\n".join(lines)
+
+
+def test_headline_traffic(grid, benchmark):
+    text = benchmark(_report, grid)
+    emit(text)
+
+    # H1 — traffic reduction averages within bands around the paper.
+    best_vs_mesi = average_traffic_reduction(grid, "DBypFull", "MESI")
+    assert 0.25 < best_vs_mesi < 0.70
+    best_vs_mmem = average_traffic_reduction(grid, "DBypFull", "MMemL1")
+    assert 0.20 < best_vs_mmem < 0.65
+    best_vs_flex = average_traffic_reduction(grid, "DBypFull", "DFlexL1")
+    assert 0.05 < best_vs_flex < 0.55
+    denovo = average_traffic_reduction(grid, "DeNovo", "MESI")
+    assert 0.05 < denovo < 0.45
+    mmem = average_traffic_reduction(grid, "MMemL1", "MESI")
+    assert 0.0 < mmem < 0.30
+
+    # Per-app range: every workload benefits (paper range 22.9-64.2%).
+    per_app = traffic_reduction(grid, "DBypFull", "MESI")
+    assert all(v > 0.05 for v in per_app.values()), per_app
+
+    # Ranking: the ladder's endpoints are ordered.
+    assert best_vs_mesi > best_vs_mmem > 0
+    assert best_vs_mesi > denovo
+
+
+def test_headline_exec_time(grid, benchmark):
+    from repro.analysis.experiments import average_exec_time_reduction as f
+    benchmark(f, grid, "DBypFull", "MESI")
+    # H2 — the optimized protocols gain performance on average
+    # (paper: DBypFull +10.5%, MMemL1 +3.8% vs MESI).
+    best = average_exec_time_reduction(grid, "DBypFull", "MESI")
+    assert best > 0.0, f"DBypFull exec reduction {best:.1%}"
+    mmem = average_exec_time_reduction(grid, "MMemL1", "MESI")
+    assert mmem > -0.02, f"MMemL1 exec reduction {mmem:.1%}"
+    # The paper's big per-app winners still win.
+    from repro.analysis.experiments import exec_time_reduction
+    per_app = exec_time_reduction(grid, "DBypFull", "MESI")
+    assert per_app["fluidanimate"] > 0.0
+    assert per_app["radix"] > 0.0

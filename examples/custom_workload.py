@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Build a custom workload with software region annotations.
+
+Shows the library's workload API: allocate regions with
+DPJ-style annotations (Flex communication regions, L2-bypass flags),
+emit per-core traces with the TraceBuilder, and measure how much traffic
+each annotation removes on a producer-consumer array-of-structs kernel —
+the pattern the paper's Flex optimization targets (Section 2).
+
+The kernel: core 0 fills an array of 16-word particle structs; after a
+barrier, the other 15 cores each read only the 4 "position" words of
+their slice of particles.  Without Flex every consumer drags whole cache
+lines; with Flex the responses carry just the fields the phase uses.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import ScaleConfig, protocol, simulate
+from repro.common.config import scaled_system
+from repro.common.regions import FlexPattern, RegionAllocator
+from repro.network import traffic as T
+from repro.workloads.trace import TraceBuilder
+
+NUM_CORES = 16
+PARTICLES = 512
+STRIDE = 16                      # one struct = one cache line
+POSITION_FIELDS = (0, 1, 2, 3)   # the only fields the read phase uses
+
+
+def build(flex: bool):
+    alloc = RegionAllocator()
+    pattern = FlexPattern(STRIDE, POSITION_FIELDS) if flex else None
+    particles = alloc.alloc("particles", PARTICLES * STRIDE, flex=pattern)
+    tb = TraceBuilder(NUM_CORES, alloc.table)
+
+    # Phase 1: core 0 produces every struct (write-validate territory).
+    for p in range(PARTICLES):
+        base = particles.base_word + p * STRIDE
+        for off in range(STRIDE):
+            tb.store(0, base + off)
+    tb.barrier()
+
+    # Phase 2: consumers read only the position fields of their slice.
+    per_core = PARTICLES // (NUM_CORES - 1)
+    for core in range(1, NUM_CORES):
+        start = (core - 1) * per_core
+        for p in range(start, start + per_core):
+            base = particles.base_word + p * STRIDE
+            for off in POSITION_FIELDS:
+                tb.load(core, base + off)
+    tb.barrier()
+    return tb.build("custom-aos")
+
+
+def main() -> None:
+    config = scaled_system(ScaleConfig.tiny())
+    for proto_name in ("DeNovo", "DFlexL1"):
+        workload = build(flex=proto_name != "DeNovo")
+        result = simulate(workload, proto_name, config)
+        data = (result.traffic_bucket(T.LD, T.RESP_L1_USED)
+                + result.traffic_bucket(T.LD, T.RESP_L1_WASTE))
+        used = result.traffic_bucket(T.LD, T.RESP_L1_USED)
+        print(f"{proto_name:9s} LD data flit-hops: {data:9.1f} "
+              f"({used / data:.0%} useful)" if data else proto_name)
+
+    print("\nFlex sends only the 4/16 struct words the consumers read, "
+          "so load data traffic drops by roughly 4x and nearly all of "
+          "what remains is useful.")
+
+
+if __name__ == "__main__":
+    main()

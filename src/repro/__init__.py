@@ -1,0 +1,36 @@
+"""repro — reproduction of "Eliminating on-chip traffic waste: are we
+there yet?" (Smolinski).
+
+A word-granular simulator of a 16-tile CMP with MESI and DeNovo
+coherence protocols, the paper's waste-characterization methodology, its
+six benchmark access patterns, and harnesses regenerating every table
+and figure of the evaluation.
+
+Quickstart::
+
+    from repro import build_workload, simulate
+    result = simulate(build_workload("radix"), "DBypFull")
+    print(result.traffic_total())
+"""
+
+from repro.common.config import (
+    PROTOCOL_ORDER,
+    PROTOCOLS,
+    ProtocolConfig,
+    ScaleConfig,
+    SystemConfig,
+    protocol,
+    scaled_system,
+)
+from repro.core.simulator import simulate, simulate_all_protocols
+from repro.core.stats import RunResult
+from repro.workloads import WORKLOAD_ORDER, build_all, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PROTOCOLS", "PROTOCOL_ORDER", "ProtocolConfig", "RunResult",
+    "ScaleConfig", "SystemConfig", "WORKLOAD_ORDER", "build_all",
+    "build_workload", "protocol", "scaled_system", "simulate",
+    "simulate_all_protocols", "__version__",
+]

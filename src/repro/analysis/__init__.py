@@ -1,0 +1,37 @@
+"""Figure/table regeneration and experiment aggregation."""
+
+from repro.analysis.experiments import (
+    average_exec_time_reduction,
+    average_overhead_fraction,
+    average_traffic_reduction,
+    average_waste_fraction,
+    clear_cache,
+    exec_time_reduction,
+    run_grid,
+    traffic_reduction,
+)
+from repro.analysis.figures import (
+    ALL_FIGURES,
+    FigureTable,
+    figure_5_1a,
+    figure_5_1b,
+    figure_5_1c,
+    figure_5_1d,
+    figure_5_2,
+    figure_5_3a,
+    figure_5_3b,
+    figure_5_3c,
+    table_4_1,
+    table_4_2,
+)
+
+__all__ = [
+    "ALL_FIGURES", "FigureTable",
+    "figure_5_1a", "figure_5_1b", "figure_5_1c", "figure_5_1d",
+    "figure_5_2", "figure_5_3a", "figure_5_3b", "figure_5_3c",
+    "table_4_1", "table_4_2",
+    "run_grid", "clear_cache",
+    "traffic_reduction", "average_traffic_reduction",
+    "exec_time_reduction", "average_exec_time_reduction",
+    "average_overhead_fraction", "average_waste_fraction",
+]

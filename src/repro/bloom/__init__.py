@@ -1,0 +1,14 @@
+"""Bloom filters for the L2 Request Bypass optimization."""
+
+from repro.bloom.filters import (
+    BloomFilter,
+    CountingBloomFilter,
+    H3Hash,
+    L1FilterShadow,
+    SliceFilterBank,
+)
+
+__all__ = [
+    "BloomFilter", "CountingBloomFilter", "H3Hash", "L1FilterShadow",
+    "SliceFilterBank",
+]

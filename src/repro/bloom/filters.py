@@ -1,0 +1,195 @@
+"""Bloom filters for the "L2 Request Bypass" optimization (Section 4.4).
+
+Each L2 slice keeps a bank of 32 *counting* Bloom filters (8-bit counters,
+512 entries, one H3 hash) tracking the line addresses with dirty words in
+that slice.  Each L1 keeps 1-bit *shadow* copies of all ``32 x 16`` slice
+filters: cleared at every barrier, copied from the L2 on the first demand
+miss that needs a given filter, and updated locally with the line address
+of every L1 writeback.  A negative L1 lookup proves no on-chip cache holds
+dirty words for the line, so the request may go straight to memory.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+
+class H3Hash:
+    """An H3 universal hash: XOR of per-bit random rows.
+
+    ``h(x) = XOR of rows[i] for every set bit i of x``, reduced modulo the
+    table size.  Deterministic per seed so simulations are reproducible.
+    """
+
+    KEY_BITS = 48
+
+    def __init__(self, table_size: int, seed: int) -> None:
+        if table_size <= 0:
+            raise ValueError("table size must be positive")
+        self._table_size = table_size
+        rng = random.Random(seed)
+        self._rows = [rng.getrandbits(32) for _ in range(self.KEY_BITS)]
+
+    def __call__(self, key: int) -> int:
+        acc = 0
+        bit = 0
+        while key and bit < self.KEY_BITS:
+            if key & 1:
+                acc ^= self._rows[bit]
+            key >>= 1
+            bit += 1
+        return acc % self._table_size
+
+
+class BloomFilter:
+    """Plain (1 bit per entry) Bloom filter used at the L1s."""
+
+    def __init__(self, entries: int, hashes: Sequence[H3Hash]) -> None:
+        self._bits = bytearray(entries)
+        self._hashes = list(hashes)
+
+    def insert(self, key: int) -> None:
+        for h in self._hashes:
+            self._bits[h(key)] = 1
+
+    def may_contain(self, key: int) -> bool:
+        return all(self._bits[h(key)] for h in self._hashes)
+
+    def clear(self) -> None:
+        for i in range(len(self._bits)):
+            self._bits[i] = 0
+
+    def union_bits(self, bits: Sequence[int]) -> None:
+        """OR another filter's bit projection into this one."""
+        if len(bits) != len(self._bits):
+            raise ValueError("filter size mismatch")
+        for i, bit in enumerate(bits):
+            if bit:
+                self._bits[i] = 1
+
+    def popcount(self) -> int:
+        return sum(self._bits)
+
+    @property
+    def size(self) -> int:
+        return len(self._bits)
+
+
+class CountingBloomFilter:
+    """Counting (8-bit saturating) Bloom filter used at the L2 slices."""
+
+    COUNTER_MAX = 255
+
+    def __init__(self, entries: int, hashes: Sequence[H3Hash]) -> None:
+        self._counters = [0] * entries
+        self._hashes = list(hashes)
+
+    def insert(self, key: int) -> None:
+        for h in self._hashes:
+            idx = h(key)
+            if self._counters[idx] < self.COUNTER_MAX:
+                self._counters[idx] += 1
+
+    def remove(self, key: int) -> None:
+        for h in self._hashes:
+            idx = h(key)
+            if self._counters[idx] > 0:
+                self._counters[idx] -= 1
+
+    def may_contain(self, key: int) -> bool:
+        return all(self._counters[h(key)] for h in self._hashes)
+
+    def bit_projection(self) -> List[int]:
+        """1-bit view of the counters, the payload of a filter-copy reply."""
+        return [1 if c else 0 for c in self._counters]
+
+    @property
+    def size(self) -> int:
+        return len(self._counters)
+
+
+class SliceFilterBank:
+    """The bank of counting Bloom filters at one L2 slice.
+
+    The cache line address selects a filter (similar to a cache index) and
+    is then hashed again for the Bloom lookup within that filter.
+    """
+
+    def __init__(self, num_filters: int, entries: int, num_hashes: int,
+                 seed: int) -> None:
+        if num_filters <= 0:
+            raise ValueError("need at least one filter")
+        self._num_filters = num_filters
+        hashes = [H3Hash(entries, seed * 1000 + i) for i in range(num_hashes)]
+        self._filters = [CountingBloomFilter(entries, hashes)
+                         for _ in range(num_filters)]
+        self._select = H3Hash(num_filters, seed * 1000 + 997)
+
+    def filter_index(self, line_addr: int) -> int:
+        return self._select(line_addr)
+
+    def insert(self, line_addr: int) -> None:
+        self._filters[self.filter_index(line_addr)].insert(line_addr)
+
+    def remove(self, line_addr: int) -> None:
+        self._filters[self.filter_index(line_addr)].remove(line_addr)
+
+    def may_contain(self, line_addr: int) -> bool:
+        return self._filters[self.filter_index(line_addr)].may_contain(line_addr)
+
+    def bit_projection(self, filter_index: int) -> List[int]:
+        return self._filters[filter_index].bit_projection()
+
+    @property
+    def num_filters(self) -> int:
+        return self._num_filters
+
+
+class L1FilterShadow:
+    """An L1's shadow copies of every L2 slice's filters.
+
+    ``valid[slice][filter]`` tracks which filters have been copied since the
+    last barrier.  Lookups on uncopied filters are not allowed — callers
+    must first fetch the projection from the slice (which costs overhead
+    traffic) and :meth:`install`.
+    """
+
+    def __init__(self, num_slices: int, num_filters: int, entries: int,
+                 num_hashes: int, seed: int) -> None:
+        hashes = [H3Hash(entries, seed * 1000 + i) for i in range(num_hashes)]
+        self._filters = [
+            [BloomFilter(entries, hashes) for _ in range(num_filters)]
+            for _ in range(num_slices)
+        ]
+        self._valid = [[False] * num_filters for _ in range(num_slices)]
+        self._select = H3Hash(num_filters, seed * 1000 + 997)
+
+    def filter_index(self, line_addr: int) -> int:
+        return self._select(line_addr)
+
+    def has_copy(self, slice_id: int, line_addr: int) -> bool:
+        return self._valid[slice_id][self.filter_index(line_addr)]
+
+    def install(self, slice_id: int, filter_index: int,
+                bits: Sequence[int]) -> None:
+        """Union a slice filter's bit projection into the shadow copy."""
+        self._filters[slice_id][filter_index].union_bits(bits)
+        self._valid[slice_id][filter_index] = True
+
+    def note_writeback(self, slice_id: int, line_addr: int) -> None:
+        """Every L1 writeback inserts its line address into the shadow."""
+        self._filters[slice_id][self.filter_index(line_addr)].insert(line_addr)
+
+    def may_contain(self, slice_id: int, line_addr: int) -> bool:
+        if not self.has_copy(slice_id, line_addr):
+            raise RuntimeError("querying an uncopied filter; fetch it first")
+        return self._filters[slice_id][self.filter_index(line_addr)].may_contain(line_addr)
+
+    def clear(self) -> None:
+        """Barrier: wipe all shadow copies and validity bits."""
+        for slice_filters, slice_valid in zip(self._filters, self._valid):
+            for f in slice_filters:
+                f.clear()
+            for i in range(len(slice_valid)):
+                slice_valid[i] = False

@@ -1,0 +1,13 @@
+"""Cache arrays and store-buffering structures."""
+
+from repro.cache.sa_cache import CacheLine, SetAssocCache
+from repro.cache.writebuffer import (
+    StoreBuffer,
+    WriteCombineEntry,
+    WriteCombineTable,
+)
+
+__all__ = [
+    "CacheLine", "SetAssocCache",
+    "StoreBuffer", "WriteCombineEntry", "WriteCombineTable",
+]

@@ -1,0 +1,147 @@
+"""Set-associative cache arrays with per-word state.
+
+Both protocols need word-granular bookkeeping (DeNovo for coherence, MESI
+for the waste profiler and dirty-word writeback accounting), so every line
+carries per-word state, dirty flags and memory-instance references.  The
+line class is parameterized so each protocol can attach its own fields.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generic, List, Optional, Tuple, TypeVar
+
+from repro.common.addressing import WORDS_PER_LINE
+
+
+class CacheLine:
+    """One cache line: tag plus per-word metadata.
+
+    ``word_state`` holds protocol-defined small integers; ``word_dirty``
+    marks words modified locally; ``mem_inst`` references the memory-level
+    waste-profiler instance each word copy derives from (or None for words
+    produced locally by stores).
+    """
+
+    __slots__ = ("line_addr", "word_state", "word_dirty", "mem_inst")
+
+    def __init__(self, line_addr: int) -> None:
+        self.line_addr = line_addr
+        self.word_state: List[int] = [0] * WORDS_PER_LINE
+        self.word_dirty: List[bool] = [False] * WORDS_PER_LINE
+        self.mem_inst: List[Optional[object]] = [None] * WORDS_PER_LINE
+
+    def reset_words(self) -> None:
+        for i in range(WORDS_PER_LINE):
+            self.word_state[i] = 0
+            self.word_dirty[i] = False
+            self.mem_inst[i] = None
+
+    def any_dirty(self) -> bool:
+        return any(self.word_dirty)
+
+    def dirty_offsets(self) -> List[int]:
+        return [i for i, d in enumerate(self.word_dirty) if d]
+
+
+LineT = TypeVar("LineT", bound=CacheLine)
+
+
+class SetAssocCache(Generic[LineT]):
+    """LRU set-associative cache indexed by line address."""
+
+    def __init__(self, num_sets: int, assoc: int,
+                 line_factory: Callable[[int], LineT] = CacheLine,
+                 index_shift: int = 0) -> None:
+        """``index_shift`` drops low line-address bits before set
+        selection — L2 slices must shift out the home-interleaving bits
+        (line % num_tiles selects the slice), otherwise every line of a
+        slice lands in the same set."""
+        if num_sets <= 0 or assoc <= 0:
+            raise ValueError("sets and associativity must be positive")
+        self._num_sets = num_sets
+        self._assoc = assoc
+        self._index_shift = index_shift
+        self._line_factory = line_factory
+        # Per set: line_addr -> line, plus LRU order (front = MRU).
+        self._tags: List[Dict[int, LineT]] = [dict() for _ in range(num_sets)]
+        self._lru: List[List[int]] = [[] for _ in range(num_sets)]
+
+    @property
+    def num_sets(self) -> int:
+        return self._num_sets
+
+    @property
+    def assoc(self) -> int:
+        return self._assoc
+
+    @property
+    def capacity_lines(self) -> int:
+        return self._num_sets * self._assoc
+
+    def set_index(self, line_addr: int) -> int:
+        return (line_addr >> self._index_shift) % self._num_sets
+
+    def lookup(self, line_addr: int, touch: bool = True) -> Optional[LineT]:
+        """Return the resident line or None; by default refresh LRU."""
+        idx = self.set_index(line_addr)
+        line = self._tags[idx].get(line_addr)
+        if line is not None and touch:
+            order = self._lru[idx]
+            order.remove(line_addr)
+            order.insert(0, line_addr)
+        return line
+
+    def victim_for(self, line_addr: int) -> Optional[LineT]:
+        """Line that would be evicted to make room for ``line_addr``.
+
+        Returns None when the set has a free way or the line is already
+        resident.
+        """
+        idx = self.set_index(line_addr)
+        tags = self._tags[idx]
+        if line_addr in tags or len(tags) < self._assoc:
+            return None
+        return tags[self._lru[idx][-1]]
+
+    def allocate(self, line_addr: int) -> Tuple[LineT, Optional[LineT]]:
+        """Insert ``line_addr`` (MRU); return ``(line, evicted_line)``.
+
+        The evicted line is removed from the array before being returned,
+        so the caller can inspect its state for writeback handling.  If the
+        line is already resident it is refreshed and returned with no
+        victim.
+        """
+        idx = self.set_index(line_addr)
+        tags = self._tags[idx]
+        order = self._lru[idx]
+        existing = tags.get(line_addr)
+        if existing is not None:
+            order.remove(line_addr)
+            order.insert(0, line_addr)
+            return existing, None
+        victim: Optional[LineT] = None
+        if len(tags) >= self._assoc:
+            victim_addr = order.pop()
+            victim = tags.pop(victim_addr)
+        line = self._line_factory(line_addr)
+        tags[line_addr] = line
+        order.insert(0, line_addr)
+        return line, victim
+
+    def remove(self, line_addr: int) -> Optional[LineT]:
+        """Remove a line without replacement (invalidation/recall)."""
+        idx = self.set_index(line_addr)
+        line = self._tags[idx].pop(line_addr, None)
+        if line is not None:
+            self._lru[idx].remove(line_addr)
+        return line
+
+    def resident_lines(self) -> List[LineT]:
+        """All resident lines (for end-of-simulation finalization)."""
+        out: List[LineT] = []
+        for tags in self._tags:
+            out.extend(tags.values())
+        return out
+
+    def occupancy(self) -> int:
+        return sum(len(tags) for tags in self._tags)

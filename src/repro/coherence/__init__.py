@@ -1,0 +1,6 @@
+"""Coherence protocols: directory MESI and DeNovo with optimizations."""
+
+from repro.coherence.denovo import DenovoSystem
+from repro.coherence.mesi import MesiSystem
+
+__all__ = ["DenovoSystem", "MesiSystem"]

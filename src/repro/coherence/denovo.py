@@ -1,0 +1,1051 @@
+"""The DeNovo coherence protocol and the paper's five optimizations.
+
+Baseline DeNovo (Choi et al. [8], plus the thesis's write-combining
+extension):
+
+* word-granular coherence: L1 words are Invalid, Valid or Registered
+  (owned + dirty); the L2 tracks per-word registration instead of sharer
+  lists;
+* no invalidation/ack/unblock machinery — stale data is removed by
+  *self-invalidation* at barriers, guided by software regions;
+* L1 write-validate (a write miss allocates without fetching), L2
+  fetch-on-write (an L2 write miss fetches the line from memory);
+* dirty-words-only L1->L2 writebacks; non-inclusive L2;
+* write-combining table batching word registrations per line (32 entries,
+  10,000-cycle timeout, flushed at releases/barriers/evictions).
+
+Optimizations (paper Section 3.1), selected by ``ProtocolConfig`` flags:
+
+* ``flex_l1`` — Flex: cache-sourced responses return the communication
+  region's words instead of the whole line;
+* ``l2_write_validate`` + ``l2_dirty_wb_only`` — DValidateL2;
+* ``mem_to_l1`` — memory responses go to the L1 and L2 in parallel,
+  filtered by the L2's dirty-word mask;
+* ``flex_l2`` — Flex extended to memory: the controller fetches only
+  same-DRAM-row lines of the communication region and drops non-region
+  words (counted as Excess waste);
+* ``bypass_l2_response`` — annotated regions' memory responses skip the
+  L2 entirely;
+* ``bypass_l2_request`` — Bloom-filter-guarded requests go straight from
+  the L1 to the memory controller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bloom.filters import L1FilterShadow, SliceFilterBank
+from repro.cache.sa_cache import CacheLine, SetAssocCache
+from repro.cache.writebuffer import WriteCombineEntry, WriteCombineTable
+from repro.common.addressing import (
+    WORDS_PER_LINE, base_word, line_of, offset_of, words_of_line)
+from repro.core.context import (
+    NACK_RETRY_DELAY, LoadRequest, SimContext, StoreRequest)
+from repro.network import traffic as T
+
+# L1 per-word states.
+W_INVALID = 0
+W_VALID = 1
+W_REG = 2      # registered: this core owns the latest value
+
+# L2 per-word states.
+L2W_INVALID = 0
+L2W_VALID = 1
+L2W_REG = 2    # some L1 owns the word; L2 data (if any) is stale
+
+
+class DenovoL1Line(CacheLine):
+    __slots__ = ()
+
+
+class DenovoL2Line(CacheLine):
+    __slots__ = ("owners", "in_bloom")
+
+    def __init__(self, line_addr: int) -> None:
+        super().__init__(line_addr)
+        self.owners: List[Optional[int]] = [None] * WORDS_PER_LINE
+        self.in_bloom = False
+
+    def has_dirty_or_reg(self) -> bool:
+        return any(self.word_dirty) or any(
+            s == L2W_REG for s in self.word_state)
+
+    def dirty_mask_offsets(self) -> List[int]:
+        """Words the memory controller must not return from DRAM."""
+        return [i for i in range(WORDS_PER_LINE)
+                if self.word_dirty[i] or self.word_state[i] == L2W_REG]
+
+
+class DenovoSystem:
+    """All L1s, the shared L2 and the DeNovo logic of one machine."""
+
+    def __init__(self, ctx: SimContext) -> None:
+        self.ctx = ctx
+        cfg = ctx.config
+        proto = ctx.proto
+        self.proto = proto
+        self.l1: List[SetAssocCache[DenovoL1Line]] = [
+            SetAssocCache(cfg.l1_sets, cfg.l1_assoc, DenovoL1Line)
+            for _ in range(cfg.num_tiles)]
+        self.l2: List[SetAssocCache[DenovoL2Line]] = [
+            SetAssocCache(cfg.l2_slice_sets, cfg.l2_assoc, DenovoL2Line,
+                          index_shift=cfg.num_tiles.bit_length() - 1)
+            for _ in range(cfg.num_tiles)]
+        self.wct = [WriteCombineTable(cfg.write_combine_entries,
+                                      cfg.write_combine_timeout)
+                    for _ in range(cfg.num_tiles)]
+        self._outstanding_regs = [0] * cfg.num_tiles
+        self._retire_hooks: List[List[Callable[[int], None]]] = [
+            [] for _ in range(cfg.num_tiles)]
+        self._protected: List[Set[int]] = [set() for _ in range(cfg.num_tiles)]
+        # MSHR-style coalescing: lines with a fill in flight, mapped to
+        # loads waiting for that fill (prevents duplicate memory fetches
+        # racing the streamed Flex prefetch responses).
+        self._inflight_fills: List[Dict[int, List[Callable[[int], None]]]] = [
+            dict() for _ in range(cfg.num_tiles)]
+        self._wct_timer_armed = [False] * cfg.num_tiles
+        self.stat_registrations = 0
+        self.stat_reg_invalidations = 0
+        self.stat_nacks = 0
+        self.stat_direct_requests = 0
+        self.stat_bypass_queries = 0
+        self.stat_bloom_copies = 0
+        self.stat_self_invalidated_words = 0
+        if proto.bypass_l2_request:
+            self.slice_blooms = [
+                SliceFilterBank(cfg.bloom_filters_per_slice,
+                                cfg.bloom_entries, cfg.bloom_hashes,
+                                seed=tile + 1)
+                for tile in range(cfg.num_tiles)]
+            # Every L1 shadows every slice's filters with the same hash
+            # seeds, so projections can be unioned bit-for-bit.
+            self.l1_blooms = [
+                _ShadowArray(cfg, tile)
+                for tile in range(cfg.num_tiles)]
+        else:
+            self.slice_blooms = []
+            self.l1_blooms = []
+
+    # ------------------------------------------------------------------
+    # Core-facing interface
+    # ------------------------------------------------------------------
+
+    def load(self, core: int, addr: int, at: int,
+             on_done: Callable[[int, LoadRequest], None]) -> Optional[int]:
+        line_addr = line_of(addr)
+        off = offset_of(addr)
+        line = self.l1[core].lookup(line_addr)
+        if line is not None and line.word_state[off] != W_INVALID:
+            self._profile_load_hit(core, line, addr)
+            return at + 1
+        waiters = self._inflight_fills[core].get(line_addr)
+        if waiters is not None:
+            # A fill for this line is already in flight: wait for it
+            # instead of issuing a duplicate request.
+            waiters.append(
+                lambda t: self._retry_load(core, addr, t, on_done))
+            return None
+        if line is None and not self._can_reserve(core, line_addr):
+            self._retire_hooks[core].append(
+                lambda t: self._retry_load(core, addr, t, on_done))
+            return None
+        request = LoadRequest(core=core, addr=addr, t_issue=at,
+                              on_done=on_done)
+        if line is None:
+            self._protected[core].add(line_addr)
+        region = self.ctx.regions.find(addr)
+        bypassed = (self.proto.bypass_l2_response and region is not None
+                    and region.bypass_l2)
+        if bypassed and self.proto.bypass_l2_request:
+            self._bypass_request_path(request, at)
+        else:
+            self.ctx.send_req_ctl(
+                T.LD, core, self.ctx.home_tile(line_addr), at,
+                lambda t: self._l2_gets(request, t))
+        return None
+
+    def store(self, core: int, addr: int, at: int) -> bool:
+        line_addr = line_of(addr)
+        off = offset_of(addr)
+        line = self.l1[core].lookup(line_addr)
+        if line is None:
+            # Write-validate: allocate without fetching.
+            line = self._allocate_l1(core, line_addr)
+        already_owned = line.word_state[off] == W_REG
+        self._apply_store_word(core, line, addr)
+        if already_owned:
+            return True
+        wct = self.wct[core]
+        if not wct.has(line_addr) and wct.is_full():
+            oldest = wct.oldest()
+            wct.pop(oldest.line_addr)
+            self._send_registration(core, oldest, at)
+        entry = wct.add_store(addr, at)
+        if entry.is_full_line:
+            wct.pop(line_addr)
+            self._send_registration(core, entry, at)
+        else:
+            self._arm_wct_timer(core)
+        return True
+
+    def pending_store_count(self, core: int) -> int:
+        return self._outstanding_regs[core] + len(self.wct[core])
+
+    def on_retire(self, core: int, hook: Callable[[int], None]) -> None:
+        self._retire_hooks[core].append(hook)
+
+    def drain_barrier(self, core: int, at: int,
+                      resume: Callable[[int], None]) -> None:
+        """Flush the write-combining table, wait for registration acks."""
+        for entry in self.wct[core].drain():
+            self._send_registration(core, entry, at)
+        if self._outstanding_regs[core] == 0:
+            resume(at)
+            return
+
+        def check(t: int) -> None:
+            if self._outstanding_regs[core] == 0:
+                resume(t)
+            else:
+                self._retire_hooks[core].append(check)
+
+        self._retire_hooks[core].append(check)
+
+    def on_barrier(self, written_regions: Set[int]) -> None:
+        """Barrier-time work: self-invalidation and Bloom shadow clears."""
+        ctx = self.ctx
+        for core in range(ctx.config.num_tiles):
+            for line in self.l1[core].resident_lines():
+                region = ctx.regions.find(base_word(line.line_addr))
+                if region is None or region.region_id not in written_regions:
+                    continue
+                for off in range(WORDS_PER_LINE):
+                    if line.word_state[off] == W_VALID:
+                        word = base_word(line.line_addr) + off
+                        ctx.l1_prof.on_invalidate(core, word)
+                        inst = line.mem_inst[off]
+                        if inst is not None:
+                            ctx.mem_prof.drop_copy(inst, invalidated=True)
+                            line.mem_inst[off] = None
+                        line.word_state[off] = W_INVALID
+                        self.stat_self_invalidated_words += 1
+        for shadow in self.l1_blooms:
+            shadow.clear()
+
+    def finalize(self) -> None:
+        """Flush any write-combining leftovers at end of simulation."""
+        now = self.ctx.queue.now
+        for core in range(self.ctx.config.num_tiles):
+            for entry in self.wct[core].drain():
+                self._send_registration(core, entry, now)
+
+    # ------------------------------------------------------------------
+    # L1 basics
+    # ------------------------------------------------------------------
+
+    def _retry_load(self, core: int, addr: int, at: int,
+                    on_done: Callable[[int, LoadRequest], None]) -> None:
+        done = self.load(core, addr, at, on_done)
+        if done is not None:
+            dummy = LoadRequest(core=core, addr=addr, t_issue=at,
+                                on_done=on_done)
+            on_done(done, dummy)
+
+    def _profile_load_hit(self, core: int, line: DenovoL1Line,
+                          addr: int) -> None:
+        self.ctx.l1_prof.on_use(core, addr)
+        inst = line.mem_inst[offset_of(addr)]
+        if inst is not None:
+            self.ctx.mem_prof.on_load(inst)
+
+    def _apply_store_word(self, core: int, line: DenovoL1Line,
+                          addr: int) -> None:
+        off = offset_of(addr)
+        self.ctx.l1_prof.on_write(core, addr)
+        self.ctx.mem_prof.on_store_addr(addr)
+        inst = line.mem_inst[off]
+        if inst is not None:
+            # The local copy no longer derives from the memory instance.
+            self.ctx.mem_prof.drop_copy(inst, invalidated=False)
+            line.mem_inst[off] = None
+        line.word_state[off] = W_REG
+        line.word_dirty[off] = True
+
+    def _can_reserve(self, core: int, line_addr: int) -> bool:
+        cache = self.l1[core]
+        if cache.lookup(line_addr, touch=False) is not None:
+            return True
+        idx = cache.set_index(line_addr)
+        protected_in_set = sum(
+            1 for la in self._protected[core]
+            if cache.set_index(la) == idx
+            and cache.lookup(la, touch=False) is not None)
+        return protected_in_set < cache.assoc
+
+    def _allocate_l1(self, core: int, line_addr: int) -> DenovoL1Line:
+        cache = self.l1[core]
+        existing = cache.lookup(line_addr)
+        if existing is not None:
+            return existing
+        victim = cache.victim_for(line_addr)
+        if victim is not None and victim.line_addr in self._protected[core]:
+            victim = self._find_unprotected_victim(core, line_addr)
+        if victim is not None:
+            cache.remove(victim.line_addr)
+            self._evict_l1_line(core, victim)
+        line, auto_victim = cache.allocate(line_addr)
+        if auto_victim is not None:
+            self._evict_l1_line(core, auto_victim)
+        return line
+
+    def _find_unprotected_victim(self, core: int,
+                                 line_addr: int) -> Optional[DenovoL1Line]:
+        cache = self.l1[core]
+        idx = cache.set_index(line_addr)
+        for candidate in reversed(cache._lru[idx]):
+            if candidate not in self._protected[core]:
+                return cache.lookup(candidate, touch=False)
+        raise RuntimeError("no evictable way in DeNovo L1")
+
+    def _evict_l1_line(self, core: int, line: DenovoL1Line) -> None:
+        """Evict an L1 line: profile, then write back dirty words only."""
+        ctx = self.ctx
+        at = ctx.queue.now
+        line_addr = line.line_addr
+        for word in words_of_line(line_addr):
+            ctx.l1_prof.on_evict(core, word)
+        for inst in line.mem_inst:
+            if inst is not None:
+                ctx.mem_prof.drop_copy(inst, invalidated=False)
+        pending = self.wct[core].pop(line_addr)
+        dirty_offsets = line.dirty_offsets()
+        if not dirty_offsets:
+            return
+        home = ctx.home_tile(line_addr)
+        pending_mask = pending.word_mask if pending is not None else 0
+        # Paper: eviction with pending registrations sends two messages —
+        # a plain writeback for already-registered words and a combined
+        # writeback+register for pending ones; both profiled as WB traffic.
+        plain = [o for o in dirty_offsets if not pending_mask >> o & 1]
+        combined = [o for o in dirty_offsets if pending_mask >> o & 1]
+        for offsets in (plain, combined):
+            if not offsets:
+                continue
+            ctx.send_wb(
+                core, home, at, [True] * len(offsets), T.DEST_L2,
+                lambda t, offs=tuple(offsets):
+                self._l2_accept_wb(core, line_addr, offs, t))
+        if self.l1_blooms:
+            self.l1_blooms[core].note_writeback(home, line_addr)
+
+    # ------------------------------------------------------------------
+    # Registration (store) path
+    # ------------------------------------------------------------------
+
+    def _arm_wct_timer(self, core: int) -> None:
+        if self._wct_timer_armed[core]:
+            return
+        deadline = self.wct[core].next_deadline()
+        if deadline is None:
+            return
+        self._wct_timer_armed[core] = True
+
+        def check() -> None:
+            self._wct_timer_armed[core] = False
+            now = self.ctx.queue.now
+            for entry in self.wct[core].expired(now):
+                self._send_registration(core, entry, now)
+            self._arm_wct_timer(core)
+
+        self.ctx.queue.schedule(max(deadline, self.ctx.queue.now), check)
+
+    def _send_registration(self, core: int, entry: WriteCombineEntry,
+                           at: int) -> None:
+        """One registration request message for a line's pending words."""
+        self._outstanding_regs[core] += 1
+        self.stat_registrations += 1
+        line_addr = entry.line_addr
+        home = self.ctx.home_tile(line_addr)
+        mask = entry.word_mask
+        self.ctx.send_req_ctl(
+            T.ST, core, home, max(at, self.ctx.queue.now),
+            lambda t: self._l2_register(core, line_addr, mask, t))
+
+    def _l2_register(self, core: int, line_addr: int, mask: int,
+                     arrive: int) -> None:
+        ctx = self.ctx
+        home = ctx.home_tile(line_addr)
+        t = ctx.l2_service_time(home, arrive)
+        entry = self.l2[home].lookup(line_addr)
+        if entry is None:
+            entry = self._reserve_l2(home, line_addr)
+            if not self.proto.l2_write_validate:
+                # Baseline L2 fetch-on-write: a write miss at the L2
+                # fetches the whole line from memory (store traffic).
+                self._fetch_line_for_write(entry, home, t)
+        # A registration that raced the registrant's own eviction must
+        # not install stale ownership: keep only words the core still
+        # holds registered (the eviction's writeback covers the rest).
+        held_line = self.l1[core].lookup(line_addr, touch=False)
+        if held_line is None:
+            mask = 0
+        else:
+            for off in range(WORDS_PER_LINE):
+                if mask >> off & 1 and held_line.word_state[off] != W_REG:
+                    mask &= ~(1 << off)
+        if mask == 0:
+            ctx.send_resp_ctl(T.ST, home, core, t,
+                              lambda tt: self._reg_ack(core, tt))
+            return
+        base = base_word(line_addr)
+        for off in range(WORDS_PER_LINE):
+            if not mask >> off & 1:
+                continue
+            word = base + off
+            old_owner = (entry.owners[off]
+                         if entry.word_state[off] == L2W_REG else None)
+            if old_owner is not None and old_owner != core:
+                self.stat_reg_invalidations += 1
+                self._invalidate_remote_word(home, old_owner, word, t)
+            if entry.word_state[off] == L2W_VALID:
+                # The L2's copy is now stale; it dies as Write waste.
+                ctx.l2_prof.on_write(home, word)
+            entry.word_state[off] = L2W_REG
+            entry.owners[off] = core
+            entry.word_dirty[off] = False
+        if self.slice_blooms and not entry.in_bloom:
+            self.slice_blooms[home].insert(line_addr)
+            entry.in_bloom = True
+        ctx.send_resp_ctl(T.ST, home, core, t,
+                          lambda tt: self._reg_ack(core, tt))
+
+    def _reg_ack(self, core: int, t: int) -> None:
+        self._outstanding_regs[core] -= 1
+        hooks, self._retire_hooks[core] = self._retire_hooks[core], []
+        for hook in hooks:
+            self.ctx.queue.schedule(max(t, self.ctx.queue.now),
+                                    lambda h=hook, tt=t: h(tt))
+
+    def _invalidate_remote_word(self, home: int, owner: int, word: int,
+                                t: int) -> None:
+        """Registration displaced an old registrant: invalidate its copy.
+
+        Counted as store request-control traffic (it is required to
+        complete the store; DeNovo's only *overhead* messages are NACKs
+        and Bloom traffic, per Section 5.1).
+        """
+        ctx = self.ctx
+
+        def handler(tt: int) -> None:
+            line = self.l1[owner].lookup(line_of(word), touch=False)
+            if line is None:
+                return
+            off = offset_of(word)
+            if line.word_state[off] != W_INVALID:
+                ctx.l1_prof.on_invalidate(owner, word)
+                inst = line.mem_inst[off]
+                if inst is not None:
+                    ctx.mem_prof.drop_copy(inst, invalidated=True)
+                    line.mem_inst[off] = None
+                line.word_state[off] = W_INVALID
+                line.word_dirty[off] = False
+
+        hops = ctx.mesh.hops(home, owner)
+        ctx.ledger.add_request_ctl(T.ST, hops)
+        arrive = t + ctx.mesh.latency(home, owner, 1, t)
+        ctx.queue.schedule(arrive, lambda: handler(arrive))
+
+    def _fetch_line_for_write(self, entry: DenovoL2Line, home: int,
+                              t: int) -> None:
+        """Baseline L2 fetch-on-write: pull the whole line from memory."""
+        ctx = self.ctx
+        line_addr = entry.line_addr
+        mc = ctx.mc_tile(line_addr)
+
+        def at_mc(arrive: int) -> None:
+            def dram_done(tt: int) -> None:
+                insts = []
+                l2_entries = []
+                offsets = []
+                for off, word in enumerate(words_of_line(line_addr)):
+                    already = entry.word_state[off] != L2W_INVALID
+                    l2_entries.append(
+                        ctx.l2_prof.on_arrival(home, word, already))
+                    insts.append(ctx.mem_prof.fetch(word, already))
+                    offsets.append(off)
+
+                def at_l2(t3: int) -> None:
+                    for off, inst in zip(offsets, insts):
+                        if entry.word_state[off] == L2W_INVALID:
+                            entry.word_state[off] = L2W_VALID
+                            entry.mem_inst[off] = inst
+                            ctx.mem_prof.install_copy(inst)
+
+                ctx.send_data(T.ST, T.DEST_L2, mc, home, tt, l2_entries,
+                              at_l2)
+
+            ctx.dram_for(line_addr).read(line_addr, dram_done)
+
+        ctx.send_req_ctl(T.ST, home, mc, t, at_mc)
+
+    # ------------------------------------------------------------------
+    # Load path: L2 handling
+    # ------------------------------------------------------------------
+
+    def _l2_gets(self, req: LoadRequest, arrive: int) -> None:
+        ctx = self.ctx
+        addr = req.addr
+        line_addr = line_of(addr)
+        off = offset_of(addr)
+        home = ctx.home_tile(line_addr)
+        t = ctx.l2_service_time(home, arrive)
+        entry = self.l2[home].lookup(line_addr)
+
+        if (entry is not None and entry.word_state[off] == L2W_REG
+                and entry.owners[off] not in (None, req.core)):
+            self._forward_to_owner(req, entry, home, t)
+            return
+        if (entry is not None and entry.word_state[off] == L2W_REG
+                and entry.owners[off] == req.core):
+            # The requestor itself was the registrant but lost the line;
+            # heal: the writeback (if any) made the L2 copy dirty-valid.
+            if entry.word_dirty[off]:
+                entry.word_state[off] = L2W_VALID
+            else:
+                entry.word_state[off] = L2W_INVALID
+            entry.owners[off] = None
+        if entry is not None and entry.word_state[off] == L2W_VALID:
+            self._respond_from_l2(req, entry, home, t)
+            return
+        self._load_miss_to_memory(req, entry, home, t)
+
+    def _respond_from_l2(self, req: LoadRequest, entry: DenovoL2Line,
+                         home: int, t: int) -> None:
+        """L2 hit: respond with the line's valid words (or Flex subset)."""
+        ctx = self.ctx
+        words = self._gather_l2_words(req.addr, home)
+        l1_entries = []
+        payload: List[Tuple[int, object, object]] = []
+        for word in words:
+            ctx.l2_prof.on_use(home, word)
+            wentry = ctx.l1_prof.on_arrival(
+                req.core, word, self._l1_has_word(req.core, word))
+            l1_entries.append(wentry)
+            src_line = self.l2[home].lookup(line_of(word), touch=False)
+            inst = (src_line.mem_inst[offset_of(word)]
+                    if src_line is not None else None)
+            payload.append((word, wentry, inst))
+        ctx.send_data(
+            T.LD, T.DEST_L1, home, req.core, t, l1_entries,
+            lambda tt: self._l1_load_fill(req, payload, tt))
+
+    def _gather_l2_words(self, addr: int, home: int) -> List[int]:
+        """Words an L2 response carries: Flex subset or valid line words."""
+        ctx = self.ctx
+        line_addr = line_of(addr)
+        max_words = ctx.config.max_words_per_message
+        region = (ctx.regions.flex_region_for(addr)
+                  if self.proto.flex_l1 else None)
+        if region is not None:
+            candidates = region.flex_words(addr, max_words)
+            if addr not in candidates:
+                candidates = [addr] + candidates[:max_words - 1]
+        else:
+            candidates = list(words_of_line(line_addr))
+        out = []
+        for word in candidates:
+            wline = line_of(word)
+            if ctx.home_tile(wline) != home:
+                continue   # the slice can only gather its own lines
+            lentry = self.l2[home].lookup(wline, touch=False)
+            if lentry is None:
+                continue
+            if lentry.word_state[offset_of(word)] == L2W_VALID:
+                out.append(word)
+        return out
+
+    def _l1_has_word(self, core: int, word: int) -> bool:
+        line = self.l1[core].lookup(line_of(word), touch=False)
+        return (line is not None
+                and line.word_state[offset_of(word)] != W_INVALID)
+
+    def _forward_to_owner(self, req: LoadRequest, entry: DenovoL2Line,
+                          home: int, t: int) -> None:
+        """Requested word registered to another L1: forward the request."""
+        ctx = self.ctx
+        owner = entry.owners[offset_of(req.addr)]
+        line_addr = line_of(req.addr)
+
+        def at_owner(tt: int) -> None:
+            oline = self.l1[owner].lookup(line_addr, touch=False)
+            off = offset_of(req.addr)
+            if oline is None or oline.word_state[off] == W_INVALID:
+                # Stale registration: the owner's eviction writeback and a
+                # late in-flight registration raced at the home.  Heal the
+                # L2 state (the writeback data is the latest value) so the
+                # retry is served from the L2 instead of looping forever.
+                home_entry = self.l2[ctx.home_tile(line_addr)].lookup(
+                    line_addr, touch=False)
+                if (home_entry is not None
+                        and home_entry.word_state[off] == L2W_REG
+                        and home_entry.owners[off] == owner):
+                    home_entry.word_state[off] = L2W_VALID
+                    home_entry.word_dirty[off] = True
+                    home_entry.owners[off] = None
+                self.stat_nacks += 1
+                ctx.send_overhead(
+                    T.OVH_NACK, owner, req.core, tt,
+                    lambda t3: self._retry_gets(req, t3))
+                return
+            words = self._gather_owner_words(owner, req.addr)
+            l1_entries = []
+            payload = []
+            for word in words:
+                wentry = ctx.l1_prof.on_arrival(
+                    req.core, word, self._l1_has_word(req.core, word))
+                l1_entries.append(wentry)
+                src = self.l1[owner].lookup(line_of(word), touch=False)
+                inst = (src.mem_inst[offset_of(word)]
+                        if src is not None else None)
+                payload.append((word, wentry, inst))
+            ctx.send_data(
+                T.LD, T.DEST_L1, owner, req.core, tt, l1_entries,
+                lambda t3: self._l1_load_fill(req, payload, t3))
+
+        ctx.send_req_ctl(T.LD, home, owner, t, at_owner)
+
+    def _gather_owner_words(self, owner: int, addr: int) -> List[int]:
+        """Words a cache-to-cache response carries from the owner L1."""
+        ctx = self.ctx
+        max_words = ctx.config.max_words_per_message
+        region = (ctx.regions.flex_region_for(addr)
+                  if self.proto.flex_l1 else None)
+        if region is not None:
+            candidates = region.flex_words(addr, max_words)
+            if addr not in candidates:
+                candidates = [addr] + candidates[:max_words - 1]
+        else:
+            candidates = list(words_of_line(line_of(addr)))
+        out = []
+        for word in candidates:
+            line = self.l1[owner].lookup(line_of(word), touch=False)
+            if line is None:
+                continue
+            if line.word_state[offset_of(word)] != W_INVALID:
+                out.append(word)
+        return out
+
+    def _retry_gets(self, req: LoadRequest, at: int) -> None:
+        req.retries += 1
+        line_addr = line_of(req.addr)
+        self.ctx.send_req_ctl(
+            T.LD, req.core, self.ctx.home_tile(line_addr),
+            at + NACK_RETRY_DELAY, lambda t: self._l2_gets(req, t))
+
+    # ------------------------------------------------------------------
+    # Load path: memory
+    # ------------------------------------------------------------------
+
+    def _load_miss_to_memory(self, req: LoadRequest,
+                             entry: Optional[DenovoL2Line], home: int,
+                             t: int) -> None:
+        ctx = self.ctx
+        addr = req.addr
+        line_addr = line_of(addr)
+        region = ctx.regions.find(addr)
+        bypassed = (self.proto.bypass_l2_response and region is not None
+                    and region.bypass_l2)
+        req.went_to_memory = True
+        mc = ctx.mc_tile(line_addr)
+        dirty_offsets = (tuple(entry.dirty_mask_offsets())
+                         if entry is not None else ())
+        if not bypassed and entry is None:
+            entry = self._reserve_l2(home, line_addr)
+        fill_l2 = not bypassed
+
+        ctx.send_req_ctl(
+            T.LD, home, mc, t,
+            lambda tt: self._mc_load(req, home, mc, dirty_offsets,
+                                     fill_l2, tt))
+
+    def _bypass_request_path(self, req: LoadRequest, at: int) -> None:
+        """L2 Request Bypass: consult the L1 Bloom shadow, maybe go direct."""
+        ctx = self.ctx
+        core = req.core
+        line_addr = line_of(req.addr)
+        home = ctx.home_tile(line_addr)
+        shadow = self.l1_blooms[core]
+        self.stat_bypass_queries += 1
+        if not shadow.has_copy(home, line_addr):
+            self._fetch_bloom_copy(req, core, home, line_addr, at)
+            return
+        if shadow.may_contain(home, line_addr):
+            # Possibly dirty on-chip: take the normal path through the L2.
+            ctx.send_req_ctl(T.LD, core, home, at,
+                             lambda t: self._l2_gets(req, t))
+            return
+        # Provably clean: go straight to the memory controller.
+        self.stat_direct_requests += 1
+        req.went_to_memory = True
+        mc = ctx.mc_tile(line_addr)
+        ctx.send_req_ctl(
+            T.LD, core, mc, at,
+            lambda t: self._mc_load(req, home, mc, (), False, t))
+
+    def _fetch_bloom_copy(self, req: LoadRequest, core: int, home: int,
+                          line_addr: int, at: int) -> None:
+        """Copy the needed L2 Bloom filter into the L1 shadow (overhead)."""
+        ctx = self.ctx
+        self.stat_bloom_copies += 1
+        filter_index = self.slice_blooms[home].filter_index(line_addr)
+        # The 1-bit projection of one filter: entries/8 bytes of payload.
+        payload_bytes = ctx.config.bloom_entries // 8
+        copy_flits = 1 + -(-payload_bytes // ctx.config.link_bytes)
+
+        def at_l2(t: int) -> None:
+            ctx.send_overhead(
+                T.OVH_BLOOM, home, core, t,
+                lambda tt: install(tt), flits=copy_flits)
+
+        def install(t: int) -> None:
+            bits = self.slice_blooms[home].bit_projection(filter_index)
+            self.l1_blooms[core].install(home, filter_index, bits)
+            self._bypass_request_path(req, t)
+
+        ctx.send_overhead(T.OVH_BLOOM, core, home, at, at_l2)
+
+    def _mc_load(self, req: LoadRequest, home: int, mc: int,
+                 dirty_offsets: Tuple[int, ...], fill_l2: bool,
+                 arrive: int) -> None:
+        """Memory controller handling of a load: fetch, filter, respond."""
+        ctx = self.ctx
+        req.t_arrive_mc = arrive
+        addr = req.addr
+        line_addr = line_of(addr)
+        dram = ctx.dram_for(line_addr)
+
+        # Which lines to fetch and which words to send.
+        flex_region = (ctx.regions.flex_region_for(addr)
+                       if self.proto.flex_l2 else None)
+        if flex_region is not None:
+            wanted = flex_region.flex_words(
+                addr, ctx.config.max_words_per_message)
+            if addr not in wanted:
+                wanted = [addr] + wanted[:ctx.config.max_words_per_message - 1]
+            lines = []
+            for word in wanted:
+                wline = line_of(word)
+                if wline not in lines and dram.same_row(line_addr, wline):
+                    lines.append(wline)
+            if line_addr not in lines:
+                lines.insert(0, line_addr)
+            wanted_set = set(w for w in wanted if line_of(w) in lines)
+            # The critical line is open at the controller anyway: harvest
+            # the communication-region fields of every element it holds
+            # (Flex responses may combine words of different elements;
+            # at the L1 some arrive already-present -> Fetch waste).
+            wanted_set.update(self._region_fields_on_line(flex_region,
+                                                          line_addr))
+        else:
+            lines = [line_addr]
+            wanted_set = set(words_of_line(line_addr))
+        masked = {base_word(line_addr) + off for off in dirty_offsets}
+
+        # One response message per fetched line, sent as soon as that
+        # line's read completes (the controller streams; waiting for the
+        # whole multi-line Flex gather would penalize the critical load).
+        # The critical line's response carries the requested word and
+        # completes the load; prefetch-line responses just install.
+        def respond_line(fetched_line: int, t: int) -> None:
+            send_words: List[int] = []
+            for word in words_of_line(fetched_line):
+                if word in masked:
+                    continue
+                if word in wanted_set:
+                    send_words.append(word)
+                elif flex_region is not None:
+                    # Read out of DRAM, dropped at the controller.
+                    ctx.mem_prof.fetch_excess(word)
+            completes = fetched_line == line_addr
+            if completes:
+                req.t_leave_mc = t
+            self._mc_respond(req, home, mc, send_words, fill_l2, t,
+                             completes=completes)
+
+        for fetched_line in lines:
+            dram.read(fetched_line,
+                      lambda t, fl=fetched_line: respond_line(fl, t))
+
+    @staticmethod
+    def _region_fields_on_line(region, line_addr: int) -> List[int]:
+        """Communication-region field words falling on ``line_addr``."""
+        out = []
+        flex = region.flex
+        for word in words_of_line(line_addr):
+            if not region.contains(word):
+                continue
+            if (word - region.base_word) % flex.stride_words in \
+                    flex.field_offsets:
+                out.append(word)
+        return out
+
+    def _mc_respond(self, req: LoadRequest, home: int, mc: int,
+                    words: List[int], fill_l2: bool, t: int,
+                    completes: bool = True) -> None:
+        ctx = self.ctx
+        core = req.core
+        if not words:
+            if completes:
+                # Everything was masked (dirty on-chip): retry via L2.
+                self._retry_gets(req, t)
+            return
+        insts = {}
+        for word in words:
+            l2_has = self._l2_has_word(word)
+            insts[word] = ctx.mem_prof.fetch(word, l2_has)
+
+        # L1 leg (always; baseline routes through the L2 first).
+        def send_l1(src: int, at: int) -> None:
+            l1_entries = []
+            payload = []
+            fill_lines = set()
+            for word in words:
+                wentry = ctx.l1_prof.on_arrival(
+                    core, word, self._l1_has_word(core, word))
+                l1_entries.append(wentry)
+                payload.append((word, wentry, insts[word]))
+                fill_lines.add(line_of(word))
+            inflight = self._inflight_fills[core]
+            for fl in fill_lines:
+                inflight.setdefault(fl, [])
+
+            def on_fill(tt: int) -> None:
+                self._l1_load_fill(req, payload, tt, completes=completes)
+                for fl in fill_lines:
+                    for waiter in inflight.pop(fl, []):
+                        ctx.queue.schedule(
+                            max(tt, ctx.queue.now),
+                            lambda w=waiter, t3=tt: w(t3))
+
+            ctx.send_data(T.LD, T.DEST_L1, src, core, at, l1_entries,
+                          on_fill)
+
+        def send_l2(at: int, then=None) -> None:
+            l2_entries = []
+            for word in words:
+                already = self._l2_has_word(word)
+                l2_entries.append(ctx.l2_prof.on_arrival(
+                    ctx.home_tile(line_of(word)), word, already))
+
+            def at_l2(tt: int) -> None:
+                self._fill_l2_words(words, insts)
+                if then is not None:
+                    then(tt)
+
+            ctx.send_data(T.LD, T.DEST_L2, mc, home, at, l2_entries, at_l2)
+
+        if not fill_l2:
+            send_l1(mc, t)
+        elif self.proto.mem_to_l1:
+            # Parallel transfer to the L1 and the L2.
+            send_l1(mc, t)
+            send_l2(t)
+        else:
+            # Baseline: memory -> L2 -> L1.
+            send_l2(t, then=lambda tt: send_l1(home, tt))
+
+    def _l2_has_word(self, word: int) -> bool:
+        home = self.ctx.home_tile(line_of(word))
+        entry = self.l2[home].lookup(line_of(word), touch=False)
+        return (entry is not None
+                and entry.word_state[offset_of(word)] != L2W_INVALID)
+
+    def _fill_l2_words(self, words: List[int], insts: Dict[int, object]) -> None:
+        ctx = self.ctx
+        for word in words:
+            wline = line_of(word)
+            home = ctx.home_tile(wline)
+            entry = self.l2[home].lookup(wline)
+            if entry is None:
+                entry = self._reserve_l2(home, wline)
+            off = offset_of(word)
+            if entry.word_state[off] == L2W_INVALID:
+                entry.word_state[off] = L2W_VALID
+                entry.mem_inst[off] = insts[word]
+                ctx.mem_prof.install_copy(insts[word])
+
+    # ------------------------------------------------------------------
+    # L1 fill and completion
+    # ------------------------------------------------------------------
+
+    def _l1_load_fill(self, req: LoadRequest,
+                      payload: List[Tuple[int, object, object]],
+                      t: int, completes: bool = True) -> None:
+        """Install delivered words into the requestor's L1; when this is
+        the response carrying the requested word, finish the load."""
+        ctx = self.ctx
+        core = req.core
+        for word, _entry, inst in payload:
+            wline = line_of(word)
+            line = self.l1[core].lookup(wline, touch=False)
+            if line is None:
+                if wline == line_of(req.addr):
+                    line = self._allocate_l1(core, wline)
+                elif self._can_reserve(core, wline):
+                    line = self._allocate_l1(core, wline)
+                else:
+                    continue   # prefetched line has no room; drop it
+            off = offset_of(word)
+            if line.word_state[off] == W_INVALID:
+                line.word_state[off] = W_VALID
+                line.mem_inst[off] = inst
+                if inst is not None:
+                    ctx.mem_prof.install_copy(inst)
+        if not completes:
+            return
+        line_addr = line_of(req.addr)
+        self._protected[core].discard(line_addr)
+        line = self.l1[core].lookup(line_addr, touch=False)
+        if line is None or line.word_state[offset_of(req.addr)] == W_INVALID:
+            # The needed word did not arrive (e.g. masked at the memory
+            # controller because it was dirty on-chip): retry through L2.
+            self._retry_gets(req, t)
+            return
+        self._profile_load_hit(core, line, req.addr)
+        req.on_done(t + 1, req)
+
+    # ------------------------------------------------------------------
+    # L2 allocation / writebacks / eviction
+    # ------------------------------------------------------------------
+
+    def _reserve_l2(self, home: int, line_addr: int) -> DenovoL2Line:
+        cache = self.l2[home]
+        existing = cache.lookup(line_addr)
+        if existing is not None:
+            return existing
+        victim = cache.victim_for(line_addr)
+        if victim is not None:
+            cache.remove(victim.line_addr)
+            self._evict_l2_line(home, victim)
+        line, auto_victim = cache.allocate(line_addr)
+        if auto_victim is not None:
+            self._evict_l2_line(home, auto_victim)
+        return line
+
+    def _l2_accept_wb(self, core: int, line_addr: int,
+                      offsets: Tuple[int, ...], t: int) -> None:
+        """Dirty words from an L1 writeback arrive at the home slice."""
+        ctx = self.ctx
+        home = ctx.home_tile(line_addr)
+        entry = self.l2[home].lookup(line_addr)
+        if entry is None:
+            entry = self._reserve_l2(home, line_addr)
+            if not self.proto.l2_write_validate:
+                self._fetch_line_for_write(entry, home, t)
+        base = base_word(line_addr)
+        for off in offsets:
+            word = base + off
+            if (entry.word_state[off] == L2W_VALID
+                    and not entry.word_dirty[off]):
+                ctx.l2_prof.on_write(home, word)
+            entry.word_state[off] = L2W_VALID
+            entry.word_dirty[off] = True
+            entry.owners[off] = None
+            if entry.mem_inst[off] is not None:
+                ctx.mem_prof.drop_copy(entry.mem_inst[off],
+                                       invalidated=False)
+                entry.mem_inst[off] = None
+        if self.slice_blooms and not entry.in_bloom:
+            self.slice_blooms[home].insert(line_addr)
+            entry.in_bloom = True
+
+    def _evict_l2_line(self, home: int, entry: DenovoL2Line) -> None:
+        """Evict an L2 line: recall registered words, write dirty to DRAM."""
+        ctx = self.ctx
+        at = ctx.queue.now
+        line_addr = entry.line_addr
+        base = base_word(line_addr)
+        # Recall registered words from their owners; the owners write the
+        # dirty data straight to memory.
+        owners = {entry.owners[off] for off in range(WORDS_PER_LINE)
+                  if entry.word_state[off] == L2W_REG
+                  and entry.owners[off] is not None}
+        for owner in owners:
+            ctx.send_overhead(T.OVH_INVAL, home, owner, at)
+            oline = self.l1[owner].lookup(line_addr, touch=False)
+            if oline is None:
+                continue
+            recalled = [off for off in range(WORDS_PER_LINE)
+                        if entry.owners[off] == owner
+                        and oline.word_state[off] == W_REG]
+            if recalled:
+                mc = ctx.mc_tile(line_addr)
+                ctx.send_wb(owner, mc, at, [True] * len(recalled),
+                            T.DEST_MEM,
+                            lambda t, la=line_addr:
+                            ctx.dram_for(la).write(la))
+            for off in range(WORDS_PER_LINE):
+                if oline.word_state[off] != W_INVALID:
+                    word = base + off
+                    ctx.l1_prof.on_invalidate(owner, word)
+                    inst = oline.mem_inst[off]
+                    if inst is not None:
+                        ctx.mem_prof.drop_copy(inst, invalidated=True)
+                oline.word_state[off] = W_INVALID
+                oline.word_dirty[off] = False
+                oline.mem_inst[off] = None
+            self.wct[owner].pop(line_addr)
+        # Profile the L2 copies and write dirty words back.
+        for word in words_of_line(line_addr):
+            ctx.l2_prof.on_evict(home, word)
+        for inst in entry.mem_inst:
+            if inst is not None:
+                ctx.mem_prof.drop_copy(inst, invalidated=False)
+        dirty = entry.dirty_offsets()
+        if dirty:
+            mc = ctx.mc_tile(line_addr)
+            if self.proto.l2_dirty_wb_only:
+                flags = [True] * len(dirty)
+            else:
+                # Baseline: the whole line goes to memory; unmodified
+                # words are Waste (Figure 5.1d, Mem Waste).
+                flags = list(entry.word_dirty)
+            ctx.send_wb(home, mc, at, flags, T.DEST_MEM,
+                        lambda t, la=line_addr: ctx.dram_for(la).write(la))
+        if self.slice_blooms and entry.in_bloom:
+            self.slice_blooms[home].remove(line_addr)
+            entry.in_bloom = False
+
+
+class _ShadowArray(L1FilterShadow):
+    """Per-core shadow of all slices' filters, seeded to match each slice."""
+
+    def __init__(self, cfg, core: int) -> None:
+        # Seeds must match SliceFilterBank(seed=tile + 1) per slice; the
+        # L1FilterShadow base uses one seed for all slices, so build one
+        # shadow per slice seed instead.
+        self._cfg = cfg
+        self._shadows = [
+            L1FilterShadow(1, cfg.bloom_filters_per_slice,
+                           cfg.bloom_entries, cfg.bloom_hashes,
+                           seed=tile + 1)
+            for tile in range(cfg.num_tiles)]
+
+    def has_copy(self, slice_id: int, line_addr: int) -> bool:
+        return self._shadows[slice_id].has_copy(0, line_addr)
+
+    def filter_index(self, line_addr: int) -> int:
+        raise NotImplementedError("use the slice bank's filter_index")
+
+    def install(self, slice_id: int, filter_index: int, bits) -> None:
+        self._shadows[slice_id].install(0, filter_index, bits)
+
+    def note_writeback(self, slice_id: int, line_addr: int) -> None:
+        self._shadows[slice_id].note_writeback(0, line_addr)
+
+    def may_contain(self, slice_id: int, line_addr: int) -> bool:
+        return self._shadows[slice_id].may_contain(0, line_addr)
+
+    def clear(self) -> None:
+        for shadow in self._shadows:
+            shadow.clear()

@@ -1,0 +1,884 @@
+"""Directory-based MESI protocol (GEMS-style, blocking directory).
+
+Models the paper's two MESI configurations:
+
+* **MESI** — baseline: inclusive shared L2 with an in-cache directory,
+  blocking transitions (requests to busy lines are NACKed), E state with
+  silent E->M upgrade, Upgrade requests for S->M, fetch-on-write, directory
+  unblock messages, and non-blocking writes through a 32-entry store buffer.
+* **MMemL1** (``mem_to_l1``) — memory responses go directly to the
+  requesting L1; loads forward the line to the L2 as a combined
+  unblock+data message (profiled as load traffic, per Section 3.3), and
+  write fills skip the L2 entirely since the L1 writeback will overwrite
+  them.
+
+The protocol is line-granular; per-word dirty bits are tracked only for the
+waste profiler and the writeback Used/Waste split of Figure 5.1d.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.cache.sa_cache import CacheLine, SetAssocCache
+from repro.cache.writebuffer import StoreBuffer
+from repro.common.addressing import (
+    WORDS_PER_LINE, base_word, line_of, offset_of, words_of_line)
+from repro.core.context import (
+    NACK_RETRY_DELAY, LoadRequest, SimContext, StoreRequest)
+from repro.network import traffic as T
+
+# L1 line states.
+L1_PENDING = 0   # way reserved, fill in flight
+L1_S = 1
+L1_E = 2
+L1_M = 3
+
+# L2 directory states (per line).
+DIR_IDLE = 0     # data at L2 is authoritative (sharers may exist)
+DIR_EXCL = 1     # one L1 owns the line (E or M)
+
+
+class MesiL1Line(CacheLine):
+    __slots__ = ("state",)
+
+    def __init__(self, line_addr: int) -> None:
+        super().__init__(line_addr)
+        self.state = L1_PENDING
+
+
+class MesiL2Line(CacheLine):
+    __slots__ = ("dir_state", "owner", "sharers", "busy", "has_data",
+                 "l2_dirty", "waiters")
+
+    def __init__(self, line_addr: int) -> None:
+        super().__init__(line_addr)
+        self.dir_state = DIR_IDLE
+        self.owner: Optional[int] = None
+        self.sharers: Set[int] = set()
+        self.busy = False
+        self.has_data = False
+        self.l2_dirty = False
+        # Requests held back while the line is mid-transition (the
+        # "blocking directory" of GEMS: hold back or NACK).
+        self.waiters: List[Callable[[int], None]] = []
+
+
+class MesiSystem:
+    """All L1s, L2 slices and the directory logic of one MESI machine."""
+
+    def __init__(self, ctx: SimContext) -> None:
+        self.ctx = ctx
+        cfg = ctx.config
+        self.mem_to_l1 = ctx.proto.mem_to_l1
+        self.l1: List[SetAssocCache[MesiL1Line]] = [
+            SetAssocCache(cfg.l1_sets, cfg.l1_assoc, MesiL1Line)
+            for _ in range(cfg.num_tiles)]
+        self.l2: List[SetAssocCache[MesiL2Line]] = [
+            SetAssocCache(cfg.l2_slice_sets, cfg.l2_assoc, MesiL2Line,
+                          index_shift=cfg.num_tiles.bit_length() - 1)
+            for _ in range(cfg.num_tiles)]
+        self.sbuf = [StoreBuffer(cfg.store_buffer_entries)
+                     for _ in range(cfg.num_tiles)]
+        # Deferred store words per (core, line): offsets written while the
+        # ownership request is in flight.
+        self._pending_words: List[Dict[int, Set[int]]] = [
+            dict() for _ in range(cfg.num_tiles)]
+        self._store_reqs: List[Dict[int, StoreRequest]] = [
+            dict() for _ in range(cfg.num_tiles)]
+        # Loads blocked on a line with a pending store: line -> callbacks.
+        self._load_waiters: List[Dict[int, List[Callable[[int], None]]]] = [
+            dict() for _ in range(cfg.num_tiles)]
+        # Core-level callbacks fired after any retire (buffer-full stalls).
+        self._retire_hooks: List[List[Callable[[int], None]]] = [
+            [] for _ in range(cfg.num_tiles)]
+        # Lines with an in-flight request (protected from L1 eviction).
+        self._protected: List[Set[int]] = [set() for _ in range(cfg.num_tiles)]
+        self._last_retire_mem = [False] * cfg.num_tiles
+        self.stat_upgrades = 0
+        self.stat_nacks = 0
+        self.stat_e_grants = 0
+
+    def last_retire_went_to_memory(self, core: int) -> bool:
+        return self._last_retire_mem[core]
+
+    # ------------------------------------------------------------------
+    # Core-facing interface
+    # ------------------------------------------------------------------
+
+    def load(self, core: int, addr: int, at: int,
+             on_done: Callable[[int, LoadRequest], None]) -> Optional[int]:
+        """Issue a load; return completion time on an L1 hit, else None
+        and ``on_done(time, request)`` fires later."""
+        line_addr = line_of(addr)
+        line = self.l1[core].lookup(line_addr)
+        if line is not None and line.state != L1_PENDING:
+            if self.sbuf[core].has(line_addr):
+                # Ownership upgrade in flight; the load waits for it so the
+                # value it reads is the retired store's.
+                self._wait_on_line(core, line_addr, addr, at, on_done)
+                return None
+            self._profile_load_hit(core, line, addr)
+            return at + 1
+        if line is not None and line.state == L1_PENDING:
+            self._wait_on_line(core, line_addr, addr, at, on_done)
+            return None
+        if not self._can_reserve(core, line_addr):
+            # Set conflict with in-flight fills: retry after a retire.
+            self._retire_hooks[core].append(
+                lambda t: self._retry_load(core, addr, t, on_done))
+            return None
+        request = LoadRequest(core=core, addr=addr, t_issue=at,
+                              on_done=on_done)
+        self._reserve_line(core, line_addr)
+        self.ctx.send_req_ctl(
+            T.LD, core, self.ctx.home_tile(line_addr), at,
+            lambda t: self._dir_gets(request, t))
+        return None
+
+    def store(self, core: int, addr: int, at: int) -> bool:
+        """Issue a store; True if accepted (hit or buffered), False if the
+        store buffer is full and the core must stall."""
+        line_addr = line_of(addr)
+        line = self.l1[core].lookup(line_addr)
+        if self.sbuf[core].has(line_addr):
+            self._pending_words[core][line_addr].add(offset_of(addr))
+            return True
+        if line is not None and line.state in (L1_E, L1_M):
+            line.state = L1_M   # silent E->M upgrade
+            self._apply_store_word(core, line, addr)
+            return True
+        if self.sbuf[core].is_full():
+            return False
+        if line is None and not self._can_reserve(core, line_addr):
+            return False
+        is_upgrade = line is not None and line.state == L1_S
+        self.sbuf[core].insert(line_addr)
+        self._pending_words[core][line_addr] = {offset_of(addr)}
+        request = StoreRequest(core=core, line_addr=line_addr, t_issue=at)
+        self._store_reqs[core][line_addr] = request
+        if line is None:
+            self._reserve_line(core, line_addr)
+        else:
+            self._protected[core].add(line_addr)
+        if is_upgrade:
+            self.stat_upgrades += 1
+        self.ctx.send_req_ctl(
+            T.ST, core, self.ctx.home_tile(line_addr), at,
+            lambda t: self._dir_getx(request, t, upgrade=is_upgrade))
+        return True
+
+    def pending_store_count(self, core: int) -> int:
+        return len(self.sbuf[core])
+
+    def on_retire(self, core: int, hook: Callable[[int], None]) -> None:
+        """Run ``hook(time)`` after the next store retirement on ``core``."""
+        self._retire_hooks[core].append(hook)
+
+    def drain_barrier(self, core: int, at: int,
+                      resume: Callable[[int], None]) -> None:
+        """Wait until the store buffer is empty, then ``resume(time)``."""
+        if len(self.sbuf[core]) == 0:
+            resume(at)
+            return
+
+        def check(t: int) -> None:
+            if len(self.sbuf[core]) == 0:
+                resume(t)
+            else:
+                self._retire_hooks[core].append(check)
+
+        self._retire_hooks[core].append(check)
+
+    def finalize(self) -> None:
+        """End of simulation: nothing protocol-specific to flush."""
+
+    # ------------------------------------------------------------------
+    # L1 helpers
+    # ------------------------------------------------------------------
+
+    def _retry_load(self, core: int, addr: int, at: int,
+                    on_done: Callable[[int, LoadRequest], None]) -> None:
+        done = self.load(core, addr, at, on_done)
+        if done is not None:
+            dummy = LoadRequest(core=core, addr=addr, t_issue=at,
+                                on_done=on_done)
+            on_done(done, dummy)
+
+    def _wait_on_line(self, core: int, line_addr: int, addr: int, at: int,
+                      on_done: Callable[[int, LoadRequest], None]) -> None:
+        waiters = self._load_waiters[core].setdefault(line_addr, [])
+
+        def resume(t: int) -> None:
+            self._retry_load(core, addr, t, on_done)
+
+        waiters.append(resume)
+
+    def _profile_load_hit(self, core: int, line: MesiL1Line,
+                          addr: int) -> None:
+        self.ctx.l1_prof.on_use(core, addr)
+        inst = line.mem_inst[offset_of(addr)]
+        if inst is not None:
+            self.ctx.mem_prof.on_load(inst)
+
+    def _apply_store_word(self, core: int, line: MesiL1Line,
+                          addr: int) -> None:
+        off = offset_of(addr)
+        self.ctx.l1_prof.on_write(core, addr)
+        self.ctx.mem_prof.on_store_addr(addr)
+        line.word_dirty[off] = True
+
+    def _can_reserve(self, core: int, line_addr: int) -> bool:
+        cache = self.l1[core]
+        if cache.lookup(line_addr, touch=False) is not None:
+            return True
+        idx = cache.set_index(line_addr)
+        protected_in_set = sum(
+            1 for la in self._protected[core]
+            if cache.set_index(la) == idx
+            and cache.lookup(la, touch=False) is not None)
+        return protected_in_set < cache.assoc
+
+    def _reserve_line(self, core: int, line_addr: int) -> MesiL1Line:
+        self._protected[core].add(line_addr)
+        line = self._allocate_l1(core, line_addr)
+        line.state = L1_PENDING
+        return line
+
+    def _allocate_l1(self, core: int, line_addr: int) -> MesiL1Line:
+        cache = self.l1[core]
+        existing = cache.lookup(line_addr)
+        if existing is not None:
+            return existing
+        # Choose an unprotected victim: temporarily walk LRU order.
+        victim = cache.victim_for(line_addr)
+        if victim is not None and victim.line_addr in self._protected[core]:
+            victim = self._find_unprotected_victim(core, line_addr)
+        if victim is not None:
+            cache.remove(victim.line_addr)
+            self._evict_l1_line(core, victim)
+        line, auto_victim = cache.allocate(line_addr)
+        if auto_victim is not None:
+            self._evict_l1_line(core, auto_victim)
+        return line
+
+    def _find_unprotected_victim(self, core: int,
+                                 line_addr: int) -> Optional[MesiL1Line]:
+        cache = self.l1[core]
+        idx = cache.set_index(line_addr)
+        for candidate in reversed(cache._lru[idx]):
+            if candidate not in self._protected[core]:
+                return cache.lookup(candidate, touch=False)
+        raise RuntimeError("no evictable way; _can_reserve should prevent this")
+
+    def _evict_l1_line(self, core: int, line: MesiL1Line) -> None:
+        """Handle an L1 victim: profile + writeback messages."""
+        ctx = self.ctx
+        at = ctx.queue.now
+        for word in words_of_line(line.line_addr):
+            ctx.l1_prof.on_evict(core, word)
+        for inst in line.mem_inst:
+            if inst is not None:
+                ctx.mem_prof.drop_copy(inst, invalidated=False)
+        home = ctx.home_tile(line.line_addr)
+        if line.state == L1_M:
+            dirty = list(line.word_dirty)
+            written = [i for i, d in enumerate(dirty) if d]
+            ctx.send_wb(core, home, at, dirty, T.DEST_L2,
+                        lambda t, la=line.line_addr, c=core, w=tuple(written):
+                        self._dir_dirty_wb(la, c, w, t))
+        elif line.state == L1_E:
+            # Clean writeback: control-only PUTX, counted as overhead.
+            ctx.send_overhead(
+                T.OVH_WB_CTL, core, home, at,
+                lambda t, la=line.line_addr, c=core:
+                self._dir_clean_wb(la, c, t))
+        # Shared lines are dropped silently; the directory keeps a stale
+        # sharer and may later send a spurious invalidation (acked anyway).
+
+    # ------------------------------------------------------------------
+    # Directory: GETS (loads)
+    # ------------------------------------------------------------------
+
+    def _dir_gets(self, req: LoadRequest, arrive: int) -> None:
+        ctx = self.ctx
+        line_addr = line_of(req.addr)
+        home = ctx.home_tile(line_addr)
+        t = ctx.l2_service_time(home, arrive)
+        entry = self.l2[home].lookup(line_addr)
+        if entry is not None and entry.busy:
+            entry.waiters.append(lambda tt: self._dir_gets(req, tt))
+            return
+        if entry is not None and entry.has_data and entry.owner is None:
+            self._dir_gets_hit(req, entry, home, t)
+            return
+        if entry is not None and entry.owner is not None:
+            self._dir_gets_fwd(req, entry, home, t)
+            return
+        self._dir_miss_to_memory(req, line_addr, home, t, major=T.LD)
+
+    def _retry_gets(self, req: LoadRequest, at: int) -> None:
+        req.retries += 1
+        line_addr = line_of(req.addr)
+        self.ctx.send_req_ctl(
+            T.LD, req.core, self.ctx.home_tile(line_addr),
+            at + NACK_RETRY_DELAY, lambda t: self._dir_gets(req, t))
+
+    def _dir_gets_hit(self, req: LoadRequest, entry: MesiL2Line, home: int,
+                      t: int) -> None:
+        ctx = self.ctx
+        line_addr = entry.line_addr
+        grant_e = not entry.sharers
+        if grant_e:
+            entry.dir_state = DIR_EXCL
+            entry.owner = req.core
+            self.stat_e_grants += 1
+        entry.sharers.add(req.core)
+        entry.busy = True
+        for word in words_of_line(line_addr):
+            ctx.l2_prof.on_use(home, word)
+        l1_entries = [ctx.l1_prof.on_arrival(req.core, w, False)
+                      for w in words_of_line(line_addr)]
+        insts = list(entry.mem_inst)
+        state = L1_E if grant_e else L1_S
+        ctx.send_data(
+            T.LD, T.DEST_L1, home, req.core, t, l1_entries,
+            lambda tt: self._l1_load_fill(req, state, insts, home, tt,
+                                          from_memory=False))
+
+    def _dir_gets_fwd(self, req: LoadRequest, entry: MesiL2Line, home: int,
+                      t: int) -> None:
+        """Line exclusively owned: forward the request to the owner."""
+        ctx = self.ctx
+        owner = entry.owner
+        entry.busy = True
+        line_addr = entry.line_addr
+
+        def at_owner(tt: int) -> None:
+            oline = self.l1[owner].lookup(line_addr)
+            if oline is None or oline.state not in (L1_E, L1_M):
+                # Owner raced an eviction; its writeback will settle the
+                # directory.  NACK the requestor to retry.
+                self._nack(T.LD, owner, req.core, tt,
+                           lambda t3: self._retry_gets(req, t3))
+                self._clear_busy(entry)
+                return
+            was_m = oline.state == L1_M
+            oline.state = L1_S
+            l1_entries = [ctx.l1_prof.on_arrival(req.core, w, False)
+                          for w in words_of_line(line_addr)]
+            insts = list(oline.mem_inst)
+            ctx.send_data(
+                T.LD, T.DEST_L1, owner, req.core, tt, l1_entries,
+                lambda t3: self._l1_load_fill(req, L1_S, insts, home, t3,
+                                              from_memory=False))
+            if was_m:
+                dirty = list(oline.word_dirty)
+                written = tuple(i for i, d in enumerate(dirty) if d)
+                ctx.send_wb(owner, home, tt, dirty, T.DEST_L2,
+                            lambda t3: self._dir_downgrade_data(
+                                entry, owner, req.core, written, t3))
+            else:
+                ctx.send_overhead(
+                    T.OVH_ACK, owner, home, tt,
+                    lambda t3: self._dir_downgrade_clean(
+                        entry, owner, req.core, t3))
+
+        ctx.send_req_ctl(T.LD, home, owner, t, at_owner)
+
+    def _dir_downgrade_data(self, entry: MesiL2Line, owner: int,
+                            requestor: int, written: Tuple[int, ...],
+                            t: int) -> None:
+        for off in written:
+            entry.word_dirty[off] = True
+            self.ctx.l2_prof.on_write(self.ctx.home_tile(entry.line_addr),
+                                      base_word(entry.line_addr) + off)
+        entry.l2_dirty = True
+        self._dir_downgrade_clean(entry, owner, requestor, t)
+
+    def _dir_downgrade_clean(self, entry: MesiL2Line, owner: int,
+                             requestor: int, t: int) -> None:
+        entry.dir_state = DIR_IDLE
+        entry.owner = None
+        entry.sharers.update((owner, requestor))
+        entry.has_data = True
+
+    # ------------------------------------------------------------------
+    # Directory: GETX / Upgrade (stores)
+    # ------------------------------------------------------------------
+
+    def _dir_getx(self, req: StoreRequest, arrive: int,
+                  upgrade: bool) -> None:
+        ctx = self.ctx
+        line_addr = req.line_addr
+        home = ctx.home_tile(line_addr)
+        t = ctx.l2_service_time(home, arrive)
+        entry = self.l2[home].lookup(line_addr)
+        if entry is not None and entry.busy:
+            entry.waiters.append(
+                lambda tt: self._dir_getx(req, tt, upgrade))
+            return
+        if entry is None or not entry.has_data and entry.owner is None:
+            self._dir_miss_to_memory_store(req, line_addr, home, t)
+            return
+        if entry.owner is not None and entry.owner != req.core:
+            self._dir_getx_fwd(req, entry, home, t)
+            return
+        # Data at L2 (possibly with sharers) or requestor already owner.
+        entry.busy = True
+        sharers = [s for s in entry.sharers if s != req.core]
+        acks_needed = len(sharers)
+        still_sharer = req.core in entry.sharers
+        for s in sharers:
+            self._send_invalidation_for(line_addr, home, s, req.core, t)
+        entry.sharers = {req.core}
+        entry.dir_state = DIR_EXCL
+        entry.owner = req.core
+
+        if upgrade and still_sharer:
+            # Data-less grant; requestor already has the line in S.
+            ctx.send_resp_ctl(
+                T.ST, home, req.core, t,
+                lambda tt: self._l1_store_grant(req, home, tt, acks_needed,
+                                                data_entries=None,
+                                                insts=None))
+        else:
+            for word in words_of_line(line_addr):
+                ctx.l2_prof.on_use(home, word)
+            l1_entries = [ctx.l1_prof.on_arrival(req.core, w, False)
+                          for w in words_of_line(line_addr)]
+            insts = list(entry.mem_inst)
+            ctx.send_data(
+                T.ST, T.DEST_L1, home, req.core, t, l1_entries,
+                lambda tt: self._l1_store_grant(req, home, tt, acks_needed,
+                                                data_entries=l1_entries,
+                                                insts=insts))
+
+    def _retry_getx(self, req: StoreRequest, at: int, upgrade: bool) -> None:
+        req.retries += 1
+        # Re-evaluate upgrade vs full GETX: the line may have been
+        # invalidated under us while we were NACKed.
+        line = self.l1[req.core].lookup(req.line_addr, touch=False)
+        still_upgrade = (upgrade and line is not None
+                         and line.state == L1_S)
+        self.ctx.send_req_ctl(
+            T.ST, req.core, self.ctx.home_tile(req.line_addr),
+            at + NACK_RETRY_DELAY,
+            lambda t: self._dir_getx(req, t, still_upgrade))
+
+    def _dir_getx_fwd(self, req: StoreRequest, entry: MesiL2Line, home: int,
+                      t: int) -> None:
+        ctx = self.ctx
+        owner = entry.owner
+        line_addr = entry.line_addr
+        entry.busy = True
+
+        def at_owner(tt: int) -> None:
+            oline = self.l1[owner].lookup(line_addr, touch=False)
+            if oline is None or oline.state not in (L1_E, L1_M):
+                self._nack(T.ST, owner, req.core, tt,
+                           lambda t3: self._retry_getx(req, t3, False))
+                self._clear_busy(entry)
+                return
+            l1_entries = [ctx.l1_prof.on_arrival(req.core, w, False)
+                          for w in words_of_line(line_addr)]
+            insts = list(oline.mem_inst)
+            self._invalidate_l1_copy(owner, oline)
+            self.l1[owner].remove(line_addr)
+            entry.owner = req.core
+            entry.sharers = {req.core}
+            entry.dir_state = DIR_EXCL
+            ctx.send_data(
+                T.ST, T.DEST_L1, owner, req.core, tt, l1_entries,
+                lambda t3: self._l1_store_grant(req, home, t3, 0,
+                                                data_entries=l1_entries,
+                                                insts=insts))
+
+        ctx.send_req_ctl(T.ST, home, owner, t, at_owner)
+
+    def _send_invalidation_for(self, line_addr: int, home: int, sharer: int,
+                               requestor: int, t: int) -> None:
+        ctx = self.ctx
+
+        def handler(tt: int) -> None:
+            line = self.l1[sharer].lookup(line_addr, touch=False)
+            if line is not None and line.state != L1_PENDING:
+                self._invalidate_l1_copy(sharer, line)
+                self.l1[sharer].remove(line_addr)
+            ctx.send_overhead(T.OVH_ACK, sharer, requestor, tt)
+
+        ctx.send_overhead(T.OVH_INVAL, home, sharer, t, handler)
+
+    def _invalidate_l1_copy(self, core: int, line: MesiL1Line) -> None:
+        for word in words_of_line(line.line_addr):
+            self.ctx.l1_prof.on_invalidate(core, word)
+        for inst in line.mem_inst:
+            if inst is not None:
+                self.ctx.mem_prof.drop_copy(inst, invalidated=True)
+
+    # ------------------------------------------------------------------
+    # Memory path
+    # ------------------------------------------------------------------
+
+    def _dir_miss_to_memory(self, req: LoadRequest, line_addr: int,
+                            home: int, t: int, major: str) -> None:
+        """L2 load miss: reserve the L2 line and fetch from memory."""
+        ctx = self.ctx
+        entry = self._reserve_l2(home, line_addr)
+        entry.busy = True
+        req.went_to_memory = True
+        mc = ctx.mc_tile(line_addr)
+        ctx.send_req_ctl(major, home, mc, t,
+                         lambda tt: self._mc_read(req, entry, home, mc, tt))
+
+    def _mc_read(self, req: LoadRequest, entry: MesiL2Line, home: int,
+                 mc: int, arrive: int) -> None:
+        ctx = self.ctx
+        req.t_arrive_mc = arrive
+        line_addr = entry.line_addr
+
+        def dram_done(t: int) -> None:
+            req.t_leave_mc = t
+            insts = [ctx.mem_prof.fetch(w, l2_has_addr=False)
+                     for w in words_of_line(line_addr)]
+            if self.mem_to_l1:
+                self._mc_respond_direct_l1(req, entry, home, mc, t, insts)
+            else:
+                self._mc_respond_via_l2(req, entry, home, mc, t, insts)
+
+        ctx.dram_for(line_addr).read(line_addr, dram_done)
+
+    def _mc_respond_via_l2(self, req: LoadRequest, entry: MesiL2Line,
+                           home: int, mc: int, t: int, insts: List) -> None:
+        """Baseline MESI: memory -> L2 -> L1."""
+        ctx = self.ctx
+        line_addr = entry.line_addr
+        l2_entries = [ctx.l2_prof.on_arrival(home, w, False)
+                      for w in words_of_line(line_addr)]
+
+        def at_l2(tt: int) -> None:
+            self._fill_l2_data(entry, home, insts)
+            l1_entries = [ctx.l1_prof.on_arrival(req.core, w, False)
+                          for w in words_of_line(line_addr)]
+            grant_e = not entry.sharers
+            if grant_e:
+                entry.dir_state = DIR_EXCL
+                entry.owner = req.core
+                self.stat_e_grants += 1
+            entry.sharers.add(req.core)
+            state = L1_E if grant_e else L1_S
+            ctx.send_data(
+                T.LD, T.DEST_L1, home, req.core, tt, l1_entries,
+                lambda t3: self._l1_load_fill(req, state, list(entry.mem_inst),
+                                              home, t3, from_memory=True))
+
+        ctx.send_data(T.LD, T.DEST_L2, mc, home, t, l2_entries, at_l2)
+
+    def _mc_respond_direct_l1(self, req: LoadRequest, entry: MesiL2Line,
+                              home: int, mc: int, t: int,
+                              insts: List) -> None:
+        """MMemL1: memory -> L1, then unblock+data L1 -> L2."""
+        ctx = self.ctx
+        line_addr = entry.line_addr
+        l1_entries = [ctx.l1_prof.on_arrival(req.core, w, False)
+                      for w in words_of_line(line_addr)]
+        grant_e = not entry.sharers
+        if grant_e:
+            entry.dir_state = DIR_EXCL
+            entry.owner = req.core
+            self.stat_e_grants += 1
+        entry.sharers.add(req.core)
+        state = L1_E if grant_e else L1_S
+
+        def at_l1(tt: int) -> None:
+            self._install_l1_fill(req.core, line_addr, state, insts)
+            self._complete_load(req, tt)
+            # Combined unblock+data carries the line to the inclusive L2;
+            # profiled as load traffic (paper Section 3.3).
+            l2_entries = [ctx.l2_prof.on_arrival(home, w, False)
+                          for w in words_of_line(line_addr)]
+
+            def at_l2(t3: int) -> None:
+                self._fill_l2_data(entry, home, insts)
+                self._clear_busy(entry)
+
+            ctx.send_data(T.LD, T.DEST_L2, req.core, home, tt, l2_entries,
+                          at_l2)
+
+        ctx.send_data(T.LD, T.DEST_L1, mc, req.core, t, l1_entries, at_l1)
+
+    def _dir_miss_to_memory_store(self, req: StoreRequest, line_addr: int,
+                                  home: int, t: int) -> None:
+        ctx = self.ctx
+        entry = self._reserve_l2(home, line_addr)
+        entry.busy = True
+        req.went_to_memory = True
+        mc = ctx.mc_tile(line_addr)
+
+        def at_mc(arrive: int) -> None:
+            def dram_done(tt: int) -> None:
+                insts = [ctx.mem_prof.fetch(w, l2_has_addr=False)
+                         for w in words_of_line(line_addr)]
+                if self.mem_to_l1:
+                    # Write fill skips the L2 entirely: the writeback will
+                    # overwrite it (Section 3.3).
+                    l1_entries = [ctx.l1_prof.on_arrival(req.core, w, False)
+                                  for w in words_of_line(line_addr)]
+                    entry.dir_state = DIR_EXCL
+                    entry.owner = req.core
+                    entry.sharers = {req.core}
+                    entry.has_data = False
+                    ctx.send_data(
+                        T.ST, T.DEST_L1, mc, req.core, tt, l1_entries,
+                        lambda t3: self._l1_store_grant(
+                            req, home, t3, 0, data_entries=l1_entries,
+                            insts=insts, unblock_ctl_only=True))
+                else:
+                    l2_entries = [ctx.l2_prof.on_arrival(home, w, False)
+                                  for w in words_of_line(line_addr)]
+
+                    def at_l2(t3: int) -> None:
+                        self._fill_l2_data(entry, home, insts)
+                        entry.dir_state = DIR_EXCL
+                        entry.owner = req.core
+                        entry.sharers = {req.core}
+                        l1_entries = [
+                            ctx.l1_prof.on_arrival(req.core, w, False)
+                            for w in words_of_line(line_addr)]
+                        ctx.send_data(
+                            T.ST, T.DEST_L1, home, req.core, t3, l1_entries,
+                            lambda t4: self._l1_store_grant(
+                                req, home, t4, 0, data_entries=l1_entries,
+                                insts=list(entry.mem_inst)))
+
+                    ctx.send_data(T.ST, T.DEST_L2, mc, home, tt, l2_entries,
+                                  at_l2)
+
+            ctx.dram_for(line_addr).read(line_addr, dram_done)
+
+        ctx.send_req_ctl(T.ST, home, mc, t, at_mc)
+
+    # ------------------------------------------------------------------
+    # L1 fill / completion
+    # ------------------------------------------------------------------
+
+    def _install_l1_fill(self, core: int, line_addr: int, state: int,
+                         insts: List) -> None:
+        line = self._allocate_l1(core, line_addr)
+        line.reset_words()
+        line.state = state
+        for off, inst in enumerate(insts):
+            line.mem_inst[off] = inst
+            if inst is not None:
+                self.ctx.mem_prof.install_copy(inst)
+
+    def _l1_load_fill(self, req: LoadRequest, state: int, insts: List,
+                      home: int, t: int, from_memory: bool) -> None:
+        line_addr = line_of(req.addr)
+        self._install_l1_fill(req.core, line_addr, state, insts)
+        self._complete_load(req, t)
+        # Directory unblock (overhead traffic).
+        self.ctx.send_overhead(
+            T.OVH_UNBLOCK, req.core, home, t,
+            lambda tt: self._dir_unblock(home, line_addr))
+
+    def _clear_busy(self, entry: MesiL2Line) -> None:
+        """End a transition: release the line and replay one held request."""
+        entry.busy = False
+        if entry.waiters:
+            waiter = entry.waiters.pop(0)
+            now = self.ctx.queue.now
+            self.ctx.queue.schedule(now + 1, lambda: waiter(now + 1))
+
+    def _dir_unblock(self, home: int, line_addr: int) -> None:
+        entry = self.l2[home].lookup(line_addr, touch=False)
+        if entry is not None:
+            self._clear_busy(entry)
+
+    def _complete_load(self, req: LoadRequest, t: int) -> None:
+        core = req.core
+        line_addr = line_of(req.addr)
+        self._protected[core].discard(line_addr)
+        line = self.l1[core].lookup(line_addr, touch=False)
+        if line is not None:
+            self._profile_load_hit(core, line, req.addr)
+        req.on_done(t + 1, req)
+        self._wake_line_waiters(core, line_addr, t + 1)
+
+    def _l1_store_grant(self, req: StoreRequest, home: int, t: int,
+                        acks_needed: int, data_entries, insts,
+                        unblock_ctl_only: bool = False) -> None:
+        """Data/grant arrived at the L1; finish the store transaction."""
+        core = req.core
+        line_addr = req.line_addr
+        if insts is not None:
+            self._install_l1_fill(core, line_addr, L1_M, insts)
+        else:
+            line = self.l1[core].lookup(line_addr, touch=False)
+            if line is not None:
+                line.state = L1_M
+        line = self.l1[core].lookup(line_addr, touch=False)
+        # Apply the deferred store words.
+        offsets = self._pending_words[core].pop(line_addr, set())
+        base = base_word(line_addr)
+        for off in sorted(offsets):
+            if line is not None:
+                self._apply_store_word(core, line, base + off)
+        # Ack latency: completion waits for the last invalidation ack; we
+        # approximate ack arrival as one max-distance control message.
+        self._store_reqs[core].pop(line_addr, None)
+        self._last_retire_mem[core] = req.went_to_memory
+        self.sbuf[core].retire(line_addr)
+        self._protected[core].discard(line_addr)
+        # Unblock the directory.
+        self.ctx.send_overhead(
+            T.OVH_UNBLOCK, core, home, t,
+            lambda tt: self._dir_unblock(home, line_addr))
+        self._wake_line_waiters(core, line_addr, t + 1)
+        self._fire_retire_hooks(core, t + 1)
+
+    def _wake_line_waiters(self, core: int, line_addr: int, t: int) -> None:
+        waiters = self._load_waiters[core].pop(line_addr, None)
+        if waiters:
+            for resume in waiters:
+                self.ctx.queue.schedule(max(t, self.ctx.queue.now),
+                                        lambda r=resume, tt=t: r(tt))
+
+    def _fire_retire_hooks(self, core: int, t: int) -> None:
+        hooks, self._retire_hooks[core] = self._retire_hooks[core], []
+        for hook in hooks:
+            self.ctx.queue.schedule(max(t, self.ctx.queue.now),
+                                    lambda h=hook, tt=t: h(tt))
+
+    # ------------------------------------------------------------------
+    # L2 allocation / eviction / writebacks
+    # ------------------------------------------------------------------
+
+    def _reserve_l2(self, home: int, line_addr: int) -> MesiL2Line:
+        cache = self.l2[home]
+        existing = cache.lookup(line_addr)
+        if existing is not None:
+            return existing
+        # Evict a non-busy victim; if the LRU victim is busy, walk up.
+        victim = cache.victim_for(line_addr)
+        if victim is not None and (victim.busy or victim.owner is not None
+                                   or victim.sharers):
+            victim = self._find_l2_victim(home, line_addr)
+        if victim is not None:
+            cache.remove(victim.line_addr)
+            self._evict_l2_line(home, victim)
+        line, auto_victim = cache.allocate(line_addr)
+        if auto_victim is not None:
+            self._evict_l2_line(home, auto_victim)
+        return line
+
+    def _find_l2_victim(self, home: int, line_addr: int) -> Optional[MesiL2Line]:
+        cache = self.l2[home]
+        idx = cache.set_index(line_addr)
+        fallback = None
+        for candidate in reversed(cache._lru[idx]):
+            entry = cache.lookup(candidate, touch=False)
+            if entry.busy:
+                continue
+            if entry.owner is None and not entry.sharers:
+                return entry
+            if fallback is None:
+                fallback = entry
+        return fallback   # may have sharers -> recall; None only if all busy
+
+    def _evict_l2_line(self, home: int, entry: MesiL2Line) -> None:
+        """Inclusive L2 eviction: recall L1 copies, write back if dirty."""
+        ctx = self.ctx
+        at = ctx.queue.now
+        line_addr = entry.line_addr
+        # Requests held back on this line must be replayed: they will
+        # re-dispatch against the (now absent) line and miss to memory.
+        if entry.waiters:
+            waiters, entry.waiters = entry.waiters, []
+            for waiter in waiters:
+                ctx.queue.schedule(at + 1, lambda w=waiter: w(at + 1))
+        # Recall every L1 copy (invalidation + ack overhead); M data comes
+        # back as writeback traffic.
+        holders = set(entry.sharers)
+        if entry.owner is not None:
+            holders.add(entry.owner)
+        for holder in holders:
+            line = self.l1[holder].lookup(line_addr, touch=False)
+            ctx.send_overhead(T.OVH_INVAL, home, holder, at)
+            if line is not None and line.state != L1_PENDING:
+                if line.state == L1_M:
+                    dirty = list(line.word_dirty)
+                    for off, d in enumerate(dirty):
+                        if d:
+                            entry.word_dirty[off] = True
+                    entry.l2_dirty = True
+                    ctx.send_wb(holder, home, at, dirty, T.DEST_L2,
+                                lambda t: None)
+                else:
+                    ctx.send_overhead(T.OVH_ACK, holder, home, at)
+                self._invalidate_l1_copy(holder, line)
+                self.l1[holder].remove(line_addr)
+            else:
+                ctx.send_overhead(T.OVH_ACK, holder, home, at)
+        # Profile L2 eviction.
+        for word in words_of_line(line_addr):
+            ctx.l2_prof.on_evict(home, word)
+        for inst in entry.mem_inst:
+            if inst is not None:
+                ctx.mem_prof.drop_copy(inst, invalidated=False)
+        if entry.l2_dirty and entry.has_data:
+            mc = ctx.mc_tile(line_addr)
+            dirty = list(entry.word_dirty)
+            ctx.send_wb(home, mc, at, dirty, T.DEST_MEM,
+                        lambda t, la=line_addr: ctx.dram_for(la).write(la))
+
+    def _fill_l2_data(self, entry: MesiL2Line, home: int,
+                      insts: List) -> None:
+        entry.has_data = True
+        for off, inst in enumerate(insts):
+            entry.mem_inst[off] = inst
+            if inst is not None:
+                self.ctx.mem_prof.install_copy(inst)
+
+    def _dir_dirty_wb(self, line_addr: int, core: int,
+                      written: Tuple[int, ...], t: int) -> None:
+        """A PUTX with data arrived at the directory."""
+        ctx = self.ctx
+        home = ctx.home_tile(line_addr)
+        entry = self.l2[home].lookup(line_addr, touch=False)
+        if entry is not None:
+            for off in written:
+                entry.word_dirty[off] = True
+                ctx.l2_prof.on_write(home, base_word(line_addr) + off)
+            entry.l2_dirty = True
+            entry.has_data = True
+            if entry.owner == core:
+                entry.owner = None
+                entry.dir_state = DIR_IDLE
+            entry.sharers.discard(core)
+        # Writeback ack (control, WB category).
+        hops = ctx.mesh.hops(home, core)
+        ctx.ledger.add_wb_control(hops)
+
+    def _dir_clean_wb(self, line_addr: int, core: int, t: int) -> None:
+        ctx = self.ctx
+        home = ctx.home_tile(line_addr)
+        entry = self.l2[home].lookup(line_addr, touch=False)
+        if entry is not None:
+            if entry.owner == core:
+                entry.owner = None
+                entry.dir_state = DIR_IDLE
+            entry.sharers.discard(core)
+        ctx.send_overhead(T.OVH_WB_CTL, home, core, t)
+
+    def _nack(self, major: str, src: int, dst: int, t: int,
+              retry: Callable[[int], None]) -> None:
+        self.stat_nacks += 1
+        self.ctx.send_overhead(T.OVH_NACK, src, dst, t, retry)
+
+    # ------------------------------------------------------------------
+    # Barrier hook (MESI has no barrier-time protocol work)
+    # ------------------------------------------------------------------
+
+    def on_barrier(self, written_regions) -> None:
+        """MESI needs no self-invalidation; hardware coherence handles it."""

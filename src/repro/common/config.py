@@ -1,0 +1,244 @@
+"""System, protocol and scaling configuration.
+
+``SystemConfig`` mirrors the paper's Table 4.1.  ``ProtocolConfig`` encodes
+the feature flags that distinguish the nine protocol configurations of
+Section 3.  ``ScaleConfig`` lets callers pick the paper's full input sizes or
+proportionally scaled-down inputs that run quickly in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.addressing import LINE_BYTES, WORD_BYTES, WORDS_PER_LINE
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Hardware parameters of the simulated tiled CMP (paper Table 4.1)."""
+
+    num_tiles: int = 16
+    mesh_width: int = 4
+    core_ghz: float = 2.0
+
+    l1_kb: int = 32
+    l1_assoc: int = 8
+    l2_slice_kb: int = 256
+    l2_assoc: int = 16
+    line_bytes: int = LINE_BYTES
+    word_bytes: int = WORD_BYTES
+
+    link_bytes: int = 16           # mesh link width
+    link_latency: int = 3          # cycles per hop
+    max_data_flits: int = 4        # at most 64B of data per packet
+
+    num_mem_controllers: int = 4   # one per corner tile
+    dram_banks: int = 8
+    dram_ranks: int = 2
+
+    # DDR3-1066 style timings expressed in 2GHz core cycles (approximate,
+    # following DRAMSim2 defaults scaled to the core clock).
+    dram_t_rcd: int = 26
+    dram_t_rp: int = 26
+    dram_t_cl: int = 26
+    dram_t_ras: int = 68
+    dram_t_burst: int = 15         # data transfer time for a 64B line
+    mc_queue_depth: int = 64
+
+    store_buffer_entries: int = 32          # non-blocking writes per core
+    write_combine_entries: int = 32         # DeNovo write-combining table
+    write_combine_timeout: int = 10_000     # cycles
+
+    # Bloom filter geometry for "L2 Request Bypass" (paper Section 4.4).
+    bloom_entries: int = 512
+    bloom_filters_per_slice: int = 32
+    bloom_hashes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mesh_width * self.mesh_width != self.num_tiles:
+            raise ValueError("num_tiles must be mesh_width squared")
+        if self.line_bytes % self.word_bytes:
+            raise ValueError("line size must be a whole number of words")
+
+    @property
+    def words_per_line(self) -> int:
+        return self.line_bytes // self.word_bytes
+
+    @property
+    def words_per_flit(self) -> int:
+        return self.link_bytes // self.word_bytes
+
+    @property
+    def l1_lines(self) -> int:
+        return self.l1_kb * 1024 // self.line_bytes
+
+    @property
+    def l1_sets(self) -> int:
+        return self.l1_lines // self.l1_assoc
+
+    @property
+    def l2_slice_lines(self) -> int:
+        return self.l2_slice_kb * 1024 // self.line_bytes
+
+    @property
+    def l2_slice_sets(self) -> int:
+        return self.l2_slice_lines // self.l2_assoc
+
+    @property
+    def max_words_per_message(self) -> int:
+        return self.max_data_flits * self.words_per_flit
+
+
+# The four corner tiles of a 4x4 mesh host the memory controllers.
+def corner_tiles(mesh_width: int) -> tuple:
+    """Tile ids of the four mesh corners (memory-controller locations)."""
+    last = mesh_width - 1
+    return (
+        0,
+        last,
+        mesh_width * last,
+        mesh_width * last + last,
+    )
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Feature flags selecting one of the paper's protocol configurations."""
+
+    name: str
+    kind: str                         # "mesi" | "denovo"
+    mem_to_l1: bool = False           # Memory Controller to L1 Transfer
+    l2_write_validate: bool = False   # L2 Write-Validate (DeNovo only)
+    l2_dirty_wb_only: bool = False    # Dirty-words-only L2->mem writebacks
+    flex_l1: bool = False             # Flex for cache-sourced responses
+    flex_l2: bool = False             # Flex extended to memory responses
+    bypass_l2_response: bool = False  # L2 Response Bypass
+    bypass_l2_request: bool = False   # L2 Request Bypass (Bloom filters)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("mesi", "denovo"):
+            raise ValueError(f"unknown protocol kind {self.kind!r}")
+        if self.kind == "mesi":
+            denovo_only = (
+                self.l2_write_validate or self.l2_dirty_wb_only
+                or self.flex_l1 or self.flex_l2
+                or self.bypass_l2_response or self.bypass_l2_request
+            )
+            if denovo_only:
+                raise ValueError("DeNovo-only optimization on a MESI config")
+        if self.flex_l2 and not self.flex_l1:
+            raise ValueError("flex_l2 requires flex_l1")
+        if self.bypass_l2_request and not self.bypass_l2_response:
+            raise ValueError("request bypass requires response bypass")
+
+    @property
+    def is_denovo(self) -> bool:
+        return self.kind == "denovo"
+
+
+def _mesi(name: str, **flags) -> ProtocolConfig:
+    return ProtocolConfig(name=name, kind="mesi", **flags)
+
+
+def _denovo(name: str, **flags) -> ProtocolConfig:
+    return ProtocolConfig(name=name, kind="denovo", **flags)
+
+
+#: The nine protocol configurations of paper Sections 3.2-3.3, in the order
+#: they appear on every figure's x-axis.
+PROTOCOLS: dict = {
+    "MESI": _mesi("MESI"),
+    "MMemL1": _mesi("MMemL1", mem_to_l1=True),
+    "DeNovo": _denovo("DeNovo"),
+    "DFlexL1": _denovo("DFlexL1", flex_l1=True),
+    "DValidateL2": _denovo(
+        "DValidateL2", l2_write_validate=True, l2_dirty_wb_only=True),
+    "DMemL1": _denovo(
+        "DMemL1", l2_write_validate=True, l2_dirty_wb_only=True,
+        mem_to_l1=True),
+    "DFlexL2": _denovo(
+        "DFlexL2", l2_write_validate=True, l2_dirty_wb_only=True,
+        mem_to_l1=True, flex_l1=True, flex_l2=True),
+    "DBypL2": _denovo(
+        "DBypL2", l2_write_validate=True, l2_dirty_wb_only=True,
+        mem_to_l1=True, flex_l1=True, flex_l2=True,
+        bypass_l2_response=True),
+    "DBypFull": _denovo(
+        "DBypFull", l2_write_validate=True, l2_dirty_wb_only=True,
+        mem_to_l1=True, flex_l1=True, flex_l2=True,
+        bypass_l2_response=True, bypass_l2_request=True),
+}
+
+PROTOCOL_ORDER = tuple(PROTOCOLS)
+
+
+def protocol(name: str) -> ProtocolConfig:
+    """Look up a protocol configuration by its paper name."""
+    try:
+        return PROTOCOLS[name]
+    except KeyError:
+        known = ", ".join(PROTOCOL_ORDER)
+        raise KeyError(f"unknown protocol {name!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Input-size scaling for the six workloads.
+
+    ``factor=1.0`` reproduces the paper's Table 4.2 sizes; the default
+    ``SMALL`` scale shrinks each input while preserving the ratios that
+    drive the paper's effects (working set vs. L2 size, radix buckets vs.
+    L1 lines, struct layouts).
+    """
+
+    # The bypass apps' working sets must clearly exceed the (scaled) L2,
+    # as the paper's premise requires ("data sets greatly exceeded the
+    # size of the L2"): FFT 2x, radix 1.5x, kD-tree 1.4x the 128KB L2.
+    name: str = "small"
+    lu_matrix: int = 96           # paper: 512 (16x16 blocks kept)
+    lu_block: int = 16
+    fft_points: int = 16384       # paper: 256K
+    radix_keys: int = 24576       # paper: 4M
+    radix_buckets: int = 1024     # paper: 1024 (kept: > L1 lines matters)
+    barnes_bodies: int = 512      # paper: 16K
+    fluid_cells: int = 1024       # paper: simmedium (~100K cells)
+    kdtree_triangles: int = 4096  # paper: bunny (~69K triangles)
+
+    @staticmethod
+    def paper() -> "ScaleConfig":
+        return ScaleConfig(
+            name="paper", lu_matrix=512, fft_points=262_144,
+            radix_keys=4_000_000, barnes_bodies=16_384,
+            fluid_cells=100_000, kdtree_triangles=69_451)
+
+    @staticmethod
+    def tiny() -> "ScaleConfig":
+        """Very small inputs for unit tests."""
+        return ScaleConfig(
+            name="tiny", lu_matrix=32, lu_block=16, fft_points=1024,
+            radix_keys=2048, radix_buckets=256, barnes_bodies=128,
+            fluid_cells=128, kdtree_triangles=256)
+
+
+DEFAULT_SYSTEM = SystemConfig()
+DEFAULT_SCALE = ScaleConfig()
+
+
+def scaled_system(scale: ScaleConfig, base: SystemConfig = DEFAULT_SYSTEM) -> SystemConfig:
+    """Shrink cache capacities in step with scaled-down inputs.
+
+    The paper's effects depend on *ratios* between working sets and cache
+    capacity (e.g. bypass only matters when the data set greatly exceeds
+    the L2).  When inputs are scaled below the paper sizes we shrink the
+    caches by a similar factor so those ratios, and hence the figure
+    shapes, are preserved.
+    """
+    if scale.name == "paper":
+        return base
+    if scale.name == "tiny":
+        # Bloom tables shrink with the inputs so filter-copy overhead
+        # stays the ~0.5%-of-traffic the paper reports (Section 5.2.4).
+        return replace(base, l1_kb=2, l2_slice_kb=4,
+                       bloom_entries=128, bloom_filters_per_slice=2)
+    return replace(base, l1_kb=8, l2_slice_kb=8,
+                   bloom_entries=256, bloom_filters_per_slice=4)

@@ -1,0 +1,239 @@
+"""Software region model (DPJ-style annotations).
+
+DeNovo relies on software-supplied *regions*: every load and store carries
+the region id of the data it touches.  Regions also carry the two kinds of
+annotation the paper's optimizations consume:
+
+* **Flex communication regions** (Section 2): for array-of-struct data, the
+  set of word offsets inside each struct element that the current phase
+  actually uses.  A Flex-capable responder returns exactly those words
+  (possibly spanning cache lines), up to the 64-byte packet payload limit.
+* **L2 bypass** (Section 3.1): regions whose data should not be allocated
+  in (or, with request bypass, even looked up in) the L2.
+
+``RegionTable`` is the hardware-visible table each cache controller holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.addressing import WORDS_PER_LINE, line_of
+
+#: Sentinel for "no change" in RegionTable.update.
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class FlexPattern:
+    """Communication region for an array-of-structs region.
+
+    ``stride_words`` is the size of one struct element in words;
+    ``field_offsets`` are the word offsets within an element that the
+    current phase uses.  Flex responses gather exactly those words for the
+    element containing the missing address (plus, when prefetching, the
+    following elements that fit in one packet).
+    """
+
+    stride_words: int
+    field_offsets: Tuple[int, ...]
+    prefetch_elements: int = 0   # extra sequential elements to gather
+
+    def __post_init__(self) -> None:
+        if self.stride_words <= 0:
+            raise ValueError("stride must be positive")
+        bad = [o for o in self.field_offsets if not 0 <= o < self.stride_words]
+        if bad:
+            raise ValueError(f"field offsets {bad} outside stride")
+        if len(set(self.field_offsets)) != len(self.field_offsets):
+            raise ValueError("duplicate field offsets")
+
+    def element_index(self, region_offset: int) -> int:
+        """Element number containing ``region_offset`` (words from base)."""
+        return region_offset // self.stride_words
+
+    def words_for_element(self, region_base: int, element: int) -> List[int]:
+        """Word addresses of the used fields of ``element``."""
+        elem_base = region_base + element * self.stride_words
+        return [elem_base + off for off in self.field_offsets]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous software region of the address space.
+
+    ``base_word`` .. ``base_word + size_words`` (exclusive).  ``bypass_l2``
+    marks the region for the L2 response/request bypass optimizations;
+    ``flex`` supplies the communication-region pattern when the region is an
+    array of structs whose phase uses only some fields.
+    """
+
+    region_id: int
+    name: str
+    base_word: int
+    size_words: int
+    bypass_l2: bool = False
+    flex: Optional[FlexPattern] = None
+
+    def __post_init__(self) -> None:
+        if self.size_words <= 0:
+            raise ValueError("region must be non-empty")
+        if self.base_word < 0:
+            raise ValueError("region base must be non-negative")
+
+    @property
+    def end_word(self) -> int:
+        return self.base_word + self.size_words
+
+    def contains(self, word_addr: int) -> bool:
+        return self.base_word <= word_addr < self.end_word
+
+    def flex_words(self, word_addr: int, max_words: int) -> List[int]:
+        """Words a Flex response would gather for a miss on ``word_addr``.
+
+        Returns the used fields of the element containing the address,
+        then (if the pattern prefetches) fields of subsequent elements,
+        truncated to ``max_words`` and clipped to the region bounds.
+        """
+        if self.flex is None:
+            raise ValueError(f"region {self.name} has no flex pattern")
+        rel = word_addr - self.base_word
+        if rel < 0 or rel >= self.size_words:
+            raise ValueError("address outside region")
+        first = self.flex.element_index(rel)
+        words: List[int] = []
+        last_element = (self.size_words - 1) // self.flex.stride_words
+        for element in range(first, min(first + 1 + self.flex.prefetch_elements,
+                                        last_element + 1)):
+            for word in self.flex.words_for_element(self.base_word, element):
+                if word >= self.end_word:
+                    continue
+                words.append(word)
+                if len(words) == max_words:
+                    return words
+        return words
+
+
+class RegionTable:
+    """Region lookup table held by every cache controller.
+
+    Regions may not overlap.  Lookups by address use binary search over the
+    sorted region bases; lookups by id are direct.
+    """
+
+    def __init__(self, regions: Iterable[Region] = ()) -> None:
+        self._by_id: Dict[int, Region] = {}
+        self._sorted: List[Region] = []
+        for region in regions:
+            self.add(region)
+
+    def add(self, region: Region) -> None:
+        if region.region_id in self._by_id:
+            raise ValueError(f"duplicate region id {region.region_id}")
+        for other in self._sorted:
+            if (region.base_word < other.end_word
+                    and other.base_word < region.end_word):
+                raise ValueError(
+                    f"region {region.name} overlaps {other.name}")
+        self._by_id[region.region_id] = region
+        self._sorted.append(region)
+        self._sorted.sort(key=lambda r: r.base_word)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self):
+        return iter(self._sorted)
+
+    def by_id(self, region_id: int) -> Region:
+        return self._by_id[region_id]
+
+    def get(self, region_id: int) -> Optional[Region]:
+        return self._by_id.get(region_id)
+
+    def find(self, word_addr: int) -> Optional[Region]:
+        """Region containing ``word_addr``, or None."""
+        lo, hi = 0, len(self._sorted) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            region = self._sorted[mid]
+            if word_addr < region.base_word:
+                hi = mid - 1
+            elif word_addr >= region.end_word:
+                lo = mid + 1
+            else:
+                return region
+        return None
+
+    def clone(self) -> "RegionTable":
+        """Shallow copy (regions are immutable) for per-run annotation state."""
+        out = RegionTable()
+        out._by_id = dict(self._by_id)
+        out._sorted = list(self._sorted)
+        return out
+
+    def update(self, region_id: int, *, flex=_UNSET, bypass_l2=_UNSET) -> Region:
+        """Replace a region's software annotations (phase boundary).
+
+        Base address and size are immutable; only the DPJ-style metadata
+        (Flex pattern, bypass flag) may change between phases.
+        """
+        from dataclasses import replace as _replace
+
+        old = self._by_id[region_id]
+        changes = {}
+        if flex is not _UNSET:
+            changes["flex"] = flex
+        if bypass_l2 is not _UNSET:
+            changes["bypass_l2"] = bypass_l2
+        if not changes:
+            return old
+        new = _replace(old, **changes)
+        self._by_id[region_id] = new
+        self._sorted[self._sorted.index(old)] = new
+        return new
+
+    def should_bypass(self, word_addr: int) -> bool:
+        region = self.find(word_addr)
+        return region is not None and region.bypass_l2
+
+    def flex_region_for(self, word_addr: int) -> Optional[Region]:
+        region = self.find(word_addr)
+        if region is not None and region.flex is not None:
+            return region
+        return None
+
+
+class RegionAllocator:
+    """Sequential allocator that lays regions out line-aligned.
+
+    Workload generators use this to build their address maps; line
+    alignment mirrors the paper's aligned data structures (e.g. the
+    aligned LU variant that removes false sharing).
+    """
+
+    def __init__(self, start_word: int = 0) -> None:
+        self._next_word = start_word
+        self._next_id = 0
+        self.table = RegionTable()
+
+    def alloc(self, name: str, size_words: int, *, bypass_l2: bool = False,
+              flex: Optional[FlexPattern] = None,
+              align_words: int = WORDS_PER_LINE) -> Region:
+        base = self._next_word
+        if align_words > 1:
+            rem = base % align_words
+            if rem:
+                base += align_words - rem
+        region = Region(
+            region_id=self._next_id, name=name, base_word=base,
+            size_words=size_words, bypass_l2=bypass_l2, flex=flex)
+        self.table.add(region)
+        self._next_id += 1
+        self._next_word = base + size_words
+        return region
+
+    @property
+    def high_water_word(self) -> int:
+        return self._next_word

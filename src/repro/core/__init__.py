@@ -1,0 +1,12 @@
+"""Simulator core: system assembly, in-order cores, run results."""
+
+from repro.core.context import SimContext
+from repro.core.core import Core
+from repro.core.simulator import simulate, simulate_all_protocols
+from repro.core.stats import TIME_BUCKETS, TIME_LABELS, RunResult, TimeStats
+from repro.core.system import System
+
+__all__ = [
+    "Core", "RunResult", "SimContext", "System", "TIME_BUCKETS",
+    "TIME_LABELS", "TimeStats", "simulate", "simulate_all_protocols",
+]

@@ -1,0 +1,187 @@
+"""Shared simulation context handed to the coherence protocols.
+
+``SimContext`` owns the clock, mesh, traffic ledger, waste profilers, DRAM
+channels and region table, and exposes the message-send helpers both
+protocols use.  Every network message goes through one of the ``send_*``
+helpers so flit-hop accounting and latency stay consistent with the
+paper's methodology (Section 5.2): control flits are one flit; data
+payloads are charged per word with unfilled tail-flit slack credited to
+response control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.config import ProtocolConfig, SystemConfig, corner_tiles
+from repro.common.regions import RegionTable
+from repro.dram.model import DramChannel
+from repro.engine.events import Barrier, EventQueue
+from repro.network import traffic as T
+from repro.network.mesh import Mesh
+from repro.network.traffic import TrafficLedger
+from repro.waste.profiler import CacheLevelProfiler, MemoryProfiler
+
+
+#: Fixed L2 slice lookup latency (cycles) and per-request occupancy.
+L2_ACCESS_LATENCY = 8
+L2_OCCUPANCY = 2
+#: Memory-controller front-end latency before the DRAM queue.
+MC_FRONTEND_LATENCY = 4
+#: Retry backoff after a NACK (cycles).
+NACK_RETRY_DELAY = 20
+
+
+@dataclass
+class LoadRequest:
+    """Bookkeeping for one outstanding (blocking) load miss."""
+
+    core: int
+    addr: int
+    t_issue: int
+    on_done: Callable[[int, "LoadRequest"], None]
+    t_arrive_mc: Optional[int] = None
+    t_leave_mc: Optional[int] = None
+    went_to_memory: bool = False
+    retries: int = 0
+
+
+@dataclass
+class StoreRequest:
+    """Bookkeeping for one outstanding (non-blocking) store-path request."""
+
+    core: int
+    line_addr: int
+    t_issue: int
+    went_to_memory: bool = False
+    retries: int = 0
+
+
+class SimContext:
+    """Everything the protocol controllers need to talk to each other."""
+
+    def __init__(self, config: SystemConfig, proto: ProtocolConfig,
+                 regions: RegionTable) -> None:
+        self.config = config
+        self.proto = proto
+        self.regions = regions
+        self.queue = EventQueue()
+        self.mesh = Mesh(config)
+        self.ledger = TrafficLedger(config.words_per_flit)
+        self.l1_prof = CacheLevelProfiler("L1")
+        self.l2_prof = CacheLevelProfiler("L2")
+        self.mem_prof = MemoryProfiler()
+        self.mc_tiles = corner_tiles(config.mesh_width)
+        self.drams: Dict[int, DramChannel] = {
+            tile: DramChannel(config, self.queue) for tile in self.mc_tiles}
+        self._l2_free: Dict[int, int] = {t: 0 for t in range(config.num_tiles)}
+        self.barrier: Optional[Barrier] = None   # wired by System
+
+    # -- placement ------------------------------------------------------
+    def home_tile(self, line_addr: int) -> int:
+        """L2 slice owning ``line_addr`` (line-interleaved)."""
+        return line_addr % self.config.num_tiles
+
+    def mc_tile(self, line_addr: int) -> int:
+        """Memory controller owning ``line_addr``.
+
+        Interleaved at DRAM-row granularity so that a whole row lives
+        behind one controller — the L2-Flex optimization prefetches only
+        same-row lines, which must share a controller.
+        """
+        from repro.dram.model import LINES_PER_ROW
+        return self.mc_tiles[(line_addr // LINES_PER_ROW)
+                             % len(self.mc_tiles)]
+
+    def dram_for(self, line_addr: int) -> DramChannel:
+        return self.drams[self.mc_tile(line_addr)]
+
+    # -- L2 slice serialization --------------------------------------------
+    def l2_service_time(self, tile: int, arrival: int) -> int:
+        """When the slice can start handling a request arriving at ``arrival``."""
+        start = max(arrival, self._l2_free[tile])
+        self._l2_free[tile] = start + L2_OCCUPANCY
+        return start + L2_ACCESS_LATENCY
+
+    # -- message helpers ----------------------------------------------------
+    # Each returns the arrival time of the message at its destination.
+
+    def send_req_ctl(self, major: str, src: int, dst: int, at: int,
+                     handler: Callable[[int], None]) -> int:
+        """One-control-flit request (GETS/GETX/registration/memory req)."""
+        hops = self.mesh.hops(src, dst)
+        self.ledger.add_request_ctl(major, hops)
+        arrive = at + self.mesh.latency(src, dst, 1, at)
+        self.queue.schedule(arrive, lambda: handler(arrive))
+        return arrive
+
+    def send_resp_ctl(self, major: str, src: int, dst: int, at: int,
+                      handler: Callable[[int], None]) -> int:
+        """One-control-flit response (ack/grant)."""
+        hops = self.mesh.hops(src, dst)
+        self.ledger.add_response_ctl(major, hops)
+        arrive = at + self.mesh.latency(src, dst, 1, at)
+        self.queue.schedule(arrive, lambda: handler(arrive))
+        return arrive
+
+    def send_data(self, major: str, dest_level: str, src: int, dst: int,
+                  at: int, entries: List[object],
+                  handler: Callable[[int], None]) -> int:
+        """Response carrying ``len(entries)`` data words plus a header flit.
+
+        ``entries`` are waste-profiler entries for the delivered words (at
+        the destination level); their verdicts decide Used vs Waste at
+        finalize time.
+        """
+        hops = self.mesh.hops(src, dst)
+        self.ledger.add_response_ctl(major, hops)  # header flit
+        data_flits = self.ledger.add_data_words(major, dest_level, hops,
+                                                entries)
+        total_flits = 1 + int(data_flits)
+        arrive = at + self.mesh.latency(src, dst, total_flits, at)
+        self.queue.schedule(arrive, lambda: handler(arrive))
+        return arrive
+
+    def send_wb(self, src: int, dst: int, at: int, dirty_flags: List[bool],
+                dest_level: str, handler: Callable[[int], None]) -> int:
+        """Writeback message: control flit + data words flagged dirty/clean."""
+        hops = self.mesh.hops(src, dst)
+        self.ledger.add_wb_control(hops)  # header flit
+        data_flits = self.ledger.add_wb_data_words(dest_level, hops,
+                                                   dirty_flags)
+        total_flits = 1 + int(data_flits)
+        arrive = at + self.mesh.latency(src, dst, total_flits, at)
+        self.queue.schedule(arrive, lambda: handler(arrive))
+        return arrive
+
+    def send_overhead(self, subtype: str, src: int, dst: int, at: int,
+                      handler: Optional[Callable[[int], None]] = None,
+                      flits: int = 1) -> int:
+        """Coherence-overhead message (inv/ack/unblock/NACK/bloom)."""
+        hops = self.mesh.hops(src, dst)
+        self.ledger.add_overhead(subtype, hops, flits)
+        arrive = at + self.mesh.latency(src, dst, flits, at)
+        if handler is not None:
+            self.queue.schedule(arrive, lambda: handler(arrive))
+        return arrive
+
+    # -- statistics reset (warm-up support) -------------------------------
+    def reset_stats(self) -> None:
+        """Swap in fresh traffic/waste accounting after the warm-up period.
+
+        Cache contents and protocol state are untouched; words brought in
+        during warm-up keep their references to the old profilers, so any
+        later verdicts on them land in the discarded warm-up counters, as
+        the paper's measurement methodology intends.
+        """
+        self.ledger = TrafficLedger(self.config.words_per_flit)
+        self.l1_prof = CacheLevelProfiler("L1")
+        self.l2_prof = CacheLevelProfiler("L2")
+        self.mem_prof = MemoryProfiler()
+
+    def finalize(self) -> None:
+        self.l1_prof.finalize()
+        self.l2_prof.finalize()
+        self.mem_prof.finalize()
+        self.ledger.finalize()

@@ -1,0 +1,134 @@
+"""In-order core model (Simics-equivalent, paper Section 4.2).
+
+Each core executes its trace in order.  Non-memory instructions take one
+cycle (represented by ``OP_COMPUTE`` advances), loads block on misses,
+stores are non-blocking until the protocol's buffering fills up, and
+barriers synchronize all cores.
+
+Stall cycles are attributed to the paper's Figure 5.2 buckets: ``busy``
+(compute + issue), ``onchip`` (misses served by the L2 or a remote L1),
+``to_mc`` / ``mem`` / ``from_mc`` (segments of memory-served misses) and
+``sync`` (barrier wait, including the pre-barrier write drain).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.context import LoadRequest, SimContext
+from repro.core.stats import TimeStats
+from repro.engine.events import Barrier
+from repro.workloads.trace import OP_BARRIER, OP_COMPUTE, OP_LOAD, OP_STORE
+
+#: Max ops executed locally before yielding to the event queue; bounds the
+#: timing skew introduced by batching L1 hits.
+BATCH_LIMIT = 64
+
+
+class Core:
+    """One in-order core driving its trace through the protocol."""
+
+    def __init__(self, core_id: int, trace: List, protocol_system,
+                 ctx: SimContext, barrier: Barrier,
+                 on_finish: Callable[[int, int], None]) -> None:
+        self.core_id = core_id
+        self.trace = trace
+        self.proto = protocol_system
+        self.ctx = ctx
+        self.barrier = barrier
+        self.on_finish = on_finish
+        self.time = TimeStats()
+        self.pc = 0
+        self.finished = False
+        self.finish_time: Optional[int] = None
+        self._wait_start = 0
+
+    def start(self, at: int = 0) -> None:
+        self.ctx.queue.schedule(at, lambda: self._run(at))
+
+    # ------------------------------------------------------------------
+
+    def _run(self, at: int) -> None:
+        t = max(at, self.ctx.queue.now)
+        batch = 0
+        trace = self.trace
+        while self.pc < len(trace):
+            kind, arg = trace[self.pc]
+            if kind == OP_COMPUTE:
+                self.time.busy += arg
+                t += arg
+                self.pc += 1
+                batch += 1
+                if arg > BATCH_LIMIT:
+                    self.ctx.queue.schedule(t, lambda tt=t: self._run(tt))
+                    return
+            elif kind == OP_LOAD:
+                self.time.busy += 1
+                done = self.proto.load(self.core_id, arg, t, self._load_done)
+                if done is None:
+                    self._wait_start = t
+                    return
+                t = done
+                self.pc += 1
+                batch += 1
+            elif kind == OP_STORE:
+                accepted = self.proto.store(self.core_id, arg, t)
+                if not accepted:
+                    self._wait_start = t
+                    self.proto.on_retire(
+                        self.core_id,
+                        lambda tt: self._store_stall_resume(tt))
+                    return
+                self.time.busy += 1
+                t += 1
+                self.pc += 1
+                batch += 1
+            elif kind == OP_BARRIER:
+                self.pc += 1
+                self._wait_start = t
+                self.proto.drain_barrier(
+                    self.core_id, t,
+                    lambda td: self.barrier.arrive(self.core_id,
+                                                   self._barrier_release))
+                return
+            else:
+                raise ValueError(f"unknown op kind {kind}")
+            if batch >= BATCH_LIMIT:
+                self.ctx.queue.schedule(t, lambda tt=t: self._run(tt))
+                return
+        self.finished = True
+        self.finish_time = t
+        self.on_finish(self.core_id, t)
+
+    # ------------------------------------------------------------------
+
+    def _load_done(self, t: int, req: LoadRequest) -> None:
+        stall = max(0, t - self._wait_start - 1)
+        if req.went_to_memory and req.t_arrive_mc is not None:
+            leave = req.t_leave_mc if req.t_leave_mc is not None else t
+            self.time.to_mc += max(0, req.t_arrive_mc - self._wait_start)
+            self.time.mem += max(0, leave - req.t_arrive_mc)
+            self.time.from_mc += max(0, t - leave)
+        else:
+            self.time.onchip += stall
+        self.pc += 1
+        self._run(t)
+
+    def _store_stall_resume(self, t: int) -> None:
+        stall = max(0, t - self._wait_start)
+        if getattr(self.proto, "last_retire_went_to_memory", None):
+            to_mem = self.proto.last_retire_went_to_memory(self.core_id)
+        else:
+            to_mem = False
+        if to_mem:
+            self.time.mem += stall
+        else:
+            self.time.onchip += stall
+        self._run(t)   # retry the same store op
+
+    def _barrier_release(self, release_time: int) -> None:
+        self.time.sync += max(0, release_time - self._wait_start)
+        self._run(release_time)
+
+    def reset_time(self) -> None:
+        self.time.reset()

@@ -1,0 +1,40 @@
+"""One-call simulation API.
+
+>>> from repro.core.simulator import simulate
+>>> from repro.workloads import build_workload
+>>> result = simulate(build_workload("radix"), "DBypFull")
+>>> result.traffic_total()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.common.config import (
+    PROTOCOL_ORDER, ProtocolConfig, SystemConfig, protocol as
+    protocol_by_name)
+from repro.core.stats import RunResult
+from repro.core.system import System
+from repro.workloads.trace import Workload
+
+
+def simulate(workload: Workload,
+             proto: Union[str, ProtocolConfig],
+             config: Optional[SystemConfig] = None) -> RunResult:
+    """Simulate ``workload`` under ``proto`` and return the run result."""
+    if isinstance(proto, str):
+        proto = protocol_by_name(proto)
+    return System(workload, proto, config).run()
+
+
+def simulate_all_protocols(
+        workload: Workload,
+        protocols: Optional[Iterable[Union[str, ProtocolConfig]]] = None,
+        config: Optional[SystemConfig] = None) -> Dict[str, RunResult]:
+    """Run one workload under every protocol (figure x-axis order)."""
+    names = list(protocols) if protocols is not None else list(PROTOCOL_ORDER)
+    results: Dict[str, RunResult] = {}
+    for proto in names:
+        result = simulate(workload, proto, config)
+        results[result.protocol] = result
+    return results

@@ -1,0 +1,107 @@
+"""Result containers for one simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.network import traffic as T
+from repro.waste.profiler import Category
+
+#: Execution-time buckets (paper Figure 5.2 legend).
+TIME_BUCKETS = ("busy", "onchip", "to_mc", "mem", "from_mc", "sync")
+
+TIME_LABELS = {
+    "busy": "Compute",
+    "onchip": "On-chip Hit",
+    "to_mc": "To MC",
+    "mem": "Mem",
+    "from_mc": "From MC",
+    "sync": "Sync",
+}
+
+
+@dataclass
+class TimeStats:
+    """Per-core cycle attribution."""
+
+    busy: float = 0.0
+    onchip: float = 0.0
+    to_mc: float = 0.0
+    mem: float = 0.0
+    from_mc: float = 0.0
+    sync: float = 0.0
+
+    def total(self) -> float:
+        return (self.busy + self.onchip + self.to_mc + self.mem
+                + self.from_mc + self.sync)
+
+    def add(self, other: "TimeStats") -> None:
+        self.busy += other.busy
+        self.onchip += other.onchip
+        self.to_mc += other.to_mc
+        self.mem += other.mem
+        self.from_mc += other.from_mc
+        self.sync += other.sync
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: getattr(self, name) for name in TIME_BUCKETS}
+
+    def reset(self) -> None:
+        for name in TIME_BUCKETS:
+            setattr(self, name, 0.0)
+
+
+@dataclass
+class RunResult:
+    """Everything one (workload, protocol) simulation produces."""
+
+    workload: str
+    protocol: str
+    traffic: Dict[str, Dict[str, float]]
+    l1_waste: Dict[Category, int]
+    l2_waste: Dict[Category, int]
+    mem_waste: Dict[Category, int]
+    time: Dict[str, float]
+    exec_cycles: int
+    events: int
+    protocol_stats: Dict[str, int] = field(default_factory=dict)
+    dram_stats: Dict[str, int] = field(default_factory=dict)
+
+    # -- traffic helpers -----------------------------------------------
+    def traffic_total(self) -> float:
+        return sum(sum(b.values()) for b in self.traffic.values())
+
+    def traffic_major(self, major: str) -> float:
+        return sum(self.traffic[major].values())
+
+    def traffic_bucket(self, major: str, sub: str) -> float:
+        return self.traffic[major][sub]
+
+    def overhead_fraction(self) -> float:
+        total = self.traffic_total()
+        return self.traffic_major(T.OVH) / total if total else 0.0
+
+    # -- waste helpers ---------------------------------------------------
+    def waste_fraction_of_traffic(self) -> float:
+        """Fraction of total flit-hops moving data that was waste."""
+        waste = (
+            self.traffic[T.LD][T.RESP_L1_WASTE]
+            + self.traffic[T.LD][T.RESP_L2_WASTE]
+            + self.traffic[T.ST][T.RESP_L1_WASTE]
+            + self.traffic[T.ST][T.RESP_L2_WASTE]
+            + self.traffic[T.WB][T.WB_L2_WASTE]
+            + self.traffic[T.WB][T.WB_MEM_WASTE]
+        )
+        total = self.traffic_total()
+        return waste / total if total else 0.0
+
+    def words_fetched(self, level: str) -> int:
+        counts = {"l1": self.l1_waste, "l2": self.l2_waste,
+                  "mem": self.mem_waste}[level]
+        return sum(counts.values())
+
+    def used_words(self, level: str) -> int:
+        counts = {"l1": self.l1_waste, "l2": self.l2_waste,
+                  "mem": self.mem_waste}[level]
+        return counts.get(Category.USED, 0)

@@ -1,0 +1,137 @@
+"""Tiled-CMP assembly: wire cores, caches, protocol, network and DRAM.
+
+``System`` builds one simulated machine for a (workload, protocol) pair and
+``System.run()`` executes it to completion, returning a :class:`RunResult`.
+This is the main entry point of the library; see also
+:func:`repro.core.simulator.simulate` for the one-call convenience API.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.coherence.denovo import DenovoSystem
+from repro.coherence.mesi import MesiSystem
+from repro.common.config import (
+    ProtocolConfig, SystemConfig, protocol as protocol_by_name)
+from repro.core.context import SimContext
+from repro.core.core import Core
+from repro.core.stats import RunResult, TimeStats
+from repro.engine.events import Barrier
+from repro.workloads.trace import Workload
+
+#: Safety cap on simulation events; generous for all shipped workloads.
+MAX_EVENTS = 200_000_000
+
+
+class System:
+    """One simulated 16-tile machine running one workload."""
+
+    def __init__(self, workload: Workload, proto: ProtocolConfig,
+                 config: Optional[SystemConfig] = None) -> None:
+        self.workload = workload
+        self.proto = proto
+        self.config = config if config is not None else SystemConfig()
+        if workload.num_cores != self.config.num_tiles:
+            raise ValueError(
+                f"workload has {workload.num_cores} cores but the system "
+                f"has {self.config.num_tiles} tiles")
+        # Clone the region table: phase updates mutate annotations and the
+        # same workload object is reused across protocol runs.
+        self.regions = workload.regions.clone()
+        self.ctx = SimContext(self.config, proto, self.regions)
+        if proto.is_denovo:
+            self.proto_sys = DenovoSystem(self.ctx)
+        else:
+            self.proto_sys = MesiSystem(self.ctx)
+        self.barrier = Barrier(self.ctx.queue, workload.num_cores)
+        self.ctx.barrier = self.barrier
+        self.barrier.on_release(self._on_barrier_release)
+        self._finished = 0
+        self._measure_start = 0
+        self.cores = [
+            Core(i, workload.traces[i], self.proto_sys, self.ctx,
+                 self.barrier, self._core_finished)
+            for i in range(workload.num_cores)
+        ]
+
+    # ------------------------------------------------------------------
+
+    def _core_finished(self, core_id: int, at: int) -> None:
+        self._finished += 1
+
+    def _on_barrier_release(self) -> None:
+        index = self.barrier.barriers_passed - 1
+        # DeNovo self-invalidation (MESI's hook is a no-op).
+        written = self.workload.written_regions_at(index)
+        self.proto_sys.on_barrier(set(written))
+        # Software annotation updates for the next phase.
+        for update in self.workload.updates_at(index):
+            kwargs = {}
+            if update.flex is not None:
+                kwargs["flex"] = update.flex
+            if update.bypass_l2 is not None:
+                kwargs["bypass_l2"] = update.bypass_l2
+            if kwargs:
+                self.regions.update(update.region_id, **kwargs)
+        # End of warm-up: reset all statistics.
+        if (self.workload.warmup_barriers
+                and self.barrier.barriers_passed
+                == self.workload.warmup_barriers):
+            self.ctx.reset_stats()
+            for core in self.cores:
+                core.reset_time()
+                # The cores resume right after this hook and will charge
+                # (release - wait_start) to sync; that wait happened
+                # during warm-up, so move the baseline to now.
+                core._wait_start = self.ctx.queue.now
+            self._measure_start = self.ctx.queue.now
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_events: int = MAX_EVENTS) -> RunResult:
+        for core in self.cores:
+            core.start(0)
+        self.ctx.queue.run(max_events=max_events)
+        if self._finished != len(self.cores):
+            stuck = [c.core_id for c in self.cores if not c.finished]
+            raise RuntimeError(
+                f"simulation deadlocked; cores {stuck} did not finish "
+                f"(cycle {self.ctx.queue.now})")
+        # Flush protocol leftovers (e.g. DeNovo write-combining entries),
+        # which may generate more messages.
+        self.proto_sys.finalize()
+        self.ctx.queue.run(max_events=max_events)
+        self.ctx.finalize()
+        return self._collect()
+
+    def _collect(self) -> RunResult:
+        time_total = TimeStats()
+        for core in self.cores:
+            time_total.add(core.time)
+        exec_cycles = max(c.finish_time or 0 for c in self.cores)
+        exec_cycles -= self._measure_start
+        proto_stats = {
+            name[5:]: getattr(self.proto_sys, name)
+            for name in dir(self.proto_sys) if name.startswith("stat_")
+        }
+        dram_stats: Dict[str, int] = {"reads": 0, "writes": 0,
+                                      "row_hits": 0, "row_misses": 0}
+        for dram in self.ctx.drams.values():
+            dram_stats["reads"] += dram.reads
+            dram_stats["writes"] += dram.writes
+            dram_stats["row_hits"] += dram.row_hits
+            dram_stats["row_misses"] += dram.row_misses
+        return RunResult(
+            workload=self.workload.name,
+            protocol=self.proto.name,
+            traffic=self.ctx.ledger.breakdown(),
+            l1_waste=self.ctx.l1_prof.counts(),
+            l2_waste=self.ctx.l2_prof.counts(),
+            mem_waste=self.ctx.mem_prof.counts(),
+            time=time_total.as_dict(),
+            exec_cycles=exec_cycles,
+            events=self.ctx.queue.events_run,
+            protocol_stats=proto_stats,
+            dram_stats=dram_stats,
+        )

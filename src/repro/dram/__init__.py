@@ -1,0 +1,5 @@
+"""DDR3 DRAM timing model and FR-FCFS memory controller."""
+
+from repro.dram.model import LINES_PER_ROW, DramChannel
+
+__all__ = ["DramChannel", "LINES_PER_ROW"]

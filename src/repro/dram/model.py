@@ -1,0 +1,174 @@
+"""DDR3-style DRAM timing model with an FR-FCFS memory controller.
+
+This stands in for DRAMSim2 in the paper's stack.  Each corner-tile memory
+controller owns one single-channel DIMM with ``ranks * banks`` banks and an
+open-page row-buffer policy.  Requests are scheduled first-ready
+first-come-first-served: row-buffer hits are served before older row misses.
+
+Per the paper's assumption (Section 3.1, "Dirty-Words-Only Writeback"), the
+model accepts word-masked writes; reads always fetch a full line from the
+DRAM array (conventional DDR3), with any Flex filtering happening in the
+memory controller after the read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.config import SystemConfig
+from repro.engine.events import EventQueue
+
+#: Lines per 8KB DRAM row (64-byte lines).
+LINES_PER_ROW = 128
+
+
+@dataclass
+class _Bank:
+    open_row: Optional[int] = None
+    busy_until: int = 0
+
+
+@dataclass
+class _Request:
+    line_addr: int
+    is_write: bool
+    arrival: int
+    callback: Optional[Callable[[int], None]]
+    seq: int
+
+
+class DramChannel:
+    """One memory channel: FR-FCFS queue in front of banked DRAM."""
+
+    def __init__(self, config: SystemConfig, queue: EventQueue) -> None:
+        self._config = config
+        self._queue = queue
+        self._num_banks = config.dram_banks * config.dram_ranks
+        self._banks: List[_Bank] = [_Bank() for _ in range(self._num_banks)]
+        self._pending: List[_Request] = []
+        self._bus_free = 0
+        self._dispatch_scheduled = False
+        self._seq = 0
+        # statistics
+        self.reads = 0
+        self.writes = 0
+        self.row_hits = 0
+        self.row_misses = 0
+
+    # -- address mapping ---------------------------------------------------
+    def bank_of(self, line_addr: int) -> int:
+        return (line_addr // LINES_PER_ROW) % self._num_banks
+
+    def row_of(self, line_addr: int) -> int:
+        return line_addr // (LINES_PER_ROW * self._num_banks)
+
+    def same_row(self, line_a: int, line_b: int) -> bool:
+        """True when both lines live in the same row of the same bank.
+
+        The L2-Flex optimization only prefetches extra lines that share the
+        critical line's DRAM row, because row activation is expensive.
+        """
+        return (self.bank_of(line_a) == self.bank_of(line_b)
+                and self.row_of(line_a) == self.row_of(line_b))
+
+    # -- public interface ----------------------------------------------------
+    def read(self, line_addr: int, callback: Callable[[int], None]) -> None:
+        """Read a line; ``callback(completion_time)`` fires when data is out."""
+        self._enqueue(_Request(line_addr, False, self._queue.now, callback,
+                               self._next_seq()))
+
+    def write(self, line_addr: int, callback: Optional[Callable[[int], None]] = None) -> None:
+        """Write a (possibly word-masked) line; fire-and-forget by default."""
+        self._enqueue(_Request(line_addr, True, self._queue.now, callback,
+                               self._next_seq()))
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    # -- internals -----------------------------------------------------------
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _enqueue(self, request: _Request) -> None:
+        self._pending.append(request)
+        self._schedule_dispatch(self._queue.now)
+
+    def _schedule_dispatch(self, when: int) -> None:
+        if self._dispatch_scheduled:
+            return
+        self._dispatch_scheduled = True
+        self._queue.schedule(max(when, self._queue.now), self._dispatch)
+
+    def _dispatch(self) -> None:
+        self._dispatch_scheduled = False
+        if not self._pending:
+            return
+        now = self._queue.now
+        request = self._select(now)
+        if request is None:
+            # All needed banks busy; retry when the earliest one frees up.
+            wake = min(self._banks[self.bank_of(r.line_addr)].busy_until
+                       for r in self._pending)
+            self._schedule_dispatch(max(wake, now + 1))
+            return
+        self._pending.remove(request)
+        done = self._service(request, now)
+        if request.callback is not None:
+            callback = request.callback
+            self._queue.schedule(done, lambda t=done: callback(t))
+        if self._pending:
+            # The next request cannot start before the shared data bus
+            # frees; polling sooner only burns events.
+            self._schedule_dispatch(max(now + 1, self._bus_free))
+
+    #: FR-FCFS scheduling window: real controllers reorder over a bounded
+    #: queue prefix, which also keeps selection O(window) however deep
+    #: the backlog grows.
+    SCHED_WINDOW = 32
+
+    def _select(self, now: int) -> Optional[_Request]:
+        """FR-FCFS: oldest row-buffer hit on a ready bank, else oldest ready."""
+        oldest_ready = None
+        scanned = 0
+        for request in self._pending:   # queue order == age order
+            bank = self._banks[self.bank_of(request.line_addr)]
+            if bank.busy_until > now:
+                continue
+            if bank.open_row == self.row_of(request.line_addr):
+                return request
+            if oldest_ready is None:
+                oldest_ready = request
+            scanned += 1
+            if scanned >= self.SCHED_WINDOW:
+                break
+        return oldest_ready
+
+    def _service(self, request: _Request, now: int) -> int:
+        cfg = self._config
+        bank = self._banks[self.bank_of(request.line_addr)]
+        row = self.row_of(request.line_addr)
+        ready = max(now, bank.busy_until)
+        if bank.open_row == row:
+            self.row_hits += 1
+            access = cfg.dram_t_cl
+        elif bank.open_row is None:
+            self.row_misses += 1
+            access = cfg.dram_t_rcd + cfg.dram_t_cl
+        else:
+            self.row_misses += 1
+            access = cfg.dram_t_rp + cfg.dram_t_rcd + cfg.dram_t_cl
+        bank.open_row = row
+        # Bank access latencies overlap across banks; only the data burst
+        # serializes on the shared channel bus.
+        data_start = max(ready + access, self._bus_free)
+        done = data_start + cfg.dram_t_burst
+        bank.busy_until = done
+        self._bus_free = done
+        if request.is_write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        return done

@@ -1,0 +1,5 @@
+"""Discrete-event simulation engine."""
+
+from repro.engine.events import Barrier, EventQueue
+
+__all__ = ["Barrier", "EventQueue"]

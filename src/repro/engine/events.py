@@ -1,0 +1,108 @@
+"""Discrete-event simulation core.
+
+A single :class:`EventQueue` drives the whole simulated machine.  Components
+schedule callbacks at absolute cycle times; ties are broken by insertion
+order so the simulation is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+
+class EventQueue:
+    """Deterministic discrete-event scheduler keyed by cycle time."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now = 0
+        self._events_run = 0
+
+    def schedule(self, when: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute cycle ``when`` (>= now)."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule event in the past "
+                             f"({when} < {self.now})")
+        heapq.heappush(self._heap, (when, self._seq, callback))
+        self._seq += 1
+
+    def after(self, delay: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.schedule(self.now + delay, callback)
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drain the queue; return the final simulation time.
+
+        ``max_events`` bounds the number of callbacks executed and exists
+        purely as a safety net against protocol livelock bugs.
+        """
+        budget = max_events if max_events is not None else float("inf")
+        while self._heap and self._events_run < budget:
+            when, _seq, callback = heapq.heappop(self._heap)
+            self.now = when
+            self._events_run += 1
+            callback()
+        if self._heap:
+            raise RuntimeError(
+                f"event budget exhausted after {self._events_run} events "
+                f"at cycle {self.now}; likely a protocol livelock")
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+
+class Barrier:
+    """All-core barrier synchronization.
+
+    Cores call :meth:`arrive` with a continuation; once every participant
+    has arrived, all continuations are released at the same cycle (plus a
+    fixed communication cost).  ``on_release`` hooks let protocols attach
+    barrier-time work (DeNovo self-invalidation, Bloom-filter clears).
+    """
+
+    def __init__(self, queue: EventQueue, participants: int,
+                 release_cost: int = 50) -> None:
+        if participants <= 0:
+            raise ValueError("need at least one participant")
+        self._queue = queue
+        self._participants = participants
+        self._release_cost = release_cost
+        self._waiting: List[Tuple[int, Callable[[int], None]]] = []
+        self._on_release: List[Callable[[], None]] = []
+        self.barriers_passed = 0
+
+    def on_release(self, hook: Callable[[], None]) -> None:
+        """Register a hook run once per barrier, before cores resume."""
+        self._on_release.append(hook)
+
+    def arrive(self, core_id: int, resume: Callable[[int], None]) -> None:
+        """Core ``core_id`` arrived; ``resume(release_time)`` is called
+        once everyone is here."""
+        self._waiting.append((core_id, resume))
+        if len(self._waiting) < self._participants:
+            return
+        waiting, self._waiting = self._waiting, []
+        self.barriers_passed += 1
+        release_time = self._queue.now + self._release_cost
+
+        def release() -> None:
+            for hook in self._on_release:
+                hook()
+            for _cid, resume_fn in waiting:
+                resume_fn(release_time)
+
+        self._queue.schedule(release_time, release)
+
+    @property
+    def waiting_count(self) -> int:
+        return len(self._waiting)

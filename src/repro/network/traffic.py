@@ -1,0 +1,186 @@
+"""Flit-hop traffic accounting with deferred used/waste attribution.
+
+The paper's Figures 5.1a-d break network traffic into:
+
+* major categories: load (LD), store (ST), writeback (WB), overhead (OVH);
+* within LD/ST: request control, response control, and response data split
+  by destination (L1 or L2) and usefulness (Used or Waste);
+* within WB: control, and data split by destination (L2 or Mem) and
+  dirty (Used) vs. unmodified (Waste);
+* overhead sub-types (unblock, invalidation, ack, NACK, WB-control, bloom).
+
+Whether a delivered data word was Used or Waste is only known once the
+waste profiler classifies it (possibly at end of simulation), so data
+flit-hops are recorded against profile entries and resolved by
+:meth:`TrafficLedger.finalize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Major traffic categories.
+LD = "LD"
+ST = "ST"
+WB = "WB"
+OVH = "OVH"
+MAJORS = (LD, ST, WB, OVH)
+
+#: Sub-buckets of LD and ST traffic (paper Figure 5.1b/c legend).
+REQ_CTL = "req_ctl"
+RESP_CTL = "resp_ctl"
+RESP_L1_USED = "resp_l1_used"
+RESP_L1_WASTE = "resp_l1_waste"
+RESP_L2_USED = "resp_l2_used"
+RESP_L2_WASTE = "resp_l2_waste"
+LDST_BUCKETS = (REQ_CTL, RESP_CTL, RESP_L1_USED, RESP_L1_WASTE,
+                RESP_L2_USED, RESP_L2_WASTE)
+
+#: Sub-buckets of WB traffic (paper Figure 5.1d legend).
+WB_CONTROL = "control"
+WB_L2_USED = "l2_used"
+WB_L2_WASTE = "l2_waste"
+WB_MEM_USED = "mem_used"
+WB_MEM_WASTE = "mem_waste"
+WB_BUCKETS = (WB_CONTROL, WB_L2_USED, WB_L2_WASTE, WB_MEM_USED, WB_MEM_WASTE)
+
+#: Overhead sub-types (paper Section 5.2.4).
+OVH_UNBLOCK = "unblock"
+OVH_WB_CTL = "wb_ctl"
+OVH_INVAL = "inval"
+OVH_ACK = "ack"
+OVH_NACK = "nack"
+OVH_BLOOM = "bloom"
+OVH_BUCKETS = (OVH_UNBLOCK, OVH_WB_CTL, OVH_INVAL, OVH_ACK, OVH_NACK,
+               OVH_BLOOM)
+
+#: Destinations for data words.
+DEST_L1 = "l1"
+DEST_L2 = "l2"
+DEST_MEM = "mem"
+
+
+# Deferred data-word deliveries awaiting a used/waste verdict are stored
+# as (entry, flit_hops, major, dest) tuples — this list holds one element
+# per data word moved, so it is the hottest allocation site in the
+# simulator.
+
+
+class TrafficLedger:
+    """Accumulates flit-hops per (major, bucket) with deferred data verdicts."""
+
+    def __init__(self, words_per_flit: int = 4) -> None:
+        self.words_per_flit = words_per_flit
+        self._buckets: Dict[str, Dict[str, float]] = {
+            LD: {b: 0.0 for b in LDST_BUCKETS},
+            ST: {b: 0.0 for b in LDST_BUCKETS},
+            WB: {b: 0.0 for b in WB_BUCKETS},
+            OVH: {b: 0.0 for b in OVH_BUCKETS},
+        }
+        self._deferred: List[tuple] = []
+        self._finalized = False
+
+    # -- control traffic ------------------------------------------------
+    def add_request_ctl(self, major: str, hops: int) -> None:
+        """One request control flit crossing ``hops`` links."""
+        self._check(major, (LD, ST))
+        self._buckets[major][REQ_CTL] += hops
+
+    def add_response_ctl(self, major: str, flit_hops: float) -> None:
+        """Response header flit-hops (plus unfilled data-flit remainders)."""
+        self._check(major, (LD, ST))
+        self._buckets[major][RESP_CTL] += flit_hops
+
+    def add_wb_control(self, flit_hops: float) -> None:
+        self._buckets[WB][WB_CONTROL] += flit_hops
+
+    def add_overhead(self, subtype: str, hops: int, flits: int = 1) -> None:
+        if subtype not in OVH_BUCKETS:
+            raise ValueError(f"unknown overhead subtype {subtype!r}")
+        self._buckets[OVH][subtype] += hops * flits
+
+    # -- data traffic ---------------------------------------------------
+    def add_data_words(self, major: str, dest: str, hops: int,
+                       entries: List[object]) -> float:
+        """Record a data payload of ``len(entries)`` words over ``hops``.
+
+        Each word is charged ``hops / words_per_flit`` flit-hops against
+        its profile entry; the unfilled remainder of the last flit is
+        charged to response control (per paper Section 5.2).  Returns the
+        number of data flits in the payload (for latency computation).
+        """
+        self._check(major, (LD, ST))
+        if dest not in (DEST_L1, DEST_L2):
+            raise ValueError(f"data destination must be l1/l2, got {dest!r}")
+        n_words = len(entries)
+        if n_words == 0:
+            return 0
+        data_flits = -(-n_words // self.words_per_flit)
+        per_word = hops / self.words_per_flit
+        deferred = self._deferred
+        for entry in entries:
+            deferred.append((entry, per_word, major, dest))
+        slack_words = data_flits * self.words_per_flit - n_words
+        if slack_words:
+            self._buckets[major][RESP_CTL] += slack_words * per_word
+        return data_flits
+
+    def add_wb_data_words(self, dest: str, hops: int, dirty_flags:
+                          List[bool]) -> float:
+        """Writeback payload; dirty words are Used, clean words Waste."""
+        if dest not in (DEST_L2, DEST_MEM):
+            raise ValueError(f"writeback destination must be l2/mem")
+        n_words = len(dirty_flags)
+        if n_words == 0:
+            return 0
+        data_flits = -(-n_words // self.words_per_flit)
+        per_word = hops / self.words_per_flit
+        used_key = WB_L2_USED if dest == DEST_L2 else WB_MEM_USED
+        waste_key = WB_L2_WASTE if dest == DEST_L2 else WB_MEM_WASTE
+        for dirty in dirty_flags:
+            self._buckets[WB][used_key if dirty else waste_key] += per_word
+        slack_words = data_flits * self.words_per_flit - n_words
+        if slack_words:
+            self._buckets[WB][WB_CONTROL] += slack_words * per_word
+        return data_flits
+
+    # -- resolution ------------------------------------------------------
+    def finalize(self) -> None:
+        """Resolve deferred data verdicts from the waste profiler entries."""
+        for entry, flit_hops, major, dest in self._deferred:
+            used = entry.is_used
+            if dest == DEST_L1:
+                key = RESP_L1_USED if used else RESP_L1_WASTE
+            else:
+                key = RESP_L2_USED if used else RESP_L2_WASTE
+            self._buckets[major][key] += flit_hops
+        self._deferred.clear()
+        self._finalized = True
+
+    # -- queries ---------------------------------------------------------
+    def bucket(self, major: str, sub: str) -> float:
+        self._require_finalized()
+        return self._buckets[major][sub]
+
+    def major_total(self, major: str) -> float:
+        self._require_finalized()
+        return sum(self._buckets[major].values())
+
+    def total(self) -> float:
+        self._require_finalized()
+        return sum(self.major_total(m) for m in MAJORS)
+
+    def breakdown(self) -> Dict[str, Dict[str, float]]:
+        """Deep copy of all buckets (finalized)."""
+        self._require_finalized()
+        return {m: dict(bs) for m, bs in self._buckets.items()}
+
+    # -- helpers -----------------------------------------------------------
+    def _check(self, major: str, allowed) -> None:
+        if major not in allowed:
+            raise ValueError(f"major {major!r} not in {allowed}")
+
+    def _require_finalized(self) -> None:
+        if not self._finalized:
+            raise RuntimeError("TrafficLedger.finalize() has not been called")

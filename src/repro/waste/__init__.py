@@ -1,0 +1,15 @@
+"""Word-level waste characterization (the paper's Section 4.1 taxonomy)."""
+
+from repro.waste.profiler import (
+    CATEGORY_ORDER,
+    CacheLevelProfiler,
+    Category,
+    MemInstance,
+    MemoryProfiler,
+    ProfileEntry,
+)
+
+__all__ = [
+    "CATEGORY_ORDER", "CacheLevelProfiler", "Category", "MemInstance",
+    "MemoryProfiler", "ProfileEntry",
+]

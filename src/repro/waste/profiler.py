@@ -1,0 +1,267 @@
+"""Word-level waste characterization (paper Section 4.1).
+
+Every word moved into a cache level (or fetched from memory) is classified
+into one of six categories:
+
+* **Used** — its value was read (or, for the L2, returned in a response);
+* **Write** — overwritten before being Used;
+* **Fetch** — it was already present in the cache when it arrived;
+* **Invalidate** — invalidated by the coherence protocol before being Used;
+* **Evict** — evicted before being classified Used or Write;
+* **Unevicted** — still resident and unclassified at end of simulation.
+
+Memory-level profiling additionally tracks ``(address, identifier)``
+instances with an on-chip reference count (Figure 4.3), plus an **Excess**
+category for words read out of DRAM but dropped at the memory controller by
+L2-Flex filtering.
+
+Classification is *first event wins*: entries start pending and receive
+exactly one terminal category.  Traffic accounting holds references to the
+entries and reads :attr:`ProfileEntry.is_used` after finalization.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class Category(enum.Enum):
+    USED = "used"
+    WRITE = "write"
+    FETCH = "fetch"
+    INVALIDATE = "invalidate"
+    EVICT = "evict"
+    UNEVICTED = "unevicted"
+    EXCESS = "excess"      # memory level only
+
+
+#: Display order used by the figures (Used at the bottom of each bar).
+CATEGORY_ORDER = (
+    Category.USED, Category.FETCH, Category.WRITE, Category.INVALIDATE,
+    Category.EVICT, Category.UNEVICTED, Category.EXCESS,
+)
+
+#: Dense index per category for hot-path list counters.
+_CATEGORIES = tuple(Category)
+_CAT_INDEX = {cat: i for i, cat in enumerate(_CATEGORIES)}
+_USED_INDEX = _CAT_INDEX[Category.USED]
+
+
+class ProfileEntry:
+    """One word-instance at one level, awaiting or holding its verdict."""
+
+    __slots__ = ("category",)
+
+    def __init__(self) -> None:
+        self.category: Optional[Category] = None
+
+    @property
+    def is_pending(self) -> bool:
+        return self.category is None
+
+    @property
+    def is_used(self) -> bool:
+        return self.category is Category.USED
+
+    def classify(self, category: Category) -> None:
+        """Set the terminal category; later events are ignored."""
+        if self.category is None:
+            self.category = category
+
+
+class CacheLevelProfiler:
+    """Implements the L1 (Figure 4.1) and L2 (Figure 4.2) waste FSMs.
+
+    One profiler instance covers every cache unit of a level; the *active*
+    entry for each ``(unit, word)`` is the most recent pending arrival.
+    """
+
+    def __init__(self, level: str) -> None:
+        if level not in ("L1", "L2"):
+            raise ValueError("level must be 'L1' or 'L2'")
+        self.level = level
+        self._active: Dict[Tuple[int, int], ProfileEntry] = {}
+        self._counts: List[int] = [0] * len(_CATEGORIES)
+        self._total = 0
+        self._finalized = False
+
+    # -- FSM events --------------------------------------------------------
+    def on_arrival(self, unit: int, word: int, already_present: bool) -> ProfileEntry:
+        """A word arrived at cache ``unit`` in a response or fill.
+
+        Returns the entry that traffic accounting should reference.  If the
+        word was already present the new copy is immediately Fetch waste
+        and the previously active entry (if any) stays active.
+        """
+        entry = ProfileEntry()
+        self._total += 1
+        if already_present:
+            self._settle(entry, Category.FETCH)
+            return entry
+        key = (unit, word)
+        old = self._active.get(key)
+        if old is not None and old.is_pending:
+            # Defensive: an unclassified copy being silently replaced by a
+            # new fill counts as Fetch waste for the old copy.
+            self._settle(old, Category.FETCH)
+        self._active[key] = entry
+        return entry
+
+    def on_use(self, unit: int, word: int) -> None:
+        """The word was read (L1) or returned in a response (L2)."""
+        self._resolve(unit, word, Category.USED)
+
+    def on_write(self, unit: int, word: int) -> None:
+        """The word was overwritten before being used."""
+        self._resolve(unit, word, Category.WRITE)
+
+    def on_evict(self, unit: int, word: int) -> None:
+        self._resolve(unit, word, Category.EVICT, remove=True)
+
+    def on_invalidate(self, unit: int, word: int) -> None:
+        if self.level == "L2":
+            raise RuntimeError("the L2 FSM has no invalidate transition")
+        self._resolve(unit, word, Category.INVALIDATE, remove=True)
+
+    def finalize(self) -> None:
+        """Classify all still-resident pending words as Unevicted."""
+        for entry in self._active.values():
+            if entry.is_pending:
+                self._settle(entry, Category.UNEVICTED)
+        self._active.clear()
+        self._finalized = True
+
+    # -- queries -------------------------------------------------------------
+    def count(self, category: Category) -> int:
+        return self._counts[_CAT_INDEX[category]]
+
+    def counts(self) -> Dict[Category, int]:
+        return {cat: self._counts[i] for i, cat in enumerate(_CATEGORIES)}
+
+    def total_words(self) -> int:
+        return self._total
+
+    def waste_words(self) -> int:
+        return self._total - self._counts[_USED_INDEX]
+
+    # -- internals -------------------------------------------------------------
+    def _resolve(self, unit: int, word: int, category: Category,
+                 remove: bool = False) -> None:
+        key = (unit, word)
+        entry = self._active.get(key)
+        if entry is None:
+            return
+        if entry.is_pending:
+            self._settle(entry, category)
+        if remove:
+            del self._active[key]
+
+    def _settle(self, entry: ProfileEntry, category: Category) -> None:
+        if entry.category is None:
+            entry.category = category
+            self._counts[_CAT_INDEX[category]] += 1
+
+
+class MemInstance(ProfileEntry):
+    """A word fetched from memory, identified by ``(address, identifier)``."""
+
+    __slots__ = ("addr", "refs")
+
+    def __init__(self, addr: int) -> None:
+        super().__init__()
+        self.addr = addr
+        self.refs = 0
+
+
+class MemoryProfiler:
+    """Implements the memory-level FSM of Figure 4.3.
+
+    Every word read out of DRAM and sent on-chip becomes an instance with a
+    unique identifier.  Instances are classified Used on the first load of
+    any on-chip copy; Write when *any* L1 stores to the address (all
+    pending instances of that address become Write waste, since coherence
+    would invalidate or overwrite every copy); Evict/Invalidate when the
+    last on-chip copy disappears; Excess when the memory controller drops
+    the word before it ever reaches the network.
+    """
+
+    def __init__(self) -> None:
+        self._counts: List[int] = [0] * len(_CATEGORIES)
+        self._pending_by_addr: Dict[int, Set[MemInstance]] = {}
+        self._total = 0
+        self._finalized = False
+
+    # -- FSM events --------------------------------------------------------
+    def fetch(self, addr: int, l2_has_addr: bool) -> MemInstance:
+        """A word at ``addr`` was fetched from memory and sent on-chip."""
+        instance = MemInstance(addr)
+        self._total += 1
+        if l2_has_addr:
+            # Figure 4.3: address already present in the L2 => Fetch waste.
+            self._settle(instance, Category.FETCH)
+            return instance
+        self._pending_by_addr.setdefault(addr, set()).add(instance)
+        return instance
+
+    def fetch_excess(self, addr: int) -> MemInstance:
+        """A word read out of DRAM but dropped at the memory controller."""
+        instance = MemInstance(addr)
+        self._total += 1
+        self._settle(instance, Category.EXCESS)
+        return instance
+
+    def install_copy(self, instance: MemInstance) -> None:
+        """A cache installed a copy of this instance."""
+        instance.refs += 1
+
+    def drop_copy(self, instance: MemInstance, *, invalidated: bool) -> None:
+        """A cache lost its copy (eviction or invalidation)."""
+        instance.refs -= 1
+        if instance.refs <= 0 and instance.is_pending:
+            category = Category.INVALIDATE if invalidated else Category.EVICT
+            self._settle_pending(instance, category)
+
+    def on_load(self, instance: MemInstance) -> None:
+        if instance.is_pending:
+            self._settle_pending(instance, Category.USED)
+
+    def on_store_addr(self, addr: int) -> None:
+        """Any L1 stored to ``addr``: all pending instances become Write."""
+        pending = self._pending_by_addr.pop(addr, None)
+        if not pending:
+            return
+        for instance in pending:
+            self._settle(instance, Category.WRITE)
+
+    def finalize(self) -> None:
+        for pending in self._pending_by_addr.values():
+            for instance in pending:
+                self._settle(instance, Category.UNEVICTED)
+        self._pending_by_addr.clear()
+        self._finalized = True
+
+    # -- queries ---------------------------------------------------------
+    def count(self, category: Category) -> int:
+        return self._counts[_CAT_INDEX[category]]
+
+    def counts(self) -> Dict[Category, int]:
+        return {cat: self._counts[i] for i, cat in enumerate(_CATEGORIES)}
+
+    def total_words(self) -> int:
+        return self._total
+
+    # -- internals ------------------------------------------------------------
+    def _settle_pending(self, instance: MemInstance, category: Category) -> None:
+        pending = self._pending_by_addr.get(instance.addr)
+        if pending is not None:
+            pending.discard(instance)
+            if not pending:
+                del self._pending_by_addr[instance.addr]
+        self._settle(instance, category)
+
+    def _settle(self, instance: MemInstance, category: Category) -> None:
+        if instance.category is None:
+            instance.category = category
+            self._counts[_CAT_INDEX[category]] += 1

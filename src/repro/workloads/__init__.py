@@ -1,0 +1,66 @@
+"""The six benchmark workloads of paper Table 4.2, as trace generators."""
+
+from typing import Dict, List, Optional, Type
+
+from repro.common.config import DEFAULT_SCALE, ScaleConfig
+from repro.workloads.barnes import BarnesGenerator
+from repro.workloads.base import Generator
+from repro.workloads.fft import FFTGenerator
+from repro.workloads.fluidanimate import FluidanimateGenerator
+from repro.workloads.kdtree import KDTreeGenerator
+from repro.workloads.lu import LUGenerator
+from repro.workloads.radix import RadixGenerator
+from repro.workloads.trace import (
+    OP_BARRIER,
+    OP_COMPUTE,
+    OP_LOAD,
+    OP_STORE,
+    RegionUpdate,
+    TraceBuilder,
+    Workload,
+)
+
+#: Paper order (Figure 5.1 x-axis grouping).
+WORKLOAD_ORDER = ("fluidanimate", "LU", "FFT", "radix", "barnes", "kD-tree")
+
+GENERATORS: Dict[str, Type[Generator]] = {
+    "fluidanimate": FluidanimateGenerator,
+    "LU": LUGenerator,
+    "FFT": FFTGenerator,
+    "radix": RadixGenerator,
+    "barnes": BarnesGenerator,
+    "kD-tree": KDTreeGenerator,
+}
+
+
+def build_workload(name: str,
+                   scale: Optional[ScaleConfig] = None,
+                   **kwargs) -> Workload:
+    """Build a named workload's traces (paper Table 4.2 names).
+
+    Accepts case-insensitive names; ``scale`` defaults to the fast
+    ``small`` configuration (use ``ScaleConfig.paper()`` for the paper's
+    input sizes).
+    """
+    canonical = {n.lower(): n for n in GENERATORS}
+    key = canonical.get(name.lower())
+    if key is None:
+        raise KeyError(f"unknown workload {name!r}; "
+                       f"known: {', '.join(WORKLOAD_ORDER)}")
+    generator = GENERATORS[key](scale if scale is not None else DEFAULT_SCALE,
+                                **kwargs)
+    return generator.build()
+
+
+def build_all(scale: Optional[ScaleConfig] = None) -> Dict[str, Workload]:
+    """Build every workload in paper order."""
+    return {name: build_workload(name, scale) for name in WORKLOAD_ORDER}
+
+
+__all__ = [
+    "GENERATORS", "WORKLOAD_ORDER", "Generator", "Workload", "TraceBuilder",
+    "RegionUpdate", "build_all", "build_workload",
+    "OP_LOAD", "OP_STORE", "OP_COMPUTE", "OP_BARRIER",
+    "BarnesGenerator", "FFTGenerator", "FluidanimateGenerator",
+    "KDTreeGenerator", "LUGenerator", "RadixGenerator",
+]

@@ -1,0 +1,164 @@
+"""barnes — Barnes-Hut N-body simulation (SPLASH-2).
+
+Pattern features reproduced (paper Sections 5.2.1, 5.3):
+
+* array-of-structs bodies and oct-tree cells whose structs contain
+  construction-only fields and compiler padding, and whose stride is
+  *not* a multiple of the cache line (28 words = 112 bytes), so useful
+  words straddle a varying number of lines — exactly the layout the
+  paper says Flex exploits;
+* the tree-build phase is sequentialized (the thesis's DeNovo protocols
+  lack mutexes), touching the construction-only fields;
+* the force phase traverses the tree irregularly, reading only position
+  and mass of visited bodies/cells, and conditionally reading extra
+  fields for near interactions (the paper's conditional-field Evict
+  waste);
+* the fields that are useful change from phase to phase, which with
+  L2-Flex causes refetching of words dropped earlier (Excess waste).
+
+Flex communication regions follow the phase: the force phase announces
+(pos, mass), the update phase announces (pos, vel, acc).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ScaleConfig
+from repro.common.regions import FlexPattern
+from repro.workloads.base import Generator
+from repro.workloads.trace import RegionUpdate
+
+#: Body struct layout in words (stride 28 = 112 B, not line-aligned):
+#: [0:6) pos, [6:12) vel, [12:14) mass, [14:20) acc,
+#: [20:28) construction-only fields + padding.
+BODY_STRIDE = 28
+BODY_POS = tuple(range(0, 6))
+BODY_VEL = tuple(range(6, 12))
+BODY_MASS = (12, 13)
+BODY_ACC = tuple(range(14, 20))
+BODY_BUILD = tuple(range(20, 28))
+
+#: Cell struct layout (stride 36 words = 144 B): [0:8) center-of-mass
+#: quantities used during traversal, [8:36) child pointers and
+#: construction bookkeeping.
+CELL_STRIDE = 36
+CELL_COM = tuple(range(0, 8))
+CELL_BUILD = tuple(range(8, 36))
+
+# The force phase's communication region includes the conditionally-read
+# velocity head (near interactions): those words are *fetched* every time
+# but used only sometimes — the paper's conditional-field Evict waste.
+FORCE_FLEX = FlexPattern(BODY_STRIDE,
+                         BODY_POS + BODY_VEL[:2] + BODY_MASS)
+# The update phase announces the integration state (pos, vel, mass); the
+# flip between the two patterns is what forces L2-Flex refetches of
+# words dropped in the previous phase (the paper's Excess waste).
+UPDATE_FLEX = FlexPattern(BODY_STRIDE, BODY_POS + BODY_VEL + BODY_MASS)
+CELL_FLEX = FlexPattern(CELL_STRIDE, CELL_COM)
+
+#: Tree nodes visited per body during force computation.
+VISITS_PER_BODY = 12
+#: Fraction of visits that are near interactions reading extra fields.
+NEAR_FRACTION = 0.25
+
+
+class BarnesGenerator(Generator):
+    name = "barnes"
+
+    def __init__(self, scale: ScaleConfig, **kwargs) -> None:
+        super().__init__(scale, **kwargs)
+        self.nbodies = scale.barnes_bodies
+        self.ncells = max(self.nbodies // 2, 8)
+
+    def description(self) -> str:
+        return f"{self.nbodies} bodies, sequential tree build"
+
+    def layout(self) -> None:
+        self.bodies = self.alloc.alloc(
+            "barnes.bodies", self.nbodies * BODY_STRIDE, flex=FORCE_FLEX)
+        self.cells = self.alloc.alloc(
+            "barnes.cells", self.ncells * CELL_STRIDE, flex=CELL_FLEX)
+        # Pre-draw the traversal structure so every protocol sees the
+        # same irregular access sequence.
+        self.visit_plan = {}
+        for body in range(self.nbodies):
+            visits = []
+            for v in range(VISITS_PER_BODY):
+                if self.rng.random() < 0.5:
+                    visits.append(("cell", self.rng.randrange(self.ncells)))
+                else:
+                    other = self.rng.randrange(self.nbodies)
+                    near = self.rng.random() < NEAR_FRACTION
+                    visits.append(("body", other, near))
+            self.visit_plan[body] = visits
+
+    def body_addr(self, index: int, offset: int) -> int:
+        return self.bodies.base_word + index * BODY_STRIDE + offset
+
+    def cell_addr(self, index: int, offset: int) -> int:
+        return self.cells.base_word + index * CELL_STRIDE + offset
+
+    def emit(self) -> None:
+        # Warm-up iteration + measured iteration (paper Section 4.3).
+        for _iteration in range(2):
+            self._tree_build()
+            self.barrier(updates=[
+                RegionUpdate(self.bodies.region_id, flex=FORCE_FLEX)])
+            self._force_phase()
+            self.barrier(updates=[
+                RegionUpdate(self.bodies.region_id, flex=UPDATE_FLEX)])
+            self._update_phase()
+            self.barrier(updates=[
+                RegionUpdate(self.bodies.region_id, flex=FORCE_FLEX)])
+
+    def warmup_barriers(self) -> int:
+        return 3   # the first iteration's three barriers
+
+    def _tree_build(self) -> None:
+        """Sequentialized on core 0: reads body positions, writes the
+        cells' construction fields and the bodies' build bookkeeping."""
+        core = 0
+        for body in range(self.nbodies):
+            for off in BODY_POS:
+                self.tb.load(core, self.body_addr(body, off))
+            for off in BODY_BUILD[:4]:
+                self.tb.store(core, self.body_addr(body, off))
+        for cell in range(self.ncells):
+            for off in CELL_COM:
+                self.tb.store(core, self.cell_addr(cell, off))
+            for off in CELL_BUILD[:8]:
+                self.tb.store(core, self.cell_addr(cell, off))
+        self.compute(core, self.nbodies)
+
+    def _force_phase(self) -> None:
+        """Each core computes forces for its bodies via tree traversal."""
+        for core in range(self.num_cores):
+            for body in self.chunk(self.nbodies, core):
+                for off in BODY_POS:
+                    self.tb.load(core, self.body_addr(body, off))
+                for visit in self.visit_plan[body]:
+                    if visit[0] == "cell":
+                        for off in CELL_COM:
+                            self.tb.load(core, self.cell_addr(visit[1], off))
+                    else:
+                        _kind, other, near = visit
+                        for off in BODY_POS + BODY_MASS:
+                            self.tb.load(core, self.body_addr(other, off))
+                        if near:
+                            # Conditional extra fields (dynamic condition).
+                            for off in BODY_VEL[:2]:
+                                self.tb.load(core,
+                                             self.body_addr(other, off))
+                    self.compute(core, 4)
+                for off in BODY_ACC:
+                    self.tb.store(core, self.body_addr(body, off))
+
+    def _update_phase(self) -> None:
+        """Integrate: read acc, read-modify-write pos and vel."""
+        for core in range(self.num_cores):
+            for body in self.chunk(self.nbodies, core):
+                for off in BODY_ACC:
+                    self.tb.load(core, self.body_addr(body, off))
+                for off in BODY_POS + BODY_VEL:
+                    self.tb.load(core, self.body_addr(body, off))
+                    self.tb.store(core, self.body_addr(body, off))
+                self.compute(core, 4)

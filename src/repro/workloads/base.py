@@ -1,0 +1,108 @@
+"""Common machinery for the six benchmark trace generators.
+
+Each generator reproduces the *access-pattern features* the paper's
+analysis hinges on (Section 5), not the arithmetic of the original
+benchmark: data layouts are byte-faithful (struct strides, padding,
+alignment), sharing and phase structure match the paper's description,
+and software annotations (regions, Flex communication regions, L2 bypass)
+carry the same information DPJ would provide.
+
+All generators are deterministic (seeded) so simulations are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+from repro.common.config import ScaleConfig
+from repro.common.regions import FlexPattern, Region, RegionAllocator
+from repro.workloads.trace import TraceBuilder, Workload
+
+NUM_CORES = 16
+
+#: Words per scalar type in the simulated 4-byte-word machine.
+FLOAT_WORDS = 1
+DOUBLE_WORDS = 2
+
+
+class Generator:
+    """Base class for benchmark trace generators."""
+
+    name = "base"
+
+    def __init__(self, scale: ScaleConfig, num_cores: int = NUM_CORES,
+                 seed: int = 12345) -> None:
+        self.scale = scale
+        self.num_cores = num_cores
+        self.rng = random.Random(seed)
+        self.alloc = RegionAllocator()
+        self.tb: Optional[TraceBuilder] = None
+
+    # -- subclass API ------------------------------------------------------
+    def layout(self) -> None:
+        """Allocate regions; called before :meth:`emit`."""
+        raise NotImplementedError
+
+    def emit(self) -> None:
+        """Emit per-core traces into ``self.tb``."""
+        raise NotImplementedError
+
+    def warmup_barriers(self) -> int:
+        """Barriers that constitute the warm-up period (stats reset after)."""
+        return 0
+
+    def description(self) -> str:
+        return ""
+
+    # -- driver ------------------------------------------------------------
+    def build(self) -> Workload:
+        self.layout()
+        self.tb = TraceBuilder(self.num_cores, self.alloc.table)
+        self.emit()
+        return self.tb.build(self.name,
+                             warmup_barriers=self.warmup_barriers(),
+                             description=self.description())
+
+    # -- emission helpers --------------------------------------------------
+    def load_scalar(self, core: int, addr: int, words: int = 1) -> None:
+        for w in range(words):
+            self.tb.load(core, addr + w)
+
+    def store_scalar(self, core: int, addr: int, words: int = 1) -> None:
+        for w in range(words):
+            self.tb.store(core, addr + w)
+
+    def load_double(self, core: int, addr: int) -> None:
+        self.load_scalar(core, addr, DOUBLE_WORDS)
+
+    def store_double(self, core: int, addr: int) -> None:
+        self.store_scalar(core, addr, DOUBLE_WORDS)
+
+    def read_range(self, core: int, base: int, num_words: int) -> None:
+        for w in range(num_words):
+            self.tb.load(core, base + w)
+
+    def write_range(self, core: int, base: int, num_words: int) -> None:
+        for w in range(num_words):
+            self.tb.store(core, base + w)
+
+    def compute(self, core: int, cycles: int) -> None:
+        self.tb.compute(core, cycles)
+
+    def barrier(self, updates=None) -> None:
+        self.tb.barrier(updates)
+
+    # -- partitioning helpers -----------------------------------------------
+    def chunk(self, total: int, core: int) -> range:
+        """Contiguous slice of ``range(total)`` owned by ``core``."""
+        per = total // self.num_cores
+        extra = total % self.num_cores
+        start = core * per + min(core, extra)
+        size = per + (1 if core < extra else 0)
+        return range(start, start + size)
+
+    def round_robin(self, total: int, core: int) -> range:
+        """Indices owned by ``core`` under round-robin assignment."""
+        return range(core, total, self.num_cores)

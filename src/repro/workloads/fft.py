@@ -1,0 +1,97 @@
+"""FFT — six-step radix-√n FFT (SPLASH-2).
+
+Pattern features reproduced (paper Sections 5.2.1, 5.2.2):
+
+* the n points are complex doubles (4 words) in a sqrt(n) x sqrt(n)
+  matrix; rows are partitioned contiguously across cores;
+* compute phases read-modify-write each owned row in place (read-then-
+  overwrite — bypass pattern 1);
+* the transpose reads each source element exactly once (bypass pattern
+  2) and *overwrites* the destination without reading it, which under
+  fetch-on-write drags whole destination lines on-chip only to be
+  overwritten (Write waste, the dominant FFT store waste);
+* the destination array is consumed in the following phase, so evicting
+  it early would hurt — only the *source* read and destination write
+  sides are bypass-annotated, matching the paper's FFT discussion.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.config import ScaleConfig
+from repro.workloads.base import Generator
+
+COMPLEX_WORDS = 4   # two doubles
+
+
+class FFTGenerator(Generator):
+    name = "FFT"
+
+    def __init__(self, scale: ScaleConfig, **kwargs) -> None:
+        super().__init__(scale, **kwargs)
+        self.n = scale.fft_points
+        self.side = int(math.isqrt(self.n))
+        if self.side * self.side != self.n:
+            raise ValueError("fft_points must be a perfect square")
+
+    def description(self) -> str:
+        return f"{self.n} complex points, {self.side}x{self.side} matrix"
+
+    def layout(self) -> None:
+        words = self.n * COMPLEX_WORDS
+        # Both arrays stream through the hierarchy once per phase and the
+        # combined working set exceeds the L2: annotate both for bypass.
+        self.src = self.alloc.alloc("fft.src", words, bypass_l2=True)
+        self.dst = self.alloc.alloc("fft.dst", words, bypass_l2=True)
+        self.twiddle = self.alloc.alloc("fft.twiddle",
+                                        self.side * COMPLEX_WORDS)
+
+    def elem(self, region, row: int, col: int) -> int:
+        return region.base_word + (row * self.side + col) * COMPLEX_WORDS
+
+    def emit(self) -> None:
+        self._warmup_read_all()
+        self.barrier()
+        self._fft_rows(self.src)
+        self.barrier()
+        self._transpose(self.src, self.dst)
+        self.barrier()
+        self._fft_rows(self.dst)
+        self.barrier()
+
+    def warmup_barriers(self) -> int:
+        return 1   # core 0 streams both arrays (paper Section 4.3)
+
+    def _warmup_read_all(self) -> None:
+        for region in (self.src, self.dst):
+            self.read_range(0, region.base_word, region.size_words)
+
+    def _fft_rows(self, region) -> None:
+        """Each core performs 1D FFTs on its rows: in-place butterflies
+        (read-modify-write every element) using the shared twiddles."""
+        for core in range(self.num_cores):
+            for row in self.chunk(self.side, core):
+                self.read_range(core, self.twiddle.base_word,
+                                min(16, self.twiddle.size_words))
+                for col in range(self.side):
+                    addr = self.elem(region, row, col)
+                    self.load_scalar(core, addr, COMPLEX_WORDS)
+                    self.store_scalar(core, addr, COMPLEX_WORDS)
+                self.compute(core, self.side // 2)
+
+    def _transpose(self, src, dst) -> None:
+        """dst[j][i] = src[i][j], blocked 4x4 to mimic SPLASH's blocked
+        transpose; destinations land in other cores' future rows."""
+        blk = 4
+        for core in range(self.num_cores):
+            rows = self.chunk(self.side, core)
+            for row0 in range(rows.start, rows.stop, blk):
+                for col0 in range(0, self.side, blk):
+                    for row in range(row0, min(row0 + blk, rows.stop)):
+                        for col in range(col0, min(col0 + blk, self.side)):
+                            self.load_scalar(core, self.elem(src, row, col),
+                                             COMPLEX_WORDS)
+                            self.store_scalar(core, self.elem(dst, col, row),
+                                              COMPLEX_WORDS)
+                    self.compute(core, 2)

@@ -1,0 +1,204 @@
+"""fluidanimate — SPH fluid simulation (PARSEC), ghost-cell variant.
+
+Pattern features reproduced (paper Sections 5.2.1, 5.2.2, 5.3):
+
+* grid cells hold up to 16 particle slots but most are under-filled
+  (random fill, mean ~6), so the pre-allocated tails of the per-field
+  slot arrays are fetched with the useful data and die as Evict waste —
+  the paper's dominant fluidanimate L1 waste;
+* an un-blocked X-Y-Z stencil traversal reads the 6 neighbour cells,
+  giving the large disparity in L2 reuse distance the paper blames for
+  residual L2 waste;
+* per-iteration accumulator zeroing and an array-to-array position copy
+  (rebuild) overwrite large regions without reading them — Write waste
+  under fetch-on-write, and the read-then-overwrite bypass pattern;
+* the thesis modified fluidanimate to use the ghost-cell pattern: each
+  core keeps private ghost copies of neighbouring slabs' boundary cells
+  and an explicit exchange phase refreshes them (the only cross-core
+  sharing).
+
+Layout is struct-of-arrays per field so each field is its own software
+region, as the DPJ-style region annotations require.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.config import ScaleConfig
+from repro.workloads.base import Generator
+
+SLOTS = 16    # particle slots per cell (paper: objects hold up to 16)
+
+
+class FluidanimateGenerator(Generator):
+    name = "fluidanimate"
+
+    def __init__(self, scale: ScaleConfig, **kwargs) -> None:
+        super().__init__(scale, **kwargs)
+        self.ncells = scale.fluid_cells
+        # Arrange cells in an x-major 3D grid: nx * ny * nz = ncells.
+        self.nx = 8
+        self.ny = 8
+        self.nz = max(self.ncells // (self.nx * self.ny), 1)
+        self.ncells = self.nx * self.ny * self.nz
+
+    def description(self) -> str:
+        return (f"{self.ncells} cells ({self.nx}x{self.ny}x{self.nz}), "
+                f"<=16 particle slots, ghost-cell exchange")
+
+    def layout(self) -> None:
+        n = self.ncells * SLOTS
+        self.count = self.alloc.alloc("fluid.count", self.ncells)
+        self.pos = self.alloc.alloc("fluid.pos", n)
+        self.pos2 = self.alloc.alloc("fluid.pos2", n, bypass_l2=True)
+        self.vel = self.alloc.alloc("fluid.vel", n)
+        # Accumulators: read then overwritten every iteration (bypass
+        # pattern 1 in the paper).
+        self.density = self.alloc.alloc("fluid.density", n, bypass_l2=True)
+        self.acc = self.alloc.alloc("fluid.acc", n, bypass_l2=True)
+        # Per-core ghost copies of neighbour-slab boundary cells.
+        boundary = self.nx * self.ny * SLOTS
+        self.ghost = [self.alloc.alloc(f"fluid.ghost{c}", 2 * boundary)
+                      for c in range(self.num_cores)]
+        self.fill = [1 + self.rng.randrange(SLOTS)  # mean ~8, mostly < 16
+                     if self.rng.random() < 0.85 else SLOTS
+                     for _ in range(self.ncells)]
+
+    # -- addressing -----------------------------------------------------
+    def cell_index(self, x: int, y: int, z: int) -> int:
+        return (z * self.ny + y) * self.nx + x
+
+    def slot_base(self, region, cell: int) -> int:
+        return region.base_word + cell * SLOTS
+
+    def neighbours(self, x: int, y: int, z: int) -> List[int]:
+        out = []
+        for dx, dy, dz in ((1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0),
+                           (0, 0, 1), (0, 0, -1)):
+            nx, ny, nz = x + dx, y + dy, z + dz
+            if 0 <= nx < self.nx and 0 <= ny < self.ny and 0 <= nz < self.nz:
+                out.append(self.cell_index(nx, ny, nz))
+        return out
+
+    def core_slabs(self, core: int) -> range:
+        """Z-slab partitioning of the grid across cores."""
+        return self.chunk(self.nz, core)
+
+    # -- emission -----------------------------------------------------------
+    def emit(self) -> None:
+        for _iteration in range(2):   # warm-up + measured
+            self._rebuild()
+            self.barrier()
+            self._zero_accumulators()
+            self.barrier()
+            self._density_pass()
+            self.barrier()
+            self._force_pass()
+            self.barrier()
+            self._update_pass()
+            self.barrier()
+            self._ghost_exchange()
+            self.barrier()
+
+    def warmup_barriers(self) -> int:
+        return 6   # the first iteration
+
+    def _cells_of(self, core: int):
+        for z in self.core_slabs(core):
+            for y in range(self.ny):
+                for x in range(self.nx):
+                    yield x, y, z, self.cell_index(x, y, z)
+
+    def _rebuild(self) -> None:
+        """Array-to-array copy: pos -> pos2 (read once, overwrite dest)."""
+        for core in range(self.num_cores):
+            for _x, _y, _z, cell in self._cells_of(core):
+                fill = self.fill[cell]
+                self.tb.load(core, self.count.base_word + cell)
+                src = self.slot_base(self.pos, cell)
+                dst = self.slot_base(self.pos2, cell)
+                for s in range(fill):
+                    self.tb.load(core, src + s)
+                    self.tb.store(core, dst + s)
+                self.tb.store(core, self.count.base_word + cell)
+
+    def _zero_accumulators(self) -> None:
+        """Zero density and acc without reading them (Write waste under
+        fetch-on-write; the whole slot array is zeroed, filled or not)."""
+        for core in range(self.num_cores):
+            for _x, _y, _z, cell in self._cells_of(core):
+                self.write_range(core, self.slot_base(self.density, cell),
+                                 SLOTS)
+                self.write_range(core, self.slot_base(self.acc, cell),
+                                 SLOTS)
+
+    def _density_pass(self) -> None:
+        """Stencil: read neighbours' positions, accumulate own density."""
+        for core in range(self.num_cores):
+            for x, y, z, cell in self._cells_of(core):
+                fill = self.fill[cell]
+                own = self.slot_base(self.pos, cell)
+                for s in range(fill):
+                    self.tb.load(core, own + s)
+                for ncell in self.neighbours(x, y, z):
+                    nbase = self.slot_base(self.pos, ncell)
+                    for s in range(self.fill[ncell]):
+                        self.tb.load(core, nbase + s)
+                dens = self.slot_base(self.density, cell)
+                for s in range(fill):
+                    self.tb.load(core, dens + s)
+                    self.tb.store(core, dens + s)
+                self.compute(core, 6)
+
+    def _force_pass(self) -> None:
+        """Read neighbour density+pos, write own acceleration."""
+        for core in range(self.num_cores):
+            for x, y, z, cell in self._cells_of(core):
+                fill = self.fill[cell]
+                for ncell in self.neighbours(x, y, z):
+                    dbase = self.slot_base(self.density, ncell)
+                    for s in range(min(self.fill[ncell], 4)):
+                        self.tb.load(core, dbase + s)
+                abase = self.slot_base(self.acc, cell)
+                for s in range(fill):
+                    self.tb.load(core, abase + s)
+                    self.tb.store(core, abase + s)
+                self.compute(core, 6)
+
+    def _update_pass(self) -> None:
+        """Integrate: read acc, read-modify-write pos2 and vel."""
+        for core in range(self.num_cores):
+            for _x, _y, _z, cell in self._cells_of(core):
+                fill = self.fill[cell]
+                abase = self.slot_base(self.acc, cell)
+                pbase = self.slot_base(self.pos2, cell)
+                vbase = self.slot_base(self.vel, cell)
+                for s in range(fill):
+                    self.tb.load(core, abase + s)
+                    self.tb.load(core, pbase + s)
+                    self.tb.store(core, self.slot_base(self.pos, cell) + s)
+                    self.tb.load(core, vbase + s)
+                    self.tb.store(core, vbase + s)
+                self.compute(core, 4)
+
+    def _ghost_exchange(self) -> None:
+        """Each core copies neighbour slabs' boundary cells into its
+        private ghost region (the only cross-core reads)."""
+        for core in range(self.num_cores):
+            slabs = self.core_slabs(core)
+            ghost = self.ghost[core]
+            cursor = 0
+            for z in (slabs.start - 1, slabs.stop):
+                if not 0 <= z < self.nz:
+                    continue
+                for y in range(self.ny):
+                    for x in range(self.nx):
+                        cell = self.cell_index(x, y, z)
+                        pbase = self.slot_base(self.pos, cell)
+                        for s in range(min(self.fill[cell], 4)):
+                            self.tb.load(core, pbase + s)
+                            if cursor < ghost.size_words:
+                                self.tb.store(core,
+                                              ghost.base_word + cursor)
+                                cursor += 1

@@ -1,0 +1,130 @@
+"""kD-tree — parallel SAH kD-tree construction (Choi et al., HPG 2010).
+
+Pattern features reproduced (paper Sections 5.2.1, 5.3):
+
+* the *edges* array (bounding-box event list, 6 entries per triangle) is
+  scanned in streaming order, touching only 2 of each 4-word entry —
+  Flex drops the unused fields and prefetches following entries, and the
+  region is bypass-annotated because it is huge and read once per phase;
+* the 64-byte packet limit truncates the Flex prefetch, so consecutive
+  misses re-read lines from memory — the paper's "two of every three
+  lines read twice" Excess/Fetch effect under L2-Flex;
+* the *triangles* array is randomly accessed; only the vertex fields (6
+  of a 16-word stride) are useful in this phase — Flex again;
+* tree nodes carry three pairs of child pointers of which a dynamic
+  condition selects one — the conditionally-used-pointer L1 waste;
+* three build levels are measured (the paper measures 3 iterations).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ScaleConfig
+from repro.common.regions import FlexPattern
+from repro.workloads.base import Generator
+
+#: Edge entry: [pos, type, tri_id, pad] — the scan reads pos and type.
+EDGE_STRIDE = 4
+EDGE_FIELDS = (0, 1)
+EDGES_PER_TRI = 6
+
+#: Triangle entry: 9 vertex floats + 7 words of normals/material ids;
+#: classification uses the 6 projected vertex coordinates.
+TRI_STRIDE = 16
+TRI_FIELDS = (0, 1, 2, 3, 4, 5)
+
+#: Node entry: 2 meta words + 3 pairs of child pointers.
+NODE_STRIDE = 8
+
+#: Flex prefetch: following elements of the streaming scan, truncated by
+#: the 16-word packet limit (16 // 2 fields = 8 elements max).
+EDGE_FLEX = FlexPattern(EDGE_STRIDE, EDGE_FIELDS, prefetch_elements=7)
+TRI_FLEX = FlexPattern(TRI_STRIDE, TRI_FIELDS)
+
+MEASURED_LEVELS = 3
+
+
+class KDTreeGenerator(Generator):
+    name = "kD-tree"
+
+    def __init__(self, scale: ScaleConfig, **kwargs) -> None:
+        super().__init__(scale, **kwargs)
+        self.ntris = scale.kdtree_triangles
+        self.nedges = self.ntris * EDGES_PER_TRI
+        self.nnodes = max(self.ntris // 4, 16)
+
+    def description(self) -> str:
+        return (f"{self.ntris} triangles, {self.nedges} edges, "
+                f"{MEASURED_LEVELS} build levels measured")
+
+    def layout(self) -> None:
+        self.edges = self.alloc.alloc(
+            "kdtree.edges", self.nedges * EDGE_STRIDE,
+            bypass_l2=True, flex=EDGE_FLEX)
+        self.tris = self.alloc.alloc(
+            "kdtree.tris", self.ntris * TRI_STRIDE, flex=TRI_FLEX)
+        self.nodes = self.alloc.alloc(
+            "kdtree.nodes", self.nnodes * NODE_STRIDE)
+        # Random triangle visit order per level, fixed across protocols.
+        self.tri_order = [
+            [self.rng.randrange(self.ntris)
+             for _ in range(self.ntris // 2)]
+            for _ in range(MEASURED_LEVELS + 1)]
+        self.pair_choice = [self.rng.randrange(3)
+                            for _ in range(self.nnodes)]
+
+    def edge_addr(self, index: int, field: int) -> int:
+        return self.edges.base_word + index * EDGE_STRIDE + field
+
+    def tri_addr(self, index: int, field: int) -> int:
+        return self.tris.base_word + index * TRI_STRIDE + field
+
+    def node_addr(self, index: int, field: int) -> int:
+        return self.nodes.base_word + index * NODE_STRIDE + field
+
+    def emit(self) -> None:
+        # One warm-up level plus the measured levels.
+        for level in range(MEASURED_LEVELS + 1):
+            self._scan_edges()
+            self.barrier()
+            self._classify_triangles(level)
+            self.barrier()
+            self._write_nodes(level)
+            self.barrier()
+
+    def warmup_barriers(self) -> int:
+        return 3   # the warm-up build level
+
+    def _scan_edges(self) -> None:
+        """Streaming SAH sweep over each core's slice of the edge list."""
+        for core in range(self.num_cores):
+            for index in self.chunk(self.nedges, core):
+                for field in EDGE_FIELDS:
+                    self.tb.load(core, self.edge_addr(index, field))
+            self.compute(core, 32)
+
+    def _classify_triangles(self, level: int) -> None:
+        """Random-access reads of triangle vertices for split decisions."""
+        order = self.tri_order[level]
+        for core in range(self.num_cores):
+            for pos in self.chunk(len(order), core):
+                tri = order[pos]
+                for field in TRI_FIELDS:
+                    self.tb.load(core, self.tri_addr(tri, field))
+                self.compute(core, 2)
+
+    def _write_nodes(self, level: int) -> None:
+        """Emit tree nodes: read meta + one dynamically-chosen pointer
+        pair, write the split results."""
+        per_level = max(self.nnodes // (MEASURED_LEVELS + 1), 1)
+        start = level * per_level
+        for core in range(self.num_cores):
+            for node in self.chunk(per_level, core):
+                index = (start + node) % self.nnodes
+                self.tb.load(core, self.node_addr(index, 0))
+                self.tb.load(core, self.node_addr(index, 1))
+                pair = self.pair_choice[index]
+                self.tb.load(core, self.node_addr(index, 2 + 2 * pair))
+                self.tb.load(core, self.node_addr(index, 3 + 2 * pair))
+                self.tb.store(core, self.node_addr(index, 0))
+                self.tb.store(core, self.node_addr(index, 2 + 2 * pair))
+                self.compute(core, 2)

@@ -1,0 +1,106 @@
+"""radix — parallel radix sort (SPLASH-2).
+
+Pattern features reproduced (paper Sections 5.2.2, 5.3):
+
+* histogram pass: each core streams its contiguous slice of the key
+  array (read once — bypass pattern 2) into a private histogram;
+* rank pass: a prefix-sum over the shared global histogram;
+* permutation pass: each core re-reads its keys and writes each one to
+  its rank position — the writes cycle among ``radix`` (1024) different
+  destination buckets, far more lines than the L1 holds, producing the
+  paper's Write waste (fetch-on-write fetches lines that are fully
+  overwritten) and Evict waste (lines evicted half-written and
+  refetched), and overflowing DeNovo's 32-entry write-combining table so
+  the same line needs multiple registration messages (the paper's radix
+  store-control blowup);
+* the destination array is read in the next iteration, giving the
+  L2-bypass secondary benefit the paper describes.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import ScaleConfig
+from repro.workloads.base import Generator
+
+
+class RadixGenerator(Generator):
+    name = "radix"
+
+    def __init__(self, scale: ScaleConfig, **kwargs) -> None:
+        super().__init__(scale, **kwargs)
+        self.keys = scale.radix_keys
+        self.buckets = scale.radix_buckets
+
+    def description(self) -> str:
+        return f"{self.keys} keys, {self.buckets} radix"
+
+    def layout(self) -> None:
+        self.key_array = self.alloc.alloc("radix.keys", self.keys,
+                                          bypass_l2=True)
+        self.dst_array = self.alloc.alloc("radix.dst", self.keys,
+                                          bypass_l2=True)
+        self.global_hist = self.alloc.alloc("radix.hist", self.buckets)
+        self.local_hist = [
+            self.alloc.alloc(f"radix.lhist{c}", self.buckets)
+            for c in range(self.num_cores)]
+        # Pre-draw each key's digit so both passes see the same values.
+        self.digits = [self.rng.randrange(self.buckets)
+                       for _ in range(self.keys)]
+
+    def emit(self) -> None:
+        # Warm-up iteration sorts keys -> dst; measured iteration sorts
+        # dst -> keys (the paper warms one iteration, measures one).
+        self._iteration(self.key_array, self.dst_array)
+        self._iteration(self.dst_array, self.key_array)
+
+    def warmup_barriers(self) -> int:
+        return 3   # the three barriers of the first iteration
+
+    def _iteration(self, src, dst) -> None:
+        self._histogram(src)
+        self.barrier()
+        self._rank()
+        self.barrier()
+        self._permute(src, dst)
+        self.barrier()
+
+    def _histogram(self, src) -> None:
+        for core in range(self.num_cores):
+            lhist = self.local_hist[core]
+            for i in self.chunk(self.keys, core):
+                self.tb.load(core, src.base_word + i)
+                digit = self.digits[i]
+                # Increment the private histogram bin (read-modify-write).
+                self.tb.load(core, lhist.base_word + digit)
+                self.tb.store(core, lhist.base_word + digit)
+            self.compute(core, 8)
+
+    def _rank(self) -> None:
+        """Core 0 reduces the local histograms into global bucket bases."""
+        for c in range(self.num_cores):
+            self.read_range(0, self.local_hist[c].base_word, self.buckets)
+        self.write_range(0, self.global_hist.base_word, self.buckets)
+
+    def _permute(self, src, dst) -> None:
+        # Each (core, digit) pair owns a contiguous destination range;
+        # compute the bases the same way the real sort's ranking does.
+        counts = [[0] * self.buckets for _ in range(self.num_cores)]
+        for core in range(self.num_cores):
+            for i in self.chunk(self.keys, core):
+                counts[core][self.digits[i]] += 1
+        base = 0
+        offset = [[0] * self.buckets for _ in range(self.num_cores)]
+        for digit in range(self.buckets):
+            for core in range(self.num_cores):
+                offset[core][digit] = base
+                base += counts[core][digit]
+        cursor = [[0] * self.buckets for _ in range(self.num_cores)]
+        for core in range(self.num_cores):
+            for i in self.chunk(self.keys, core):
+                self.tb.load(core, src.base_word + i)
+                digit = self.digits[i]
+                # Read the rank base (global histogram) then scatter.
+                self.tb.load(core, self.global_hist.base_word + digit)
+                target = offset[core][digit] + cursor[core][digit]
+                cursor[core][digit] += 1
+                self.tb.store(core, dst.base_word + target)

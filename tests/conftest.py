@@ -1,0 +1,91 @@
+"""Shared fixtures and micro-workload helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.common.config import ProtocolConfig, SystemConfig, protocol
+from repro.common.regions import FlexPattern, Region, RegionTable
+from repro.core.system import System
+from repro.workloads.trace import (
+    OP_BARRIER, OP_COMPUTE, OP_LOAD, OP_STORE, Workload)
+
+#: A small machine for protocol unit tests: 16 tiles (required), tiny
+#: caches so evictions are easy to trigger.
+TINY_SYSTEM = SystemConfig(l1_kb=1, l2_slice_kb=2)
+
+
+def make_region_table(*regions: Region) -> RegionTable:
+    table = RegionTable()
+    for region in regions:
+        table.add(region)
+    return table
+
+
+def simple_region(size_words: int = 4096, *, bypass_l2: bool = False,
+                  flex: Optional[FlexPattern] = None) -> RegionTable:
+    """One region covering [0, size_words)."""
+    return make_region_table(
+        Region(region_id=0, name="data", base_word=0,
+               size_words=size_words, bypass_l2=bypass_l2, flex=flex))
+
+
+def micro_workload(per_core_ops: Dict[int, List[Tuple[int, int]]],
+                   regions: Optional[RegionTable] = None,
+                   num_cores: int = 16,
+                   written_regions: Optional[Sequence[frozenset]] = None,
+                   name: str = "micro") -> Workload:
+    """Build a Workload from explicit per-core op lists.
+
+    Cores not mentioned get an empty trace; a trailing barrier is added
+    everywhere so the phases line up.
+    """
+    traces: List[List[Tuple[int, int]]] = []
+    for core in range(num_cores):
+        ops = list(per_core_ops.get(core, []))
+        if not ops or ops[-1][0] != OP_BARRIER:
+            ops.append((OP_BARRIER, 0))
+        traces.append(ops)
+    # Pad every core to the same barrier count.
+    def count_barriers(ops):
+        return sum(1 for kind, _ in ops if kind == OP_BARRIER)
+
+    barriers = max(count_barriers(ops) for ops in traces)
+    for ops in traces:
+        ops.extend([(OP_BARRIER, 0)] * (barriers - count_barriers(ops)))
+    table = regions if regions is not None else simple_region()
+    written = (list(written_regions) if written_regions
+               else [frozenset({0})] * barriers)
+    return Workload(name=name, regions=table, traces=traces,
+                    phase_written_regions=written)
+
+
+def run_micro(per_core_ops, proto="MESI", regions=None,
+              config: Optional[SystemConfig] = None,
+              written_regions=None):
+    """Simulate a micro workload; returns (RunResult, System)."""
+    workload = micro_workload(per_core_ops, regions=regions,
+                              written_regions=written_regions)
+    if isinstance(proto, str):
+        proto = protocol(proto)
+    system = System(workload, proto,
+                    config if config is not None else TINY_SYSTEM)
+    result = system.run()
+    return result, system
+
+
+def loads(core_ops: List[Tuple[int, int]], *addrs: int) -> None:
+    for addr in addrs:
+        core_ops.append((OP_LOAD, addr))
+
+
+def stores(core_ops: List[Tuple[int, int]], *addrs: int) -> None:
+    for addr in addrs:
+        core_ops.append((OP_STORE, addr))
+
+
+@pytest.fixture
+def tiny_system() -> SystemConfig:
+    return TINY_SYSTEM

@@ -1,0 +1,189 @@
+"""Unit tests for the Bloom filter structures (paper Section 4.4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bloom.filters import (
+    BloomFilter, CountingBloomFilter, H3Hash, L1FilterShadow,
+    SliceFilterBank)
+
+line_addrs = st.integers(min_value=0, max_value=2**34)
+
+
+def hashes(entries=512, n=1, seed=7):
+    return [H3Hash(entries, seed + i) for i in range(n)]
+
+
+class TestH3Hash:
+    def test_deterministic(self):
+        h1 = H3Hash(512, seed=3)
+        h2 = H3Hash(512, seed=3)
+        for key in (0, 1, 12345, 2**30):
+            assert h1(key) == h2(key)
+
+    def test_in_range(self):
+        h = H3Hash(100, seed=1)
+        for key in range(1000):
+            assert 0 <= h(key) < 100
+
+    def test_different_seeds_differ(self):
+        h1, h2 = H3Hash(512, 1), H3Hash(512, 2)
+        diffs = sum(1 for k in range(200) if h1(k) != h2(k))
+        assert diffs > 150
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            H3Hash(0, seed=1)
+
+
+class TestBloomFilter:
+    def test_insert_query(self):
+        f = BloomFilter(512, hashes())
+        f.insert(42)
+        assert f.may_contain(42)
+
+    def test_clear(self):
+        f = BloomFilter(512, hashes())
+        f.insert(42)
+        f.clear()
+        assert not f.may_contain(42)
+
+    def test_union_bits(self):
+        src = CountingBloomFilter(512, hashes())
+        src.insert(42)
+        dst = BloomFilter(512, hashes())
+        dst.union_bits(src.bit_projection())
+        assert dst.may_contain(42)
+
+    def test_union_size_mismatch(self):
+        f = BloomFilter(512, hashes())
+        with pytest.raises(ValueError):
+            f.union_bits([0] * 100)
+
+    @settings(max_examples=30)
+    @given(st.sets(line_addrs, min_size=1, max_size=100))
+    def test_no_false_negatives(self, keys):
+        f = BloomFilter(512, hashes())
+        for key in keys:
+            f.insert(key)
+        assert all(f.may_contain(key) for key in keys)
+
+
+class TestCountingBloomFilter:
+    def test_insert_remove(self):
+        f = CountingBloomFilter(512, hashes())
+        f.insert(42)
+        f.remove(42)
+        assert not f.may_contain(42)
+
+    def test_counting_survives_shared_removal(self):
+        """Two inserts need two removals before the bit clears."""
+        f = CountingBloomFilter(512, hashes())
+        f.insert(42)
+        f.insert(42)
+        f.remove(42)
+        assert f.may_contain(42)
+        f.remove(42)
+        assert not f.may_contain(42)
+
+    def test_remove_at_zero_is_safe(self):
+        f = CountingBloomFilter(512, hashes())
+        f.remove(42)
+        assert not f.may_contain(42)
+
+    @settings(max_examples=20)
+    @given(st.sets(line_addrs, min_size=2, max_size=60))
+    def test_removal_keeps_other_keys(self, keys):
+        f = CountingBloomFilter(1024, hashes(1024))
+        keys = sorted(keys)
+        for key in keys:
+            f.insert(key)
+        f.remove(keys[0])
+        for key in keys[1:]:
+            assert f.may_contain(key)
+
+
+class TestSliceFilterBank:
+    def test_tracks_lines(self):
+        bank = SliceFilterBank(num_filters=32, entries=512, num_hashes=1,
+                               seed=1)
+        for line in range(0, 1000, 17):
+            bank.insert(line)
+        for line in range(0, 1000, 17):
+            assert bank.may_contain(line)
+
+    def test_remove(self):
+        bank = SliceFilterBank(32, 512, 1, seed=1)
+        bank.insert(100)
+        bank.remove(100)
+        assert not bank.may_contain(100)
+
+    def test_filter_index_stable(self):
+        bank = SliceFilterBank(32, 512, 1, seed=1)
+        assert bank.filter_index(77) == bank.filter_index(77)
+        assert 0 <= bank.filter_index(77) < 32
+
+    def test_false_positive_rate_reasonable(self):
+        """512 entries x 32 filters: ~1k inserted lines should leave the
+        overwhelming majority of other lines negative."""
+        bank = SliceFilterBank(32, 512, 1, seed=3)
+        inserted = set(range(0, 4096, 4))
+        for line in inserted:
+            bank.insert(line)
+        probes = [line for line in range(100_000, 110_000)
+                  if line not in inserted]
+        fp = sum(1 for line in probes if bank.may_contain(line))
+        assert fp / len(probes) < 0.15
+
+
+class TestL1FilterShadow:
+    def make_pair(self):
+        bank = SliceFilterBank(32, 512, 1, seed=5)
+        shadow = L1FilterShadow(num_slices=1, num_filters=32, entries=512,
+                                num_hashes=1, seed=5)
+        return bank, shadow
+
+    def test_copy_semantics(self):
+        bank, shadow = self.make_pair()
+        bank.insert(42)
+        idx = bank.filter_index(42)
+        assert not shadow.has_copy(0, 42)
+        shadow.install(0, idx, bank.bit_projection(idx))
+        assert shadow.has_copy(0, 42)
+        assert shadow.may_contain(0, 42)
+
+    def test_query_before_copy_raises(self):
+        _bank, shadow = self.make_pair()
+        with pytest.raises(RuntimeError):
+            shadow.may_contain(0, 42)
+
+    def test_writeback_inserts_locally(self):
+        bank, shadow = self.make_pair()
+        idx = bank.filter_index(42)
+        shadow.install(0, idx, bank.bit_projection(idx))
+        assert not shadow.may_contain(0, 42)
+        shadow.note_writeback(0, 42)
+        assert shadow.may_contain(0, 42)
+
+    def test_clear_wipes_validity(self):
+        bank, shadow = self.make_pair()
+        idx = bank.filter_index(42)
+        shadow.install(0, idx, bank.bit_projection(idx))
+        shadow.clear()
+        assert not shadow.has_copy(0, 42)
+
+    def test_shadow_is_conservative_superset(self):
+        """After copy + local writebacks, the shadow never misses a line
+        the slice bank would report (no false negatives for safety)."""
+        bank, shadow = self.make_pair()
+        lines = list(range(0, 2000, 13))
+        for line in lines:
+            bank.insert(line)
+        copied = set()
+        for line in lines:
+            idx = bank.filter_index(line)
+            if idx not in copied:
+                shadow.install(0, idx, bank.bit_projection(idx))
+                copied.add(idx)
+        for line in lines:
+            assert shadow.may_contain(0, line)

@@ -1,0 +1,78 @@
+"""Tests for the in-order core model and execution-time attribution."""
+
+import pytest
+
+from repro.common.config import protocol
+from repro.core.system import System
+from repro.workloads.trace import OP_BARRIER, OP_COMPUTE, OP_LOAD, OP_STORE
+
+from tests.conftest import TINY_SYSTEM, micro_workload
+
+
+def run_system(per_core_ops, proto="MESI"):
+    w = micro_workload(per_core_ops)
+    system = System(w, protocol(proto), TINY_SYSTEM)
+    result = system.run()
+    return result, system
+
+
+class TestBusyTime:
+    def test_compute_counts_as_busy(self):
+        result, sys = run_system({0: [(OP_COMPUTE, 500)]})
+        assert sys.cores[0].time.busy >= 500
+
+    def test_each_memory_op_costs_one_busy_cycle(self):
+        ops = [(OP_LOAD, 80)] + [(OP_COMPUTE, 10)]
+        result, sys = run_system({0: ops})
+        # 1 (load issue) + 10 (compute) = 11 busy cycles on core 0.
+        assert sys.cores[0].time.busy == 11
+
+
+class TestStallAttribution:
+    def test_memory_load_attributed_to_mc_buckets(self):
+        _result, sys = run_system({9: [(OP_LOAD, 80)]})
+        t = sys.cores[9].time
+        assert t.to_mc > 0 and t.mem > 0 and t.from_mc > 0
+        assert t.onchip == 0
+
+    def test_onchip_hit_attributed_to_onchip(self):
+        # Core 1 warms the line; after the barrier core 9's load is an
+        # on-chip hit (L2 or cache-to-cache).
+        _result, sys = run_system({
+            1: [(OP_LOAD, 80), (OP_BARRIER, 0)],
+            9: [(OP_BARRIER, 0), (OP_LOAD, 80)],
+        })
+        t = sys.cores[9].time
+        assert t.onchip > 0
+        assert t.mem == 0
+
+    def test_sync_counted_for_early_arrivals(self):
+        _result, sys = run_system({
+            0: [(OP_BARRIER, 0)],
+            1: [(OP_COMPUTE, 2000), (OP_BARRIER, 0)],
+        })
+        # Core 0 waits ~2000 cycles for core 1.
+        assert sys.cores[0].time.sync >= 1500
+        assert sys.cores[1].time.sync < 500
+
+
+class TestCompletion:
+    def test_all_cores_finish(self):
+        result, sys = run_system({c: [(OP_LOAD, 80 + 16 * c)]
+                                  for c in range(16)})
+        assert all(core.finished for core in sys.cores)
+        assert result.exec_cycles == max(c.finish_time for c in sys.cores)
+
+    def test_exec_cycles_positive_even_for_empty_cores(self):
+        result, _sys = run_system({0: [(OP_COMPUTE, 10)]})
+        assert result.exec_cycles > 0
+
+    def test_per_core_attribution_bounded_by_wall_clock(self):
+        result, sys = run_system({
+            c: [(OP_LOAD, 80 + 16 * c), (OP_STORE, 80 + 16 * c),
+                (OP_COMPUTE, 50)]
+            for c in range(16)})
+        for core in sys.cores:
+            # Allow small double-count slack (load issue cycle overlaps
+            # the first stall cycle).
+            assert core.time.total() <= core.finish_time * 1.10 + 16

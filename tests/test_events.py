@@ -1,0 +1,135 @@
+"""Unit tests for the discrete-event engine and barrier."""
+
+import pytest
+
+from repro.engine.events import Barrier, EventQueue
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.schedule(10, lambda: order.append("b"))
+        q.schedule(5, lambda: order.append("a"))
+        q.schedule(20, lambda: order.append("c"))
+        q.run()
+        assert order == ["a", "b", "c"]
+        assert q.now == 20
+
+    def test_fifo_within_same_cycle(self):
+        q = EventQueue()
+        order = []
+        for i in range(5):
+            q.schedule(7, lambda i=i: order.append(i))
+        q.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_after_is_relative(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(10, lambda: q.after(5, lambda: seen.append(q.now)))
+        q.run()
+        assert seen == [15]
+
+    def test_rejects_past(self):
+        q = EventQueue()
+        q.schedule(10, lambda: None)
+        q.run()
+        with pytest.raises(ValueError):
+            q.schedule(5, lambda: None)
+
+    def test_rejects_negative_delay(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.after(-1, lambda: None)
+
+    def test_event_budget_raises(self):
+        q = EventQueue()
+
+        def recur():
+            q.after(1, recur)
+
+        q.schedule(0, recur)
+        with pytest.raises(RuntimeError, match="livelock"):
+            q.run(max_events=100)
+
+    def test_events_scheduled_during_run(self):
+        q = EventQueue()
+        log = []
+
+        def first():
+            log.append(("first", q.now))
+            q.schedule(q.now + 3, lambda: log.append(("second", q.now)))
+
+        q.schedule(2, first)
+        q.run()
+        assert log == [("first", 2), ("second", 5)]
+
+    def test_counters(self):
+        q = EventQueue()
+        q.schedule(0, lambda: None)
+        q.schedule(1, lambda: None)
+        assert q.pending == 2
+        q.run()
+        assert q.pending == 0
+        assert q.events_run == 2
+
+
+class TestBarrier:
+    def test_releases_all_at_same_time(self):
+        q = EventQueue()
+        b = Barrier(q, participants=3, release_cost=10)
+        released = []
+        q.schedule(0, lambda: b.arrive(0, lambda t: released.append((0, t))))
+        q.schedule(5, lambda: b.arrive(1, lambda t: released.append((1, t))))
+        q.schedule(9, lambda: b.arrive(2, lambda t: released.append((2, t))))
+        q.run()
+        assert len(released) == 3
+        times = {t for _c, t in released}
+        assert times == {19}   # last arrival (9) + release cost (10)
+
+    def test_waits_for_all(self):
+        q = EventQueue()
+        b = Barrier(q, participants=2)
+        released = []
+        q.schedule(0, lambda: b.arrive(0, lambda t: released.append(0)))
+        q.run()
+        assert released == []
+        assert b.waiting_count == 1
+
+    def test_multiple_rounds(self):
+        q = EventQueue()
+        b = Barrier(q, participants=2, release_cost=1)
+        log = []
+
+        def round_two(core):
+            def resume(t):
+                log.append((core, "r2", t))
+            return resume
+
+        def round_one(core):
+            def resume(t):
+                log.append((core, "r1", t))
+                b.arrive(core, round_two(core))
+            return resume
+
+        q.schedule(0, lambda: b.arrive(0, round_one(0)))
+        q.schedule(0, lambda: b.arrive(1, round_one(1)))
+        q.run()
+        assert b.barriers_passed == 2
+        assert [entry[1] for entry in log].count("r1") == 2
+        assert [entry[1] for entry in log].count("r2") == 2
+
+    def test_release_hooks_run_once_per_barrier(self):
+        q = EventQueue()
+        b = Barrier(q, participants=2, release_cost=1)
+        hook_calls = []
+        b.on_release(lambda: hook_calls.append(q.now))
+        q.schedule(0, lambda: b.arrive(0, lambda t: None))
+        q.schedule(4, lambda: b.arrive(1, lambda t: None))
+        q.run()
+        assert hook_calls == [5]
+
+    def test_rejects_zero_participants(self):
+        with pytest.raises(ValueError):
+            Barrier(EventQueue(), participants=0)

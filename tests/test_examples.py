@@ -1,0 +1,38 @@
+"""Smoke tests: every example script runs and prints its key output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "DBypFull vs MESI" in proc.stdout
+        assert "less traffic" in proc.stdout
+
+    def test_protocol_ladder(self):
+        proc = run_example("protocol_ladder.py", "LU")
+        assert proc.returncode == 0, proc.stderr
+        assert "MESI" in proc.stdout and "DBypFull" in proc.stdout
+
+    def test_custom_workload(self):
+        proc = run_example("custom_workload.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "DFlexL1" in proc.stdout
+
+    def test_bloom_tuning(self):
+        proc = run_example("bloom_tuning.py")
+        assert proc.returncode == 0, proc.stderr
+        assert "direct" in proc.stdout

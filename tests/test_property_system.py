@@ -1,0 +1,86 @@
+"""Property-based end-to-end tests: random micro-workloads, invariants.
+
+Hypothesis generates small random multi-core traces; every protocol must
+complete them and satisfy the accounting invariants regardless of the
+interleaving of loads, stores and barriers.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.config import protocol
+from repro.core.system import System
+from repro.network import traffic as T
+from repro.waste.profiler import Category
+from repro.workloads.trace import OP_BARRIER, OP_COMPUTE, OP_LOAD, OP_STORE
+
+from tests.conftest import TINY_SYSTEM, micro_workload
+
+# Addresses spread over 64 lines so evictions and sharing both occur in
+# the tiny 1KB L1s.
+addr = st.integers(min_value=0, max_value=1023)
+
+op = st.one_of(
+    st.tuples(st.just(OP_LOAD), addr),
+    st.tuples(st.just(OP_STORE), addr),
+    st.tuples(st.just(OP_COMPUTE), st.integers(min_value=1, max_value=20)),
+)
+
+core_trace = st.lists(op, min_size=0, max_size=40)
+
+workload_ops = st.dictionaries(
+    st.integers(min_value=0, max_value=15), core_trace,
+    min_size=1, max_size=4)
+
+SETTINGS = settings(max_examples=12, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def run(per_core_ops, proto):
+    w = micro_workload(per_core_ops)
+    return System(w, protocol(proto), TINY_SYSTEM).run()
+
+
+class TestRandomWorkloads:
+    @SETTINGS
+    @given(workload_ops, st.sampled_from(["MESI", "MMemL1", "DeNovo",
+                                          "DValidateL2", "DBypFull"]))
+    def test_completes_with_consistent_accounting(self, ops, proto):
+        result = run(ops, proto)
+        # Simulation completed.
+        assert result.exec_cycles > 0
+        # No negative counters anywhere.
+        for counts in (result.l1_waste, result.l2_waste,
+                       result.mem_waste):
+            assert all(v >= 0 for v in counts.values())
+        for major, buckets in result.traffic.items():
+            assert all(v >= -1e-9 for v in buckets.values()), (major,
+                                                               buckets)
+        # Memory fetches never exceed DRAM reads x line size.
+        assert (result.words_fetched("mem")
+                <= result.dram_stats["reads"] * 16)
+
+    @SETTINGS
+    @given(workload_ops)
+    def test_mesi_denovo_agree_on_simulation_termination(self, ops):
+        mesi = run(ops, "MESI")
+        denovo = run(ops, "DeNovo")
+        assert mesi.exec_cycles > 0 and denovo.exec_cycles > 0
+        # DeNovo never produces MESI-style overhead messages.
+        for key in (T.OVH_UNBLOCK, T.OVH_INVAL, T.OVH_ACK):
+            assert denovo.traffic[T.OVH][key] == 0.0
+
+    @SETTINGS
+    @given(workload_ops)
+    def test_determinism(self, ops):
+        a = run(ops, "MESI")
+        b = run(ops, "MESI")
+        assert a.traffic == b.traffic
+        assert a.exec_cycles == b.exec_cycles
+
+    @SETTINGS
+    @given(core_trace)
+    def test_single_core_no_coherence_waste(self, trace):
+        """A single core never suffers Invalidate waste under MESI."""
+        result = run({5: trace}, "MESI")
+        assert result.l1_waste[Category.INVALIDATE] == 0

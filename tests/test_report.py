@@ -1,0 +1,43 @@
+"""Tests for the experiment report generator (on a toy grid)."""
+
+import pytest
+
+from repro.analysis import report
+from tests.test_experiments import fake_result
+
+
+@pytest.fixture
+def toy_grid():
+    protos = ("MESI", "MMemL1", "DeNovo", "DFlexL1", "DValidateL2",
+              "DMemL1", "DFlexL2", "DBypL2", "DBypFull")
+    grid = {}
+    for i, app in enumerate(("fluidanimate", "LU", "FFT", "radix",
+                             "barnes", "kD-tree")):
+        grid[app] = {}
+        for j, proto in enumerate(protos):
+            grid[app][proto] = fake_result(
+                app, proto, traffic_scale=100 - 5 * j,
+                exec_cycles=1000 - 20 * j)
+    return grid
+
+
+class TestReport:
+    def test_headline_table_structure(self, toy_grid):
+        text = report.headline_table(toy_grid)
+        assert "| Metric | Paper | Measured |" in text
+        assert "39.5%" in text
+        assert text.count("|") > 20
+
+    def test_per_app_table(self, toy_grid):
+        text = report.per_app_table(toy_grid)
+        for app in ("fluidanimate", "LU", "FFT", "radix", "barnes",
+                    "kD-tree"):
+            assert app in text
+
+    def test_generate_contains_all_figures(self, toy_grid):
+        text = report.generate(toy_grid)
+        for fig in ("Figure 5.1a", "Figure 5.1b", "Figure 5.1c",
+                    "Figure 5.1d", "Figure 5.2", "Figure 5.3a",
+                    "Figure 5.3b", "Figure 5.3c", "Table 4.1",
+                    "Table 4.2"):
+            assert fig in text, fig

@@ -1,0 +1,91 @@
+"""Unit tests for the trace representation and builder."""
+
+import pytest
+
+from repro.common.regions import FlexPattern, Region, RegionTable
+from repro.workloads.trace import (
+    OP_BARRIER, OP_COMPUTE, OP_LOAD, OP_STORE, RegionUpdate, TraceBuilder,
+    Workload)
+
+
+def table():
+    return RegionTable([Region(0, "a", 0, 1024),
+                        Region(1, "b", 1024, 1024)])
+
+
+class TestTraceBuilder:
+    def test_ops_recorded_per_core(self):
+        tb = TraceBuilder(2, table())
+        tb.load(0, 5)
+        tb.store(1, 10)
+        tb.compute(0, 7)
+        assert tb.traces[0] == [(OP_LOAD, 5), (OP_COMPUTE, 7)]
+        assert tb.traces[1] == [(OP_STORE, 10)]
+
+    def test_zero_compute_skipped(self):
+        tb = TraceBuilder(1, table())
+        tb.compute(0, 0)
+        assert tb.traces[0] == []
+
+    def test_barrier_applied_to_all_cores(self):
+        tb = TraceBuilder(3, table())
+        tb.load(0, 5)
+        tb.barrier()
+        assert all(t[-1] == (OP_BARRIER, 0) for t in tb.traces)
+
+    def test_written_regions_tracked_per_phase(self):
+        tb = TraceBuilder(2, table())
+        tb.store(0, 5)       # region 0
+        tb.barrier()
+        tb.store(1, 1030)    # region 1
+        tb.barrier()
+        tb.load(0, 5)        # loads don't count
+        tb.barrier()
+        assert tb.phase_written_regions == [
+            frozenset({0}), frozenset({1}), frozenset()]
+
+    def test_region_updates_attached_to_barrier(self):
+        tb = TraceBuilder(1, table())
+        update = RegionUpdate(0, bypass_l2=True)
+        tb.barrier(updates=[update])
+        tb.barrier()
+        assert tb.phase_region_updates == {0: [update]}
+
+    def test_build_appends_final_barrier(self):
+        tb = TraceBuilder(2, table())
+        tb.load(0, 5)
+        w = tb.build("test")
+        assert all(t[-1] == (OP_BARRIER, 0) for t in w.traces)
+        assert w.num_barriers == 1
+
+
+class TestWorkload:
+    def test_barrier_counts_must_match(self):
+        with pytest.raises(ValueError):
+            Workload(name="bad", regions=table(),
+                     traces=[[(OP_BARRIER, 0)], []])
+
+    def test_written_regions_padded(self):
+        w = Workload(name="w", regions=table(),
+                     traces=[[(OP_BARRIER, 0), (OP_BARRIER, 0)]],
+                     phase_written_regions=[frozenset({0})])
+        assert w.written_regions_at(0) == frozenset({0})
+        assert w.written_regions_at(1) == frozenset()
+        assert w.written_regions_at(99) == frozenset()
+
+    def test_counts(self):
+        w = Workload(name="w", regions=table(), traces=[
+            [(OP_LOAD, 1), (OP_STORE, 2), (OP_COMPUTE, 5), (OP_BARRIER, 0)],
+            [(OP_LOAD, 3), (OP_BARRIER, 0)],
+        ])
+        assert w.num_cores == 2
+        assert w.total_ops() == 6
+        assert w.memory_ops() == 3
+
+    def test_updates_at(self):
+        update = RegionUpdate(1, flex=FlexPattern(4, (0,)))
+        w = Workload(name="w", regions=table(),
+                     traces=[[(OP_BARRIER, 0)]],
+                     phase_region_updates={0: [update]})
+        assert w.updates_at(0) == [update]
+        assert w.updates_at(1) == []
