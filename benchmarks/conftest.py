@@ -1,22 +1,29 @@
 """Shared fixtures for the figure-regeneration benchmark harness.
 
-The full (6 workloads x 9 protocols) sweep is simulated once per
-configuration and cached on disk (``.repro_cache/``); every benchmark
-then regenerates its paper artifact from the cached grid and prints the
+The full (6 workloads x 9 protocols) sweep runs once per configuration
+through the runner subsystem and lands in its durable result store
+(``.repro_cache/`` or ``$REPRO_CACHE_DIR``); every benchmark then
+regenerates its paper artifact from the stored grid and prints the
 rows/series the paper reports.  Run with ``-s`` to see the tables:
 
     pytest benchmarks/ --benchmark-only -s
+
+A cold store is repopulated on demand; set ``REPRO_JOBS`` to shard that
+initial sweep across worker processes (same results, bit-identical).
 """
+
+import os
 
 import pytest
 
-from repro.analysis.experiments import run_grid
+from repro.runner import sweep_grid
 
 
 @pytest.fixture(scope="session")
 def grid():
     """The full result grid at the default (small) scale."""
-    return run_grid()
+    jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    return sweep_grid(jobs=jobs)
 
 
 def emit(text: str) -> None:

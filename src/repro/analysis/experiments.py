@@ -1,63 +1,59 @@
 """Experiment runner: build the full (workload x protocol) result grid.
 
-The grid drives every figure of the paper's evaluation.  Results are
-cached in-process so benchmarks regenerating several figures reuse one
-simulation sweep.
+The grid drives every figure of the paper's evaluation.  Execution is
+delegated to the :mod:`repro.runner` subsystem — durable on-disk result
+store plus optional process-pool sharding (``jobs > 1``) — and grids are
+additionally memoized in-process (bounded LRU) so benchmarks
+regenerating several figures reuse one sweep.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import Dict, Optional, Sequence
 
-from repro.common.config import (
-    DEFAULT_SCALE, PROTOCOL_ORDER, ScaleConfig, SystemConfig, scaled_system)
-from repro.core.simulator import simulate
+from repro.common.config import ScaleConfig, SystemConfig
+from repro.common.hashing import stable_hash
 from repro.core.stats import RunResult
-from repro.workloads import WORKLOAD_ORDER, build_workload
+from repro.runner import expand_grid, sweep
 
 Grid = Dict[str, Dict[str, RunResult]]
 
-_GRID_CACHE: Dict[Tuple, Grid] = {}
+#: In-process grid memo, keyed on the sweep's job keys.  LRU-bounded:
+#: a long interactive session sweeping many configurations must not
+#: grow memory without limit.
+_GRID_CACHE: "OrderedDict[str, Grid]" = OrderedDict()
+GRID_CACHE_MAX_ENTRIES = 8
 
 
 def run_grid(workloads: Optional[Sequence[str]] = None,
              protocols: Optional[Sequence[str]] = None,
              scale: Optional[ScaleConfig] = None,
              config: Optional[SystemConfig] = None,
-             use_cache: bool = True) -> Grid:
+             use_cache: bool = True,
+             jobs: int = 1) -> Grid:
     """Simulate every (workload, protocol) pair.
 
     Returns ``grid[workload][protocol] -> RunResult`` in paper order.
     ``scale`` defaults to the fast ``small`` inputs with proportionally
-    shrunk caches (see ``repro.common.config.scaled_system``).
+    shrunk caches (see ``repro.common.config.scaled_system``).  ``jobs``
+    shards the missing cells across that many worker processes; the
+    serial ``jobs=1`` path simulates in-process exactly as before.
     """
-    workloads = tuple(workloads) if workloads else WORKLOAD_ORDER
-    protocols = tuple(protocols) if protocols else PROTOCOL_ORDER
-    scale = scale if scale is not None else DEFAULT_SCALE
-    config = config if config is not None else scaled_system(scale)
-
-    key = (workloads, protocols, scale, config)
+    specs = expand_grid(workloads, protocols, scale, config)
+    key = stable_hash([spec.job_key() for spec in specs])
     if use_cache and key in _GRID_CACHE:
+        _GRID_CACHE.move_to_end(key)
         return _GRID_CACHE[key]
 
-    from repro.analysis import persist
-    disk_key = persist.config_key(scale, config)
     grid: Grid = {}
-    for name in workloads:
-        workload = None
-        grid[name] = {}
-        for proto in protocols:
-            result = (persist.load_result(name, proto, disk_key)
-                      if use_cache else None)
-            if result is None:
-                if workload is None:
-                    workload = build_workload(name, scale)
-                result = simulate(workload, proto, config)
-                if use_cache:
-                    persist.save_result(result, disk_key)
-            grid[name][proto] = result
+    for outcome in sweep(specs, jobs=jobs, use_cache=use_cache):
+        grid.setdefault(outcome.spec.workload, {})[
+            outcome.spec.protocol] = outcome.result
     if use_cache:
         _GRID_CACHE[key] = grid
+        while len(_GRID_CACHE) > GRID_CACHE_MAX_ENTRIES:
+            _GRID_CACHE.popitem(last=False)
     return grid
 
 

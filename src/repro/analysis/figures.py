@@ -244,6 +244,20 @@ ALL_FIGURES = {
 }
 
 
+def figures_from_store(which: Optional[Sequence[str]] = None,
+                       jobs: int = 1, **grid_kwargs) -> List[FigureTable]:
+    """Render figures from the runner's durable result store.
+
+    Missing grid cells are simulated first (sharded across ``jobs``
+    worker processes); ``grid_kwargs`` are forwarded to
+    :func:`repro.runner.sweep_grid` (workloads, protocols, scale, ...).
+    """
+    from repro.runner import sweep_grid
+    grid = sweep_grid(jobs=jobs, **grid_kwargs)
+    ids = list(which) if which else list(ALL_FIGURES)
+    return [ALL_FIGURES[fig_id](grid) for fig_id in ids]
+
+
 # ----------------------------------------------------------------------
 # Tables 4.1 / 4.2 — configuration tables
 # ----------------------------------------------------------------------

@@ -1,98 +1,37 @@
-"""Serialization and disk caching of simulation results.
+"""Backward-compatible facade over :mod:`repro.runner.store`.
 
-A full (6 workloads x 9 protocols) sweep takes minutes of pure-Python
-simulation; the benchmark harness and examples therefore cache
-``RunResult`` grids as JSON keyed by a hash of the scale and system
-configuration.  Delete the cache directory (default ``.repro_cache/`` at
-the repo root, or ``$REPRO_CACHE_DIR``) to force re-simulation.
+The durable result cache now lives in the runner subsystem
+(:class:`repro.runner.store.ResultStore`): atomic writes, corrupt-file
+tolerance and a versioned schema.  This module keeps the original
+function-style API (and the exact key derivation, so existing cache
+directories remain valid) for callers that predate the runner.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-from dataclasses import asdict
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Optional
 
-from repro.common.config import ScaleConfig, SystemConfig
 from repro.core.stats import RunResult
-from repro.waste.profiler import Category
+from repro.runner.jobs import GRID_VERSION, config_key
+from repro.runner.store import (
+    ResultStore, default_cache_dir, result_from_dict, result_to_dict)
+
+__all__ = [
+    "GRID_VERSION", "cache_dir", "config_key", "load_result",
+    "result_from_dict", "result_to_dict", "save_result",
+]
 
 
 def cache_dir() -> Path:
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return Path(env)
-    return Path.cwd() / ".repro_cache"
-
-
-#: Bump when workload generators or protocol semantics change, so stale
-#: cached results are never reused.
-GRID_VERSION = 3
-
-
-def config_key(scale: ScaleConfig, config: SystemConfig) -> str:
-    """Stable short hash of the (scale, system) configuration."""
-    payload = json.dumps([GRID_VERSION, sorted(asdict(scale).items()),
-                          sorted(asdict(config).items())])
-    return hashlib.sha256(payload.encode()).hexdigest()[:16]
-
-
-def result_to_dict(result: RunResult) -> dict:
-    return {
-        "workload": result.workload,
-        "protocol": result.protocol,
-        "traffic": result.traffic,
-        "l1_waste": {c.value: n for c, n in result.l1_waste.items()},
-        "l2_waste": {c.value: n for c, n in result.l2_waste.items()},
-        "mem_waste": {c.value: n for c, n in result.mem_waste.items()},
-        "time": result.time,
-        "exec_cycles": result.exec_cycles,
-        "events": result.events,
-        "protocol_stats": result.protocol_stats,
-        "dram_stats": result.dram_stats,
-    }
-
-
-def result_from_dict(data: dict) -> RunResult:
-    def cats(d):
-        return {Category(k): v for k, v in d.items()}
-
-    return RunResult(
-        workload=data["workload"],
-        protocol=data["protocol"],
-        traffic=data["traffic"],
-        l1_waste=cats(data["l1_waste"]),
-        l2_waste=cats(data["l2_waste"]),
-        mem_waste=cats(data["mem_waste"]),
-        time=data["time"],
-        exec_cycles=data["exec_cycles"],
-        events=data["events"],
-        protocol_stats=data.get("protocol_stats", {}),
-        dram_stats=data.get("dram_stats", {}),
-    )
+    return default_cache_dir()
 
 
 def save_result(result: RunResult, key: str,
                 directory: Optional[Path] = None) -> Path:
-    base = directory if directory is not None else cache_dir()
-    base.mkdir(parents=True, exist_ok=True)
-    path = base / f"{result.workload}_{result.protocol}_{key}.json"
-    tmp = path.with_suffix(".tmp")
-    tmp.write_text(json.dumps(result_to_dict(result)))
-    tmp.replace(path)
-    return path
+    return ResultStore(directory).save(result, key)
 
 
 def load_result(workload: str, protocol: str, key: str,
                 directory: Optional[Path] = None) -> Optional[RunResult]:
-    base = directory if directory is not None else cache_dir()
-    path = base / f"{workload}_{protocol}_{key}.json"
-    if not path.exists():
-        return None
-    try:
-        return result_from_dict(json.loads(path.read_text()))
-    except (json.JSONDecodeError, KeyError, ValueError):
-        return None
+    return ResultStore(directory).load(workload, protocol, key)

@@ -1,9 +1,11 @@
 """Generate the paper-vs-measured experiment report.
 
-``python -m repro.analysis.report`` prints the full EXPERIMENTS.md
+``python -m repro report`` (or the legacy
+``python -m repro.analysis.report``) prints the full EXPERIMENTS.md
 content: every figure's regenerated table plus the headline
-paper-vs-measured comparison.  Uses the cached result grid (simulating
-it first if needed).
+paper-vs-measured comparison.  The grid comes from the runner
+subsystem's durable result store, simulating missing cells first —
+shard that across cores with ``python -m repro report --jobs 8``.
 """
 
 from __future__ import annotations
@@ -12,7 +14,7 @@ from typing import List
 
 from repro.analysis.experiments import (
     average_exec_time_reduction, average_overhead_fraction,
-    average_traffic_reduction, average_waste_fraction, run_grid,
+    average_traffic_reduction, average_waste_fraction,
     traffic_reduction)
 from repro.analysis.figures import ALL_FIGURES, table_4_1, table_4_2
 from repro.common.config import DEFAULT_SCALE
@@ -59,10 +61,11 @@ def per_app_table(grid) -> str:
     return "\n".join(lines)
 
 
-def generate(grid=None) -> str:
+def generate(grid=None, jobs: int = 1) -> str:
     """Full report text (the body of EXPERIMENTS.md)."""
     if grid is None:
-        grid = run_grid()
+        from repro.runner import sweep_grid
+        grid = sweep_grid(jobs=jobs)
     parts: List[str] = []
     parts.append("## Headline comparison (paper Section 5.1)\n")
     parts.append(headline_table(grid))

@@ -1,0 +1,209 @@
+"""``python -m repro`` — drive sweeps, figures and reports from a shell.
+
+Subcommands::
+
+    python -m repro sweep   --workloads radix --protocols MESI DeNovo --jobs 8
+    python -m repro figures --figures 5.1a 5.2
+    python -m repro report
+    python -m repro clean-cache
+
+Every grid-shaped subcommand shares the same selection flags
+(``--workloads/--protocols/--scale/--seed``), the parallelism flag
+(``--jobs``, 0 = one per CPU) and cache controls (``--cache-dir``,
+``--fresh``).  ``sweep`` prints one progress line per completed cell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import List, Optional
+
+from repro.common.config import PROTOCOL_ORDER, ScaleConfig
+from repro.runner.jobs import DEFAULT_SEED
+from repro.runner.pool import JobOutcome, sweep_grid
+from repro.runner.store import ResultStore
+from repro.workloads import GENERATORS, WORKLOAD_ORDER, canonical_workload
+
+SCALES = {
+    "tiny": ScaleConfig.tiny,
+    "small": ScaleConfig,
+    "paper": ScaleConfig.paper,
+}
+
+
+def _resolve_jobs(jobs: int) -> int:
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _make_store(ns: argparse.Namespace) -> ResultStore:
+    return ResultStore(ns.cache_dir) if ns.cache_dir else ResultStore()
+
+
+def _progress_printer(out):
+    def progress(outcome: JobOutcome, done: int, total: int) -> None:
+        spec = outcome.spec
+        status = ("cached" if outcome.from_cache
+                  else f"{outcome.elapsed:.2f}s")
+        retried = (f"  (attempt {outcome.attempts})"
+                   if outcome.attempts > 1 else "")
+        print(f"[{done:3d}/{total}] {spec.workload:<14s} "
+              f"{spec.protocol:<12s} {status}{retried}",
+              file=out, flush=True)
+    return progress
+
+
+def _grid(ns: argparse.Namespace, progress=None):
+    return sweep_grid(
+        workloads=ns.workloads, protocols=ns.protocols,
+        scale=SCALES[ns.scale](), seed=ns.seed,
+        jobs=_resolve_jobs(ns.jobs), store=_make_store(ns),
+        use_cache=not ns.fresh, progress=progress)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+
+def cmd_sweep(ns: argparse.Namespace, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    jobs = _resolve_jobs(ns.jobs)
+    workloads = tuple(ns.workloads) if ns.workloads else WORKLOAD_ORDER
+    protocols = tuple(ns.protocols) if ns.protocols else PROTOCOL_ORDER
+    cells = len(workloads) * len(protocols)
+    print(f"sweep: {len(workloads)} workloads x {len(protocols)} protocols "
+          f"= {cells} cells, scale={ns.scale}, jobs={jobs}",
+          file=out, flush=True)
+    start = time.perf_counter()
+    _grid(ns, progress=_progress_printer(out))
+    elapsed = time.perf_counter() - start
+    print(f"sweep: {cells} cells in {elapsed:.2f}s "
+          f"(results in {_make_store(ns).directory})", file=out, flush=True)
+    return 0
+
+
+def cmd_figures(ns: argparse.Namespace, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    from repro.analysis.figures import figures_from_store
+    figures = figures_from_store(
+        ns.figures, jobs=_resolve_jobs(ns.jobs),
+        workloads=ns.workloads, protocols=ns.protocols,
+        scale=SCALES[ns.scale](), seed=ns.seed, store=_make_store(ns),
+        use_cache=not ns.fresh, progress=_progress_printer(sys.stderr))
+    for figure in figures:
+        print(figure.render(), file=out)
+        print(file=out)
+    return 0
+
+
+def cmd_report(ns: argparse.Namespace, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    from repro.analysis import report
+    grid = _grid(ns, progress=_progress_printer(sys.stderr))
+    print(report.generate(grid), file=out)
+    return 0
+
+
+def cmd_clean_cache(ns: argparse.Namespace, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    store = _make_store(ns)
+    removed = store.clear()
+    print(f"removed {removed} cached result(s) from {store.directory}",
+          file=out)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Parallel sweep runner for the traffic-waste "
+                    "reproduction (workload x protocol grids).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    grid_flags = argparse.ArgumentParser(add_help=False)
+    grid_flags.add_argument(
+        "--workloads", nargs="+", metavar="W",
+        help=f"workloads to sweep (default: paper order; "
+             f"known: {', '.join(sorted(GENERATORS))})")
+    grid_flags.add_argument(
+        "--protocols", nargs="+", metavar="P", choices=PROTOCOL_ORDER,
+        help="protocol configurations (default: all nine)")
+    grid_flags.add_argument(
+        "--scale", choices=sorted(SCALES), default="small",
+        help="input-size scale (default: small)")
+    grid_flags.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help=f"trace-generator seed (default: {DEFAULT_SEED})")
+    grid_flags.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parallel worker processes; 0 = one per CPU (default: 1)")
+    grid_flags.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="result-store directory (default: $REPRO_CACHE_DIR "
+             "or ./.repro_cache)")
+    grid_flags.add_argument(
+        "--fresh", action="store_true",
+        help="ignore and do not update the on-disk result store")
+
+    p = sub.add_parser("sweep", parents=[grid_flags],
+                       help="simulate the grid and persist results")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("figures", parents=[grid_flags],
+                       help="render paper figures from the (cached) grid")
+    from repro.analysis.figures import ALL_FIGURES
+    p.add_argument("--figures", nargs="+", choices=list(ALL_FIGURES),
+                   metavar="FIG",
+                   help=f"figures to render (default: all; known: "
+                        f"{', '.join(ALL_FIGURES)})")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("report", parents=[grid_flags],
+                       help="print the full paper-vs-measured report")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("clean-cache",
+                       help="delete every stored result")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="result-store directory to clean")
+    p.set_defaults(func=cmd_clean_cache)
+    return parser
+
+
+def _validate(ns: argparse.Namespace) -> Optional[str]:
+    """Check argument combinations argparse can't; returns an error."""
+    for name in getattr(ns, "workloads", None) or ():
+        try:
+            canonical_workload(name)
+        except KeyError as exc:
+            return str(exc.args[0])
+    # Every figure and the report normalize to the MESI bar, so a grid
+    # without MESI would only fail after the whole sweep ran.
+    if ns.command in ("figures", "report"):
+        protocols = getattr(ns, "protocols", None)
+        if protocols and "MESI" not in protocols:
+            return (f"{ns.command} normalizes to the MESI baseline; "
+                    f"include MESI in --protocols")
+    return None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ns = build_parser().parse_args(argv)
+    error = _validate(ns)
+    if error is not None:
+        print(f"python -m repro {ns.command}: error: {error}",
+              file=sys.stderr)
+        return 2
+    return ns.func(ns)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""Job specifications for the sweep runner.
+
+A :class:`JobSpec` names one (workload, protocol) simulation cell
+completely: the workload and protocol, the input scale, the system
+configuration and the trace-generator seed.  Specs are small frozen
+dataclasses so they pickle cheaply across the process-pool pipe —
+workers rebuild the (large) workload trace locally from the spec.
+
+Key derivation is shared with the durable result store: every cell has
+
+* a **config key** — hash of (scale, system) only, shared by all cells
+  of one grid sweep (this is the key :mod:`repro.analysis.persist` has
+  always used, preserved bit-for-bit so existing caches stay valid);
+* a **store key** — the config key plus the seed when it differs from
+  the generators' default, naming the cache file;
+* a **job key** — hash of the full spec, used for in-process memoization
+  (e.g. the experiment grid LRU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.common.config import (
+    DEFAULT_SCALE, PROTOCOL_ORDER, ScaleConfig, SystemConfig, protocol,
+    scaled_system)
+from repro.common.hashing import config_items, stable_hash
+from repro.workloads import WORKLOAD_ORDER, canonical_workload
+
+#: Default trace-generator seed (matches ``workloads.base.Generator``).
+DEFAULT_SEED = 12345
+
+#: Bump when workload generators or protocol semantics change, so stale
+#: cached results are never reused.  (Moved here from
+#: ``repro.analysis.persist``; the value and hash payload are unchanged
+#: so previously cached grids remain addressable.)
+GRID_VERSION = 3
+
+
+def config_key(scale: ScaleConfig, config: SystemConfig) -> str:
+    """Stable short hash of the (scale, system) configuration."""
+    payload = [GRID_VERSION, config_items(scale), config_items(config)]
+    return stable_hash(payload)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One independent simulation cell of a sweep."""
+
+    workload: str
+    protocol: str
+    scale: ScaleConfig
+    config: SystemConfig
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        # Validate and canonicalize eagerly: a typo should fail in the
+        # parent process with a clear message, not inside a pool worker.
+        object.__setattr__(self, "workload", canonical_workload(self.workload))
+        protocol(self.protocol)
+
+    # -- key derivation ----------------------------------------------------
+    def config_key(self) -> str:
+        return config_key(self.scale, self.config)
+
+    def store_key(self) -> str:
+        """Key naming this cell's cache file in the result store."""
+        base = self.config_key()
+        if self.seed == DEFAULT_SEED:
+            return base
+        return f"{base}-s{self.seed}"
+
+    def job_key(self) -> str:
+        """Hash of the complete spec (for in-process memo keys)."""
+        return stable_hash([GRID_VERSION, self.workload, self.protocol,
+                            self.seed, config_items(self.scale),
+                            config_items(self.config)])
+
+    def label(self) -> str:
+        return f"{self.workload} x {self.protocol}"
+
+
+def expand_grid(workloads: Optional[Sequence[str]] = None,
+                protocols: Optional[Sequence[str]] = None,
+                scale: Optional[ScaleConfig] = None,
+                config: Optional[SystemConfig] = None,
+                seed: int = DEFAULT_SEED) -> Tuple[JobSpec, ...]:
+    """The (workload x protocol) grid as job specs, workload-major.
+
+    Defaults mirror :func:`repro.analysis.experiments.run_grid`: paper
+    workload/protocol order, the fast ``small`` scale, and a system
+    configuration shrunk in step with the scale.
+    """
+    workloads = tuple(workloads) if workloads else WORKLOAD_ORDER
+    protocols = tuple(protocols) if protocols else PROTOCOL_ORDER
+    scale = scale if scale is not None else DEFAULT_SCALE
+    config = config if config is not None else scaled_system(scale)
+    return tuple(JobSpec(workload=w, protocol=p, scale=scale,
+                         config=config, seed=seed)
+                 for w in workloads for p in protocols)

@@ -1,0 +1,229 @@
+"""Sharded sweep execution over a process pool.
+
+The sweep is embarrassingly parallel: every (workload, protocol) cell is
+an independent pure-Python simulation.  :func:`run_jobs` fans
+:class:`~repro.runner.jobs.JobSpec`s out to ``multiprocessing`` workers
+— only the small specs cross the pipe; each worker rebuilds the workload
+trace locally (generators are seeded, so every rebuild is bit-identical)
+and memoizes it so consecutive protocol cells of one workload landing in
+the same process share a single build.
+
+Crash handling: a worker dying (OOM-kill, segfaulting C extension,
+interpreter abort) breaks the pool and fails every in-flight future.
+Failed cells are retried in a fresh pool, and whatever still fails after
+the retry budget runs serially in the parent as a last resort, so a
+sweep either completes every cell or raises the underlying error.
+
+:func:`sweep` layers the durable result store on top; :func:`sweep_grid`
+returns the classic ``grid[workload][protocol]`` mapping the analysis
+and figure code consume.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import ScaleConfig, SystemConfig
+from repro.core.simulator import simulate
+from repro.core.stats import RunResult
+from repro.runner.jobs import DEFAULT_SEED, JobSpec, expand_grid
+from repro.runner.store import ResultStore
+from repro.workloads import build_workload
+
+Grid = Dict[str, Dict[str, RunResult]]
+
+#: Called after each finished cell: ``progress(outcome, done, total)``.
+ProgressFn = Callable[["JobOutcome", int, int], None]
+
+
+@dataclass
+class JobOutcome:
+    """One completed cell: its result plus execution metadata."""
+
+    spec: JobSpec
+    result: RunResult
+    elapsed: float        # seconds spent simulating (0.0 if from cache)
+    attempts: int         # pool submissions consumed (0 if from cache)
+    from_cache: bool
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+#: Per-process memo of the last built workload.  Specs arrive
+#: workload-major, so one entry suffices to share a build across the
+#: protocol cells of a workload without unbounded growth.
+_WORKLOAD_MEMO: dict = {}
+
+
+def _cached_workload(name: str, scale: ScaleConfig, seed: int):
+    key = (name, scale, seed)
+    workload = _WORKLOAD_MEMO.get(key)
+    if workload is None:
+        _WORKLOAD_MEMO.clear()
+        workload = build_workload(name, scale, seed=seed)
+        _WORKLOAD_MEMO[key] = workload
+    return workload
+
+
+def execute_job(spec: JobSpec) -> Tuple[RunResult, float]:
+    """Simulate one cell; returns the result and its wall-clock time."""
+    start = time.perf_counter()
+    workload = _cached_workload(spec.workload, spec.scale, spec.seed)
+    result = simulate(workload, spec.protocol, spec.config)
+    return result, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+def _pool_context():
+    # fork keeps workers warm (no re-import) and is available on every
+    # POSIX platform; fall back to the default (spawn) elsewhere.
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_jobs(specs: Sequence[JobSpec],
+             jobs: int = 1,
+             retries: int = 1,
+             notify: Optional[Callable[[int, JobOutcome], None]] = None,
+             ) -> List[JobOutcome]:
+    """Execute every spec, returning outcomes in input order.
+
+    ``jobs <= 1`` runs serially in-process (no pool, deterministic
+    ordering — the reference path).  ``notify(index, outcome)``, when
+    given, fires as each cell completes (completion order).
+    """
+    specs = list(specs)
+    outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
+
+    def finish(index: int, result: RunResult, elapsed: float,
+               attempts: int) -> None:
+        outcomes[index] = JobOutcome(specs[index], result, elapsed,
+                                     attempts, from_cache=False)
+        if notify is not None:
+            notify(index, outcomes[index])
+
+    if jobs <= 1 or len(specs) <= 1:
+        try:
+            for i, spec in enumerate(specs):
+                result, elapsed = execute_job(spec)
+                finish(i, result, elapsed, attempts=1)
+        finally:
+            # The memo exists to keep pool *workers* warm; don't pin a
+            # full workload trace in the parent after a serial sweep.
+            _WORKLOAD_MEMO.clear()
+        return outcomes  # type: ignore[return-value]
+
+    ctx = _pool_context()
+    remaining: List[int] = list(range(len(specs)))
+    attempts = [0] * len(specs)
+    for _round in range(retries + 1):
+        if not remaining:
+            break
+        failed: List[int] = []
+        workers = min(jobs, len(remaining))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as ex:
+            futures = {ex.submit(execute_job, specs[i]): i for i in remaining}
+            for future in as_completed(futures):
+                i = futures[future]
+                attempts[i] += 1
+                try:
+                    result, elapsed = future.result()
+                except Exception:
+                    # Worker crash (BrokenProcessPool) or job error —
+                    # queue for the next round / serial fallback.
+                    failed.append(i)
+                else:
+                    finish(i, result, elapsed, attempts[i])
+        remaining = failed
+
+    # Last resort: run stragglers in-process so a deterministic job
+    # error surfaces with its real traceback.
+    try:
+        for i in remaining:
+            result, elapsed = execute_job(specs[i])
+            finish(i, result, elapsed, attempts[i] + 1)
+    finally:
+        _WORKLOAD_MEMO.clear()
+    return outcomes  # type: ignore[return-value]
+
+
+def sweep(specs: Sequence[JobSpec],
+          jobs: int = 1,
+          store: Optional[ResultStore] = None,
+          use_cache: bool = True,
+          retries: int = 1,
+          progress: Optional[ProgressFn] = None) -> List[JobOutcome]:
+    """Run a sweep against the durable store.
+
+    Cells already in the store are served from disk; the rest are
+    sharded across ``jobs`` workers and persisted as they complete.
+    With ``use_cache=False`` nothing is read from or written to disk.
+    """
+    specs = list(specs)
+    store = store if store is not None else ResultStore()
+    outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
+    total = len(specs)
+    done = 0
+
+    def report(outcome: JobOutcome) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(outcome, done, total)
+
+    pending: List[int] = []
+    for i, spec in enumerate(specs):
+        cached = (store.load(spec.workload, spec.protocol, spec.store_key())
+                  if use_cache else None)
+        if cached is not None:
+            outcomes[i] = JobOutcome(spec, cached, 0.0, 0, from_cache=True)
+            report(outcomes[i])
+        else:
+            pending.append(i)
+
+    def notify(pending_index: int, outcome: JobOutcome) -> None:
+        i = pending[pending_index]
+        if use_cache:
+            store.save(outcome.result, outcome.spec.store_key())
+        outcomes[i] = outcome
+        report(outcome)
+
+    run_jobs([specs[i] for i in pending], jobs=jobs, retries=retries,
+             notify=notify)
+    return outcomes  # type: ignore[return-value]
+
+
+def sweep_grid(workloads: Optional[Sequence[str]] = None,
+               protocols: Optional[Sequence[str]] = None,
+               scale: Optional[ScaleConfig] = None,
+               config: Optional[SystemConfig] = None,
+               seed: int = DEFAULT_SEED,
+               jobs: int = 1,
+               store: Optional[ResultStore] = None,
+               use_cache: bool = True,
+               retries: int = 1,
+               progress: Optional[ProgressFn] = None) -> Grid:
+    """Sweep the (workload x protocol) grid; returns paper-order results.
+
+    Drop-in data source for the figure/report renderers:
+    ``grid[workload][protocol] -> RunResult``.
+    """
+    specs = expand_grid(workloads, protocols, scale, config, seed=seed)
+    outcomes = sweep(specs, jobs=jobs, store=store, use_cache=use_cache,
+                     retries=retries, progress=progress)
+    grid: Grid = {}
+    for outcome in outcomes:
+        grid.setdefault(outcome.spec.workload, {})[
+            outcome.spec.protocol] = outcome.result
+    return grid

@@ -1,0 +1,66 @@
+"""stream — synthetic streaming-write microbenchmark (opt-in).
+
+Not one of the paper's six applications: a minimal, cheap scenario for
+exercising the sweep runner and seeding scenario diversity beyond the
+paper grid.  Each core streams uniform writes over its private
+contiguous slice of one large array — no sharing, no reads, no reuse —
+the pure fetch-on-write stress case: a write-allocate protocol fetches
+every line only to overwrite it completely, while DeNovo's
+write-combining and the L2-bypass optimizations should eliminate nearly
+all of that traffic.
+
+Registered in ``repro.workloads.GENERATORS`` (so ``build_workload`` and
+``python -m repro sweep --workloads stream`` find it) but deliberately
+kept out of ``WORKLOAD_ORDER``: paper figures stay six-workload-shaped.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import ScaleConfig
+from repro.workloads.base import Generator
+
+#: Array sizes per scale name; anything unknown gets the ``small`` size.
+WORDS_BY_SCALE = {"tiny": 2048, "small": 16384, "paper": 1 << 20}
+
+
+class StreamGenerator(Generator):
+    name = "stream"
+
+    def __init__(self, scale: ScaleConfig, words: Optional[int] = None,
+                 iterations: int = 2, **kwargs) -> None:
+        super().__init__(scale, **kwargs)
+        if iterations < 1:
+            raise ValueError("stream needs at least one iteration")
+        self.words = (words if words is not None
+                      else WORDS_BY_SCALE.get(scale.name,
+                                              WORDS_BY_SCALE["small"]))
+        self.iterations = iterations
+
+    def description(self) -> str:
+        return (f"{self.words} words, {self.iterations} iterations, "
+                f"uniform streaming writes, no sharing")
+
+    def layout(self) -> None:
+        # Two buffers written alternately: every iteration streams over
+        # lines gone cold since they were last touched (nothing written
+        # is ever re-read), so write-allocate protocols fetch-on-write
+        # every line.  Bypassing the L2 avoids polluting it.
+        self.buffers = [
+            self.alloc.alloc(f"stream.dst{i}", self.words, bypass_l2=True)
+            for i in range(2)]
+
+    def warmup_barriers(self) -> int:
+        # First iteration warms caches and write buffers — unless it is
+        # the only one, in which case everything is measured.
+        return min(1, self.iterations - 1)
+
+    def emit(self) -> None:
+        for iteration in range(self.iterations):
+            dst = self.buffers[iteration % 2]
+            for core in range(self.num_cores):
+                for word in self.chunk(self.words, core):
+                    self.tb.store(core, dst.base_word + word)
+                self.compute(core, 4)
+            self.barrier()

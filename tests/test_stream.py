@@ -1,0 +1,83 @@
+"""Tests for the opt-in `stream` synthetic microbenchmark."""
+
+import pytest
+
+from repro.common.config import ScaleConfig, scaled_system
+from repro.core.simulator import simulate
+from repro.workloads import (
+    GENERATORS, WORKLOAD_ORDER, build_workload, canonical_workload)
+from repro.workloads.stream import StreamGenerator, WORDS_BY_SCALE
+from repro.workloads.trace import OP_LOAD, OP_STORE
+
+SCALE = ScaleConfig.tiny()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload("stream", SCALE)
+
+
+class TestRegistration:
+    def test_registered_but_not_in_paper_order(self):
+        assert GENERATORS["stream"] is StreamGenerator
+        assert "stream" not in WORKLOAD_ORDER
+
+    def test_case_insensitive_lookup(self):
+        assert canonical_workload("STREAM") == "stream"
+
+
+class TestPattern:
+    def test_write_only_no_loads(self, workload):
+        kinds = {k for t in workload.traces for k, _ in t}
+        assert OP_STORE in kinds
+        assert OP_LOAD not in kinds
+
+    def test_no_sharing_between_cores(self, workload):
+        """Uniform streaming writes: every word touched by exactly one
+        core, and each core's slice is contiguous."""
+        owners = {}
+        for core, trace in enumerate(workload.traces):
+            for kind, addr in trace:
+                if kind == OP_STORE:
+                    assert owners.setdefault(addr, core) == core
+        # Two ping-pong buffers, each fully written once per pass.
+        assert len(owners) == 2 * WORDS_BY_SCALE["tiny"]
+
+    def test_every_core_writes(self, workload):
+        for core, trace in enumerate(workload.traces):
+            stores = sum(1 for k, _ in trace if k == OP_STORE)
+            assert stores > 0, f"core {core} idle"
+
+    def test_deterministic(self):
+        a = build_workload("stream", SCALE)
+        b = build_workload("stream", SCALE)
+        assert a.traces == b.traces
+
+    def test_words_override(self):
+        w = StreamGenerator(SCALE, words=512).build()
+        stores = {addr for t in w.traces for k, addr in t if k == OP_STORE}
+        assert len(stores) == 2 * 512
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            StreamGenerator(SCALE, iterations=0)
+
+    def test_single_iteration_is_measured_not_warmup(self):
+        """With one iteration there is nothing to warm: the run must
+        still produce non-zero measured traffic."""
+        w = StreamGenerator(SCALE, iterations=1).build()
+        assert w.warmup_barriers == 0
+        result = simulate(w, "MESI", scaled_system(SCALE))
+        assert result.traffic_total() > 0
+
+
+class TestSimulation:
+    def test_simulates_under_mesi_and_denovo(self, workload):
+        config = scaled_system(SCALE)
+        mesi = simulate(workload, "MESI", config)
+        denovo = simulate(workload, "DBypFull", config)
+        assert mesi.traffic_total() > 0
+        assert denovo.traffic_total() > 0
+        # The pure fetch-on-write stress case: the optimized DeNovo
+        # stack moves far less traffic than write-allocate MESI.
+        assert denovo.traffic_total() < mesi.traffic_total()
