@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Perf smoke: time a tiny-scale radix x {MESI, DeNovo} sweep.
+
+Runs the two cells in-process, serially and cache-free (so the number is
+pure simulation speed, not store hits), and writes a small JSON record —
+``BENCH_sweep.json`` by default — that CI uploads as a workflow
+artifact.  Comparing the artifact across commits gives the perf
+trajectory of the simulator hot path without a full benchmark session.
+
+Run:  PYTHONPATH=src python benchmarks/perf_smoke.py [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.common.config import ScaleConfig, scaled_system
+from repro.core.simulator import simulate
+from repro.workloads import build_workload
+
+WORKLOAD = "radix"
+PROTOCOLS = ("MESI", "DeNovo")
+SCALE = "tiny"
+
+
+def run() -> dict:
+    scale = ScaleConfig.tiny()
+    config = scaled_system(scale)
+    t_build = time.perf_counter()
+    workload = build_workload(WORKLOAD, scale)
+    build_s = time.perf_counter() - t_build
+
+    cells = []
+    for proto in PROTOCOLS:
+        t0 = time.perf_counter()
+        result = simulate(workload, proto, config)
+        elapsed = time.perf_counter() - t0
+        cells.append({
+            "workload": WORKLOAD,
+            "protocol": proto,
+            "seconds": round(elapsed, 4),
+            "events": result.events,
+            "events_per_second": round(result.events / elapsed, 1),
+            "exec_cycles": result.exec_cycles,
+        })
+    return {
+        "bench": f"sweep_{WORKLOAD}_{SCALE}",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "trace_build_seconds": round(build_s, 4),
+        "total_seconds": round(sum(c["seconds"] for c in cells), 4),
+        "cells": cells,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_sweep.json",
+                        help="output JSON path (default: BENCH_sweep.json)")
+    ns = parser.parse_args(argv)
+    record = run()
+    with open(ns.out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {ns.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

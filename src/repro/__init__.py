@@ -22,15 +22,21 @@ from repro.common.config import (
     protocol,
     scaled_system,
 )
+from repro.common.registry import (
+    paper_ladder,
+    register_protocol,
+    registered_protocols,
+)
 from repro.core.simulator import simulate, simulate_all_protocols
 from repro.core.stats import RunResult
 from repro.workloads import WORKLOAD_ORDER, build_all, build_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "PROTOCOLS", "PROTOCOL_ORDER", "ProtocolConfig", "RunResult",
     "ScaleConfig", "SystemConfig", "WORKLOAD_ORDER", "build_all",
-    "build_workload", "protocol", "scaled_system", "simulate",
+    "build_workload", "paper_ladder", "protocol", "register_protocol",
+    "registered_protocols", "scaled_system", "simulate",
     "simulate_all_protocols", "__version__",
 ]

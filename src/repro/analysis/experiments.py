@@ -35,10 +35,12 @@ def run_grid(workloads: Optional[Sequence[str]] = None,
     """Simulate every (workload, protocol) pair.
 
     Returns ``grid[workload][protocol] -> RunResult`` in paper order.
-    ``scale`` defaults to the fast ``small`` inputs with proportionally
-    shrunk caches (see ``repro.common.config.scaled_system``).  ``jobs``
-    shards the missing cells across that many worker processes; the
-    serial ``jobs=1`` path simulates in-process exactly as before.
+    ``protocols`` defaults to the registry's paper ladder (beyond-paper
+    rungs run when named explicitly).  ``scale`` defaults to the fast
+    ``small`` inputs with proportionally shrunk caches (see
+    ``repro.common.config.scaled_system``).  ``jobs`` shards the missing
+    cells across that many worker processes; the serial ``jobs=1`` path
+    simulates in-process exactly as before.
     """
     specs = expand_grid(workloads, protocols, scale, config)
     key = stable_hash([spec.job_key() for spec in specs])

@@ -14,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.common.config import PROTOCOL_ORDER
 from repro.core.stats import RunResult, TIME_BUCKETS, TIME_LABELS
 from repro.network import traffic as T
 from repro.waste.profiler import Category
@@ -251,6 +250,9 @@ def figures_from_store(which: Optional[Sequence[str]] = None,
     Missing grid cells are simulated first (sharded across ``jobs``
     worker processes); ``grid_kwargs`` are forwarded to
     :func:`repro.runner.sweep_grid` (workloads, protocols, scale, ...).
+    When no protocols are named, the sweep defaults to the registry's
+    paper ladder (see ``repro.runner.jobs.expand_grid``), so figures
+    keep the paper's x-axis even when extra rungs are registered.
     """
     from repro.runner import sweep_grid
     grid = sweep_grid(jobs=jobs, **grid_kwargs)

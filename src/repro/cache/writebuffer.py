@@ -20,6 +20,8 @@ from repro.common.addressing import WORDS_PER_LINE, offset_of, line_of
 class StoreBuffer:
     """Outstanding-ownership-request tracker for MESI non-blocking writes."""
 
+    __slots__ = ("_capacity", "_pending")
+
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -48,7 +50,7 @@ class StoreBuffer:
         return len(self._pending)
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteCombineEntry:
     """Pending registration requests for one cache line."""
 
@@ -75,6 +77,8 @@ class WriteCombineTable:
     barriers.  Inserting into a full table must be preceded by flushing —
     the structure itself never silently drops requests.
     """
+
+    __slots__ = ("_capacity", "_timeout", "_entries")
 
     def __init__(self, capacity: int, timeout: int) -> None:
         if capacity <= 0:

@@ -1,4 +1,10 @@
-"""The DeNovo coherence protocol and the paper's five optimizations.
+"""The DeNovo protocol core and the paper's five optimizations.
+
+``DenovoSystem`` is a protocol core on top of
+:class:`~repro.coherence.kernel.CoherenceKernel`; the word-granular
+coherence state machine lives here and every per-rung behaviour is a
+policy object resolved from ``ProtocolConfig``
+(:mod:`repro.coherence.policies`).
 
 Baseline DeNovo (Choi et al. [8], plus the thesis's write-combining
 extension):
@@ -14,20 +20,21 @@ extension):
 * write-combining table batching word registrations per line (32 entries,
   10,000-cycle timeout, flushed at releases/barriers/evictions).
 
-Optimizations (paper Section 3.1), selected by ``ProtocolConfig`` flags:
+Optimizations (paper Section 3.1) and the policies they resolve to:
 
-* ``flex_l1`` — Flex: cache-sourced responses return the communication
-  region's words instead of the whole line;
-* ``l2_write_validate`` + ``l2_dirty_wb_only`` — DValidateL2;
-* ``mem_to_l1`` — memory responses go to the L1 and L2 in parallel,
-  filtered by the L2's dirty-word mask;
-* ``flex_l2`` — Flex extended to memory: the controller fetches only
-  same-DRAM-row lines of the communication region and drops non-region
-  words (counted as Excess waste);
-* ``bypass_l2_response`` — annotated regions' memory responses skip the
-  L2 entirely;
-* ``bypass_l2_request`` — Bloom-filter-guarded requests go straight from
-  the L1 to the memory controller.
+* ``flex_l1`` -> :class:`TransferPolicy` — Flex: cache-sourced responses
+  return the communication region's words instead of the whole line;
+* ``l2_write_validate`` -> :class:`GranularityPolicy` +
+  ``l2_dirty_wb_only`` -> :class:`WritebackPolicy` — DValidateL2;
+* ``mem_to_l1`` -> :class:`MemTransferPolicy` — memory responses go to
+  the L1 and L2 in parallel, filtered by the L2's dirty-word mask;
+* ``flex_l2`` -> :class:`TransferPolicy` — Flex extended to memory: the
+  controller fetches only same-DRAM-row lines of the communication
+  region and drops non-region words (counted as Excess waste);
+* ``bypass_l2_response`` / ``bypass_l2_request`` ->
+  :class:`BypassPolicy` — annotated regions' memory responses skip the
+  L2 entirely; Bloom-filter-guarded requests go straight from the L1 to
+  the memory controller.
 """
 
 from __future__ import annotations
@@ -35,8 +42,9 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.bloom.filters import L1FilterShadow, SliceFilterBank
-from repro.cache.sa_cache import CacheLine, SetAssocCache
+from repro.cache.sa_cache import CacheLine
 from repro.cache.writebuffer import WriteCombineEntry, WriteCombineTable
+from repro.coherence.kernel import CoherenceKernel
 from repro.common.addressing import (
     WORDS_PER_LINE, base_word, line_of, offset_of, words_of_line)
 from repro.core.context import (
@@ -76,28 +84,19 @@ class DenovoL2Line(CacheLine):
                 if self.word_dirty[i] or self.word_state[i] == L2W_REG]
 
 
-class DenovoSystem:
+class DenovoSystem(CoherenceKernel):
     """All L1s, the shared L2 and the DeNovo logic of one machine."""
 
+    l1_line_cls = DenovoL1Line
+    l2_line_cls = DenovoL2Line
+
     def __init__(self, ctx: SimContext) -> None:
-        self.ctx = ctx
+        super().__init__(ctx)
         cfg = ctx.config
-        proto = ctx.proto
-        self.proto = proto
-        self.l1: List[SetAssocCache[DenovoL1Line]] = [
-            SetAssocCache(cfg.l1_sets, cfg.l1_assoc, DenovoL1Line)
-            for _ in range(cfg.num_tiles)]
-        self.l2: List[SetAssocCache[DenovoL2Line]] = [
-            SetAssocCache(cfg.l2_slice_sets, cfg.l2_assoc, DenovoL2Line,
-                          index_shift=cfg.num_tiles.bit_length() - 1)
-            for _ in range(cfg.num_tiles)]
         self.wct = [WriteCombineTable(cfg.write_combine_entries,
                                       cfg.write_combine_timeout)
                     for _ in range(cfg.num_tiles)]
         self._outstanding_regs = [0] * cfg.num_tiles
-        self._retire_hooks: List[List[Callable[[int], None]]] = [
-            [] for _ in range(cfg.num_tiles)]
-        self._protected: List[Set[int]] = [set() for _ in range(cfg.num_tiles)]
         # MSHR-style coalescing: lines with a fill in flight, mapped to
         # loads waiting for that fill (prevents duplicate memory fetches
         # racing the streamed Flex prefetch responses).
@@ -111,7 +110,7 @@ class DenovoSystem:
         self.stat_bypass_queries = 0
         self.stat_bloom_copies = 0
         self.stat_self_invalidated_words = 0
-        if proto.bypass_l2_request:
+        if self.policies.bypass.request_enabled:
             self.slice_blooms = [
                 SliceFilterBank(cfg.bloom_filters_per_slice,
                                 cfg.bloom_entries, cfg.bloom_hashes,
@@ -125,6 +124,17 @@ class DenovoSystem:
         else:
             self.slice_blooms = []
             self.l1_blooms = []
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "bloom_copies": self.stat_bloom_copies,
+            "bypass_queries": self.stat_bypass_queries,
+            "direct_requests": self.stat_direct_requests,
+            "nacks": self.stat_nacks,
+            "reg_invalidations": self.stat_reg_invalidations,
+            "registrations": self.stat_registrations,
+            "self_invalidated_words": self.stat_self_invalidated_words,
+        }
 
     # ------------------------------------------------------------------
     # Core-facing interface
@@ -154,12 +164,11 @@ class DenovoSystem:
         if line is None:
             self._protected[core].add(line_addr)
         region = self.ctx.regions.find(addr)
-        bypassed = (self.proto.bypass_l2_response and region is not None
-                    and region.bypass_l2)
-        if bypassed and self.proto.bypass_l2_request:
+        bypassed = self.policies.bypass.bypasses(region)
+        if bypassed and self.policies.bypass.request_enabled:
             self._bypass_request_path(request, at)
         else:
-            self.ctx.send_req_ctl(
+            self._send_req_ctl(
                 T.LD, core, self.ctx.home_tile(line_addr), at,
                 lambda t: self._l2_gets(request, t))
         return None
@@ -190,9 +199,6 @@ class DenovoSystem:
 
     def pending_store_count(self, core: int) -> int:
         return self._outstanding_regs[core] + len(self.wct[core])
-
-    def on_retire(self, core: int, hook: Callable[[int], None]) -> None:
-        self._retire_hooks[core].append(hook)
 
     def drain_barrier(self, core: int, at: int,
                       resume: Callable[[int], None]) -> None:
@@ -243,21 +249,6 @@ class DenovoSystem:
     # L1 basics
     # ------------------------------------------------------------------
 
-    def _retry_load(self, core: int, addr: int, at: int,
-                    on_done: Callable[[int, LoadRequest], None]) -> None:
-        done = self.load(core, addr, at, on_done)
-        if done is not None:
-            dummy = LoadRequest(core=core, addr=addr, t_issue=at,
-                                on_done=on_done)
-            on_done(done, dummy)
-
-    def _profile_load_hit(self, core: int, line: DenovoL1Line,
-                          addr: int) -> None:
-        self.ctx.l1_prof.on_use(core, addr)
-        inst = line.mem_inst[offset_of(addr)]
-        if inst is not None:
-            self.ctx.mem_prof.on_load(inst)
-
     def _apply_store_word(self, core: int, line: DenovoL1Line,
                           addr: int) -> None:
         off = offset_of(addr)
@@ -270,42 +261,6 @@ class DenovoSystem:
             line.mem_inst[off] = None
         line.word_state[off] = W_REG
         line.word_dirty[off] = True
-
-    def _can_reserve(self, core: int, line_addr: int) -> bool:
-        cache = self.l1[core]
-        if cache.lookup(line_addr, touch=False) is not None:
-            return True
-        idx = cache.set_index(line_addr)
-        protected_in_set = sum(
-            1 for la in self._protected[core]
-            if cache.set_index(la) == idx
-            and cache.lookup(la, touch=False) is not None)
-        return protected_in_set < cache.assoc
-
-    def _allocate_l1(self, core: int, line_addr: int) -> DenovoL1Line:
-        cache = self.l1[core]
-        existing = cache.lookup(line_addr)
-        if existing is not None:
-            return existing
-        victim = cache.victim_for(line_addr)
-        if victim is not None and victim.line_addr in self._protected[core]:
-            victim = self._find_unprotected_victim(core, line_addr)
-        if victim is not None:
-            cache.remove(victim.line_addr)
-            self._evict_l1_line(core, victim)
-        line, auto_victim = cache.allocate(line_addr)
-        if auto_victim is not None:
-            self._evict_l1_line(core, auto_victim)
-        return line
-
-    def _find_unprotected_victim(self, core: int,
-                                 line_addr: int) -> Optional[DenovoL1Line]:
-        cache = self.l1[core]
-        idx = cache.set_index(line_addr)
-        for candidate in reversed(cache._lru[idx]):
-            if candidate not in self._protected[core]:
-                return cache.lookup(candidate, touch=False)
-        raise RuntimeError("no evictable way in DeNovo L1")
 
     def _evict_l1_line(self, core: int, line: DenovoL1Line) -> None:
         """Evict an L1 line: profile, then write back dirty words only."""
@@ -367,7 +322,7 @@ class DenovoSystem:
         line_addr = entry.line_addr
         home = self.ctx.home_tile(line_addr)
         mask = entry.word_mask
-        self.ctx.send_req_ctl(
+        self._send_req_ctl(
             T.ST, core, home, max(at, self.ctx.queue.now),
             lambda t: self._l2_register(core, line_addr, mask, t))
 
@@ -379,7 +334,7 @@ class DenovoSystem:
         entry = self.l2[home].lookup(line_addr)
         if entry is None:
             entry = self._reserve_l2(home, line_addr)
-            if not self.proto.l2_write_validate:
+            if self.policies.granularity.l2_fetch_on_write:
                 # Baseline L2 fetch-on-write: a write miss at the L2
                 # fetches the whole line from memory (store traffic).
                 self._fetch_line_for_write(entry, home, t)
@@ -421,10 +376,7 @@ class DenovoSystem:
 
     def _reg_ack(self, core: int, t: int) -> None:
         self._outstanding_regs[core] -= 1
-        hooks, self._retire_hooks[core] = self._retire_hooks[core], []
-        for hook in hooks:
-            self.ctx.queue.schedule(max(t, self.ctx.queue.now),
-                                    lambda h=hook, tt=t: h(tt))
+        self._fire_retire_hooks(core, t)
 
     def _invalidate_remote_word(self, home: int, owner: int, word: int,
                                 t: int) -> None:
@@ -542,18 +494,8 @@ class DenovoSystem:
     def _gather_l2_words(self, addr: int, home: int) -> List[int]:
         """Words an L2 response carries: Flex subset or valid line words."""
         ctx = self.ctx
-        line_addr = line_of(addr)
-        max_words = ctx.config.max_words_per_message
-        region = (ctx.regions.flex_region_for(addr)
-                  if self.proto.flex_l1 else None)
-        if region is not None:
-            candidates = region.flex_words(addr, max_words)
-            if addr not in candidates:
-                candidates = [addr] + candidates[:max_words - 1]
-        else:
-            candidates = list(words_of_line(line_addr))
         out = []
-        for word in candidates:
+        for word in self.policies.transfer.cache_candidates(addr):
             wline = line_of(word)
             if ctx.home_tile(wline) != home:
                 continue   # the slice can only gather its own lines
@@ -616,18 +558,8 @@ class DenovoSystem:
 
     def _gather_owner_words(self, owner: int, addr: int) -> List[int]:
         """Words a cache-to-cache response carries from the owner L1."""
-        ctx = self.ctx
-        max_words = ctx.config.max_words_per_message
-        region = (ctx.regions.flex_region_for(addr)
-                  if self.proto.flex_l1 else None)
-        if region is not None:
-            candidates = region.flex_words(addr, max_words)
-            if addr not in candidates:
-                candidates = [addr] + candidates[:max_words - 1]
-        else:
-            candidates = list(words_of_line(line_of(addr)))
         out = []
-        for word in candidates:
+        for word in self.policies.transfer.cache_candidates(addr):
             line = self.l1[owner].lookup(line_of(word), touch=False)
             if line is None:
                 continue
@@ -638,7 +570,7 @@ class DenovoSystem:
     def _retry_gets(self, req: LoadRequest, at: int) -> None:
         req.retries += 1
         line_addr = line_of(req.addr)
-        self.ctx.send_req_ctl(
+        self._send_req_ctl(
             T.LD, req.core, self.ctx.home_tile(line_addr),
             at + NACK_RETRY_DELAY, lambda t: self._l2_gets(req, t))
 
@@ -653,8 +585,7 @@ class DenovoSystem:
         addr = req.addr
         line_addr = line_of(addr)
         region = ctx.regions.find(addr)
-        bypassed = (self.proto.bypass_l2_response and region is not None
-                    and region.bypass_l2)
+        bypassed = self.policies.bypass.bypasses(region)
         req.went_to_memory = True
         mc = ctx.mc_tile(line_addr)
         dirty_offsets = (tuple(entry.dirty_mask_offsets())
@@ -725,13 +656,10 @@ class DenovoSystem:
         dram = ctx.dram_for(line_addr)
 
         # Which lines to fetch and which words to send.
-        flex_region = (ctx.regions.flex_region_for(addr)
-                       if self.proto.flex_l2 else None)
+        transfer = self.policies.transfer
+        flex_region = transfer.memory_region(addr)
         if flex_region is not None:
-            wanted = flex_region.flex_words(
-                addr, ctx.config.max_words_per_message)
-            if addr not in wanted:
-                wanted = [addr] + wanted[:ctx.config.max_words_per_message - 1]
+            wanted = transfer.region_words(flex_region, addr)
             lines = []
             for word in wanted:
                 wline = line_of(word)
@@ -846,7 +774,7 @@ class DenovoSystem:
 
         if not fill_l2:
             send_l1(mc, t)
-        elif self.proto.mem_to_l1:
+        elif self.policies.mem_transfer.direct_to_l1:
             # Parallel transfer to the L1 and the L2.
             send_l1(mc, t)
             send_l2(t)
@@ -940,7 +868,7 @@ class DenovoSystem:
         entry = self.l2[home].lookup(line_addr)
         if entry is None:
             entry = self._reserve_l2(home, line_addr)
-            if not self.proto.l2_write_validate:
+            if self.policies.granularity.l2_fetch_on_write:
                 self._fetch_line_for_write(entry, home, t)
         base = base_word(line_addr)
         for off in offsets:
@@ -1001,15 +929,12 @@ class DenovoSystem:
         for inst in entry.mem_inst:
             if inst is not None:
                 ctx.mem_prof.drop_copy(inst, invalidated=False)
-        dirty = entry.dirty_offsets()
-        if dirty:
+        if entry.any_dirty():
             mc = ctx.mc_tile(line_addr)
-            if self.proto.l2_dirty_wb_only:
-                flags = [True] * len(dirty)
-            else:
-                # Baseline: the whole line goes to memory; unmodified
-                # words are Waste (Figure 5.1d, Mem Waste).
-                flags = list(entry.word_dirty)
+            # DValidateL2 rung: only the dirty words travel; baseline
+            # ships the whole line and unmodified words die as Waste
+            # (Figure 5.1d, Mem Waste).
+            flags = self.policies.writeback.l2_flags(entry.word_dirty)
             ctx.send_wb(home, mc, at, flags, T.DEST_MEM,
                         lambda t, la=line_addr: ctx.dram_for(la).write(la))
         if self.slice_blooms and entry.in_bloom:

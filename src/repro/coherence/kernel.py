@@ -1,0 +1,181 @@
+"""Shared coherence-kernel machinery (the hierarchy layer).
+
+:class:`CoherenceKernel` owns everything a protocol core needs
+regardless of its coherence policy:
+
+* the L1 and L2 tag+state arrays (one :class:`SetAssocCache` per tile,
+  with the L2 slices shifting out the home-interleaving bits);
+* the transaction lifecycle around L1 fills: way reservation,
+  eviction-protection of lines with in-flight requests, and
+  unprotected-victim selection;
+* retire hooks — callbacks cores register to be woken after the next
+  store retirement (store-buffer-full stalls, barrier drains);
+* the waste-profiler touchpoints of the L1 fast path (load-hit use and
+  memory-instance accounting);
+* the per-flag :class:`~repro.coherence.policies.PolicySet` resolved
+  from the run's ``ProtocolConfig``;
+* the explicit :meth:`stats` protocol consumed by ``System._collect``
+  (replacing the old ``dir()``-scan over ``stat_*`` attributes).
+
+Protocol cores (:class:`~repro.coherence.mesi.MesiSystem`,
+:class:`~repro.coherence.denovo.DenovoSystem`) subclass the kernel and
+add their coherence state machines on top.  Message building and flit
+sizing are shared one layer down, in ``SimContext.send_*``; the kernel
+binds the hot ones to instance attributes so the access fast path skips
+repeated attribute chains.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.cache.sa_cache import CacheLine, SetAssocCache
+from repro.common.addressing import offset_of
+from repro.coherence.policies import PolicySet, resolve_policies
+from repro.core.context import LoadRequest, SimContext
+
+
+class CoherenceKernel:
+    """Shared tag arrays, transaction lifecycle and profiling hooks."""
+
+    #: Per-protocol line classes; subclasses override with lines carrying
+    #: their protocol state (directory bits, per-word owners, ...).
+    l1_line_cls = CacheLine
+    l2_line_cls = CacheLine
+
+    def __init__(self, ctx: SimContext) -> None:
+        self.ctx = ctx
+        cfg = ctx.config
+        # Cores consult the resolved policies, never ctx.proto's raw
+        # flags — that is the whole point of the policy layer.
+        self.policies: PolicySet = resolve_policies(ctx.proto, ctx.regions,
+                                                    cfg)
+        num_tiles = cfg.num_tiles
+        self.l1: List[SetAssocCache] = [
+            SetAssocCache(cfg.l1_sets, cfg.l1_assoc, self.l1_line_cls)
+            for _ in range(num_tiles)]
+        self.l2: List[SetAssocCache] = [
+            SetAssocCache(cfg.l2_slice_sets, cfg.l2_assoc, self.l2_line_cls,
+                          index_shift=num_tiles.bit_length() - 1)
+            for _ in range(num_tiles)]
+        # Core-level callbacks fired after any retire (buffer-full stalls).
+        self._retire_hooks: List[List[Callable[[int], None]]] = [
+            [] for _ in range(num_tiles)]
+        # Lines with an in-flight request (protected from L1 eviction).
+        self._protected: List[Set[int]] = [set() for _ in range(num_tiles)]
+        # Fast-path binding: the hot message entry point, bound once so
+        # per-access code skips the ctx attribute chain.  Profiler methods
+        # must NOT be bound here — ctx.reset_stats() swaps the profiler
+        # objects after warm-up.
+        self._send_req_ctl = ctx.send_req_ctl
+
+    # ------------------------------------------------------------------
+    # Core-facing interface (the contract ``core.Core`` drives)
+    # ------------------------------------------------------------------
+
+    def load(self, core: int, addr: int, at: int, on_done) -> Optional[int]:
+        raise NotImplementedError
+
+    def store(self, core: int, addr: int, at: int) -> bool:
+        raise NotImplementedError
+
+    def pending_store_count(self, core: int) -> int:
+        raise NotImplementedError
+
+    def drain_barrier(self, core: int, at: int,
+                      resume: Callable[[int], None]) -> None:
+        raise NotImplementedError
+
+    def on_retire(self, core: int, hook: Callable[[int], None]) -> None:
+        """Run ``hook(time)`` after the next store retirement on ``core``."""
+        self._retire_hooks[core].append(hook)
+
+    def on_barrier(self, written_regions) -> None:
+        """Barrier-time protocol work; the default is a no-op."""
+
+    def finalize(self) -> None:
+        """End of simulation: flush protocol leftovers; default no-op."""
+
+    def stats(self) -> Dict[str, int]:
+        """Protocol counters for ``RunResult.protocol_stats``."""
+        return {}
+
+    # ------------------------------------------------------------------
+    # Retire hooks
+    # ------------------------------------------------------------------
+
+    def _fire_retire_hooks(self, core: int, t: int) -> None:
+        hooks, self._retire_hooks[core] = self._retire_hooks[core], []
+        queue = self.ctx.queue
+        for hook in hooks:
+            queue.schedule(max(t, queue.now), lambda h=hook, tt=t: h(tt))
+
+    # ------------------------------------------------------------------
+    # L1 reservation / allocation (shared transaction lifecycle)
+    # ------------------------------------------------------------------
+
+    def _can_reserve(self, core: int, line_addr: int) -> bool:
+        """Whether an L1 fill for ``line_addr`` can claim a way now."""
+        cache = self.l1[core]
+        if cache.lookup(line_addr, touch=False) is not None:
+            return True
+        idx = cache.set_index(line_addr)
+        protected_in_set = sum(
+            1 for la in self._protected[core]
+            if cache.set_index(la) == idx
+            and cache.lookup(la, touch=False) is not None)
+        return protected_in_set < cache.assoc
+
+    def _allocate_l1(self, core: int, line_addr: int):
+        """Insert ``line_addr`` into the L1, evicting an unprotected way.
+
+        Victims are handed to the protocol core's ``_evict_l1_line`` for
+        writeback/profiling before the new line is installed.
+        """
+        cache = self.l1[core]
+        existing = cache.lookup(line_addr)
+        if existing is not None:
+            return existing
+        # Choose an unprotected victim: temporarily walk LRU order.
+        victim = cache.victim_for(line_addr)
+        if victim is not None and victim.line_addr in self._protected[core]:
+            victim = self._find_unprotected_victim(core, line_addr)
+        if victim is not None:
+            cache.remove(victim.line_addr)
+            self._evict_l1_line(core, victim)
+        line, auto_victim = cache.allocate(line_addr)
+        if auto_victim is not None:
+            self._evict_l1_line(core, auto_victim)
+        return line
+
+    def _find_unprotected_victim(self, core: int, line_addr: int):
+        cache = self.l1[core]
+        idx = cache.set_index(line_addr)
+        for candidate in reversed(cache._lru[idx]):
+            if candidate not in self._protected[core]:
+                return cache.lookup(candidate, touch=False)
+        raise RuntimeError(
+            "no evictable way; _can_reserve should prevent this")
+
+    def _evict_l1_line(self, core: int, line) -> None:
+        """Protocol-specific victim handling (writebacks, profiling)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared fast-path profiling / retry helpers
+    # ------------------------------------------------------------------
+
+    def _profile_load_hit(self, core: int, line, addr: int) -> None:
+        ctx = self.ctx
+        ctx.l1_prof.on_use(core, addr)
+        inst = line.mem_inst[offset_of(addr)]
+        if inst is not None:
+            ctx.mem_prof.on_load(inst)
+
+    def _retry_load(self, core: int, addr: int, at: int,
+                    on_done: Callable[[int, LoadRequest], None]) -> None:
+        done = self.load(core, addr, at, on_done)
+        if done is not None:
+            dummy = LoadRequest(core=core, addr=addr, t_issue=at,
+                                on_done=on_done)
+            on_done(done, dummy)

@@ -1,29 +1,37 @@
-"""Directory-based MESI protocol (GEMS-style, blocking directory).
+"""Directory-based MESI protocol core (GEMS-style, blocking directory).
 
-Models the paper's two MESI configurations:
+``MesiSystem`` is a protocol core on top of
+:class:`~repro.coherence.kernel.CoherenceKernel`: the kernel owns the
+tag arrays, reservation/protection lifecycle and retire hooks; this
+module owns the line-granular MESI state machine and composes the
+policy objects that distinguish the MESI-side ladder rungs:
 
 * **MESI** — baseline: inclusive shared L2 with an in-cache directory,
   blocking transitions (requests to busy lines are NACKed), E state with
   silent E->M upgrade, Upgrade requests for S->M, fetch-on-write, directory
   unblock messages, and non-blocking writes through a 32-entry store buffer.
-* **MMemL1** (``mem_to_l1``) — memory responses go directly to the
-  requesting L1; loads forward the line to the L2 as a combined
-  unblock+data message (profiled as load traffic, per Section 3.3), and
-  write fills skip the L2 entirely since the L1 writeback will overwrite
-  them.
+* **MMemL1** (``mem_to_l1`` -> :class:`MemTransferPolicy`) — memory
+  responses go directly to the requesting L1; loads forward the line to
+  the L2 as a combined unblock+data message (profiled as load traffic,
+  per Section 3.3), and write fills skip the L2 entirely since the L1
+  writeback will overwrite them.
+* **MDirtyWB** (``dirty_wb_only`` -> :class:`WritebackPolicy`, beyond
+  the paper) — writebacks carry only the dirty words instead of the
+  whole line with dirty flags.
 
-The protocol is line-granular; per-word dirty bits are tracked only for the
-waste profiler and the writeback Used/Waste split of Figure 5.1d.
+The protocol is line-granular; per-word dirty bits are tracked only for
+the waste profiler and the writeback Used/Waste split of Figure 5.1d.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.cache.sa_cache import CacheLine, SetAssocCache
+from repro.cache.sa_cache import CacheLine
 from repro.cache.writebuffer import StoreBuffer
+from repro.coherence.kernel import CoherenceKernel
 from repro.common.addressing import (
-    WORDS_PER_LINE, base_word, line_of, offset_of, words_of_line)
+    base_word, line_of, offset_of, words_of_line)
 from repro.core.context import (
     NACK_RETRY_DELAY, LoadRequest, SimContext, StoreRequest)
 from repro.network import traffic as T
@@ -64,20 +72,17 @@ class MesiL2Line(CacheLine):
         self.waiters: List[Callable[[int], None]] = []
 
 
-class MesiSystem:
+class MesiSystem(CoherenceKernel):
     """All L1s, L2 slices and the directory logic of one MESI machine."""
 
+    l1_line_cls = MesiL1Line
+    l2_line_cls = MesiL2Line
+
     def __init__(self, ctx: SimContext) -> None:
-        self.ctx = ctx
+        super().__init__(ctx)
         cfg = ctx.config
-        self.mem_to_l1 = ctx.proto.mem_to_l1
-        self.l1: List[SetAssocCache[MesiL1Line]] = [
-            SetAssocCache(cfg.l1_sets, cfg.l1_assoc, MesiL1Line)
-            for _ in range(cfg.num_tiles)]
-        self.l2: List[SetAssocCache[MesiL2Line]] = [
-            SetAssocCache(cfg.l2_slice_sets, cfg.l2_assoc, MesiL2Line,
-                          index_shift=cfg.num_tiles.bit_length() - 1)
-            for _ in range(cfg.num_tiles)]
+        self.mem_to_l1 = self.policies.mem_transfer.direct_to_l1
+        self._wb_l1_flags = self.policies.writeback.l1_flags
         self.sbuf = [StoreBuffer(cfg.store_buffer_entries)
                      for _ in range(cfg.num_tiles)]
         # Deferred store words per (core, line): offsets written while the
@@ -89,15 +94,15 @@ class MesiSystem:
         # Loads blocked on a line with a pending store: line -> callbacks.
         self._load_waiters: List[Dict[int, List[Callable[[int], None]]]] = [
             dict() for _ in range(cfg.num_tiles)]
-        # Core-level callbacks fired after any retire (buffer-full stalls).
-        self._retire_hooks: List[List[Callable[[int], None]]] = [
-            [] for _ in range(cfg.num_tiles)]
-        # Lines with an in-flight request (protected from L1 eviction).
-        self._protected: List[Set[int]] = [set() for _ in range(cfg.num_tiles)]
         self._last_retire_mem = [False] * cfg.num_tiles
         self.stat_upgrades = 0
         self.stat_nacks = 0
         self.stat_e_grants = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {"e_grants": self.stat_e_grants,
+                "nacks": self.stat_nacks,
+                "upgrades": self.stat_upgrades}
 
     def last_retire_went_to_memory(self, core: int) -> bool:
         return self._last_retire_mem[core]
@@ -131,7 +136,7 @@ class MesiSystem:
         request = LoadRequest(core=core, addr=addr, t_issue=at,
                               on_done=on_done)
         self._reserve_line(core, line_addr)
-        self.ctx.send_req_ctl(
+        self._send_req_ctl(
             T.LD, core, self.ctx.home_tile(line_addr), at,
             lambda t: self._dir_gets(request, t))
         return None
@@ -140,20 +145,21 @@ class MesiSystem:
         """Issue a store; True if accepted (hit or buffered), False if the
         store buffer is full and the core must stall."""
         line_addr = line_of(addr)
+        sbuf = self.sbuf[core]
         line = self.l1[core].lookup(line_addr)
-        if self.sbuf[core].has(line_addr):
+        if sbuf.has(line_addr):
             self._pending_words[core][line_addr].add(offset_of(addr))
             return True
         if line is not None and line.state in (L1_E, L1_M):
             line.state = L1_M   # silent E->M upgrade
             self._apply_store_word(core, line, addr)
             return True
-        if self.sbuf[core].is_full():
+        if sbuf.is_full():
             return False
         if line is None and not self._can_reserve(core, line_addr):
             return False
         is_upgrade = line is not None and line.state == L1_S
-        self.sbuf[core].insert(line_addr)
+        sbuf.insert(line_addr)
         self._pending_words[core][line_addr] = {offset_of(addr)}
         request = StoreRequest(core=core, line_addr=line_addr, t_issue=at)
         self._store_reqs[core][line_addr] = request
@@ -163,17 +169,13 @@ class MesiSystem:
             self._protected[core].add(line_addr)
         if is_upgrade:
             self.stat_upgrades += 1
-        self.ctx.send_req_ctl(
+        self._send_req_ctl(
             T.ST, core, self.ctx.home_tile(line_addr), at,
             lambda t: self._dir_getx(request, t, upgrade=is_upgrade))
         return True
 
     def pending_store_count(self, core: int) -> int:
         return len(self.sbuf[core])
-
-    def on_retire(self, core: int, hook: Callable[[int], None]) -> None:
-        """Run ``hook(time)`` after the next store retirement on ``core``."""
-        self._retire_hooks[core].append(hook)
 
     def drain_barrier(self, core: int, at: int,
                       resume: Callable[[int], None]) -> None:
@@ -190,20 +192,9 @@ class MesiSystem:
 
         self._retire_hooks[core].append(check)
 
-    def finalize(self) -> None:
-        """End of simulation: nothing protocol-specific to flush."""
-
     # ------------------------------------------------------------------
     # L1 helpers
     # ------------------------------------------------------------------
-
-    def _retry_load(self, core: int, addr: int, at: int,
-                    on_done: Callable[[int, LoadRequest], None]) -> None:
-        done = self.load(core, addr, at, on_done)
-        if done is not None:
-            dummy = LoadRequest(core=core, addr=addr, t_issue=at,
-                                on_done=on_done)
-            on_done(done, dummy)
 
     def _wait_on_line(self, core: int, line_addr: int, addr: int, at: int,
                       on_done: Callable[[int, LoadRequest], None]) -> None:
@@ -214,13 +205,6 @@ class MesiSystem:
 
         waiters.append(resume)
 
-    def _profile_load_hit(self, core: int, line: MesiL1Line,
-                          addr: int) -> None:
-        self.ctx.l1_prof.on_use(core, addr)
-        inst = line.mem_inst[offset_of(addr)]
-        if inst is not None:
-            self.ctx.mem_prof.on_load(inst)
-
     def _apply_store_word(self, core: int, line: MesiL1Line,
                           addr: int) -> None:
         off = offset_of(addr)
@@ -228,48 +212,11 @@ class MesiSystem:
         self.ctx.mem_prof.on_store_addr(addr)
         line.word_dirty[off] = True
 
-    def _can_reserve(self, core: int, line_addr: int) -> bool:
-        cache = self.l1[core]
-        if cache.lookup(line_addr, touch=False) is not None:
-            return True
-        idx = cache.set_index(line_addr)
-        protected_in_set = sum(
-            1 for la in self._protected[core]
-            if cache.set_index(la) == idx
-            and cache.lookup(la, touch=False) is not None)
-        return protected_in_set < cache.assoc
-
     def _reserve_line(self, core: int, line_addr: int) -> MesiL1Line:
         self._protected[core].add(line_addr)
         line = self._allocate_l1(core, line_addr)
         line.state = L1_PENDING
         return line
-
-    def _allocate_l1(self, core: int, line_addr: int) -> MesiL1Line:
-        cache = self.l1[core]
-        existing = cache.lookup(line_addr)
-        if existing is not None:
-            return existing
-        # Choose an unprotected victim: temporarily walk LRU order.
-        victim = cache.victim_for(line_addr)
-        if victim is not None and victim.line_addr in self._protected[core]:
-            victim = self._find_unprotected_victim(core, line_addr)
-        if victim is not None:
-            cache.remove(victim.line_addr)
-            self._evict_l1_line(core, victim)
-        line, auto_victim = cache.allocate(line_addr)
-        if auto_victim is not None:
-            self._evict_l1_line(core, auto_victim)
-        return line
-
-    def _find_unprotected_victim(self, core: int,
-                                 line_addr: int) -> Optional[MesiL1Line]:
-        cache = self.l1[core]
-        idx = cache.set_index(line_addr)
-        for candidate in reversed(cache._lru[idx]):
-            if candidate not in self._protected[core]:
-                return cache.lookup(candidate, touch=False)
-        raise RuntimeError("no evictable way; _can_reserve should prevent this")
 
     def _evict_l1_line(self, core: int, line: MesiL1Line) -> None:
         """Handle an L1 victim: profile + writeback messages."""
@@ -282,9 +229,9 @@ class MesiSystem:
                 ctx.mem_prof.drop_copy(inst, invalidated=False)
         home = ctx.home_tile(line.line_addr)
         if line.state == L1_M:
-            dirty = list(line.word_dirty)
-            written = [i for i, d in enumerate(dirty) if d]
-            ctx.send_wb(core, home, at, dirty, T.DEST_L2,
+            written = [i for i, d in enumerate(line.word_dirty) if d]
+            ctx.send_wb(core, home, at, self._wb_l1_flags(line.word_dirty),
+                        T.DEST_L2,
                         lambda t, la=line.line_addr, c=core, w=tuple(written):
                         self._dir_dirty_wb(la, c, w, t))
         elif line.state == L1_E:
@@ -320,7 +267,7 @@ class MesiSystem:
     def _retry_gets(self, req: LoadRequest, at: int) -> None:
         req.retries += 1
         line_addr = line_of(req.addr)
-        self.ctx.send_req_ctl(
+        self._send_req_ctl(
             T.LD, req.core, self.ctx.home_tile(line_addr),
             at + NACK_RETRY_DELAY, lambda t: self._dir_gets(req, t))
 
@@ -373,9 +320,10 @@ class MesiSystem:
                 lambda t3: self._l1_load_fill(req, L1_S, insts, home, t3,
                                               from_memory=False))
             if was_m:
-                dirty = list(oline.word_dirty)
-                written = tuple(i for i, d in enumerate(dirty) if d)
-                ctx.send_wb(owner, home, tt, dirty, T.DEST_L2,
+                written = tuple(i for i, d in enumerate(oline.word_dirty)
+                                if d)
+                ctx.send_wb(owner, home, tt,
+                            self._wb_l1_flags(oline.word_dirty), T.DEST_L2,
                             lambda t3: self._dir_downgrade_data(
                                 entry, owner, req.core, written, t3))
             else:
@@ -461,7 +409,7 @@ class MesiSystem:
         line = self.l1[req.core].lookup(req.line_addr, touch=False)
         still_upgrade = (upgrade and line is not None
                          and line.state == L1_S)
-        self.ctx.send_req_ctl(
+        self._send_req_ctl(
             T.ST, req.core, self.ctx.home_tile(req.line_addr),
             at + NACK_RETRY_DELAY,
             lambda t: self._dir_getx(req, t, still_upgrade))
@@ -744,12 +692,6 @@ class MesiSystem:
                 self.ctx.queue.schedule(max(t, self.ctx.queue.now),
                                         lambda r=resume, tt=t: r(tt))
 
-    def _fire_retire_hooks(self, core: int, t: int) -> None:
-        hooks, self._retire_hooks[core] = self._retire_hooks[core], []
-        for hook in hooks:
-            self.ctx.queue.schedule(max(t, self.ctx.queue.now),
-                                    lambda h=hook, tt=t: h(tt))
-
     # ------------------------------------------------------------------
     # L2 allocation / eviction / writebacks
     # ------------------------------------------------------------------
@@ -807,13 +749,13 @@ class MesiSystem:
             ctx.send_overhead(T.OVH_INVAL, home, holder, at)
             if line is not None and line.state != L1_PENDING:
                 if line.state == L1_M:
-                    dirty = list(line.word_dirty)
-                    for off, d in enumerate(dirty):
+                    for off, d in enumerate(line.word_dirty):
                         if d:
                             entry.word_dirty[off] = True
                     entry.l2_dirty = True
-                    ctx.send_wb(holder, home, at, dirty, T.DEST_L2,
-                                lambda t: None)
+                    ctx.send_wb(holder, home, at,
+                                self._wb_l1_flags(line.word_dirty),
+                                T.DEST_L2, lambda t: None)
                 else:
                     ctx.send_overhead(T.OVH_ACK, holder, home, at)
                 self._invalidate_l1_copy(holder, line)
@@ -828,8 +770,8 @@ class MesiSystem:
                 ctx.mem_prof.drop_copy(inst, invalidated=False)
         if entry.l2_dirty and entry.has_data:
             mc = ctx.mc_tile(line_addr)
-            dirty = list(entry.word_dirty)
-            ctx.send_wb(home, mc, at, dirty, T.DEST_MEM,
+            flags = self.policies.writeback.l2_flags(entry.word_dirty)
+            ctx.send_wb(home, mc, at, flags, T.DEST_MEM,
                         lambda t, la=line_addr: ctx.dram_for(la).write(la))
 
     def _fill_l2_data(self, entry: MesiL2Line, home: int,

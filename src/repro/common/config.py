@@ -8,9 +8,11 @@ proportionally scaled-down inputs that run quickly in pure Python.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from repro.common.addressing import LINE_BYTES, WORD_BYTES, WORDS_PER_LINE
+from repro.common.registry import (
+    REGISTRY, paper_ladder, protocol, register_protocol)
 
 
 @dataclass(frozen=True)
@@ -48,6 +50,8 @@ class SystemConfig:
     store_buffer_entries: int = 32          # non-blocking writes per core
     write_combine_entries: int = 32         # DeNovo write-combining table
     write_combine_timeout: int = 10_000     # cycles
+
+    barrier_release_cost: int = 50          # barrier communication cycles
 
     # Bloom filter geometry for "L2 Request Bypass" (paper Section 4.4).
     bloom_entries: int = 512
@@ -103,11 +107,19 @@ def corner_tiles(mesh_width: int) -> tuple:
 
 @dataclass(frozen=True)
 class ProtocolConfig:
-    """Feature flags selecting one of the paper's protocol configurations."""
+    """Feature flags selecting one protocol rung.
+
+    The flags are resolved into policy objects by
+    :func:`repro.coherence.policies.resolve_policies`; the protocol cores
+    consult the policies, never the raw flags, so a new rung is usually
+    just a new flag combination registered via
+    :func:`repro.common.registry.register_protocol`.
+    """
 
     name: str
     kind: str                         # "mesi" | "denovo"
     mem_to_l1: bool = False           # Memory Controller to L1 Transfer
+    dirty_wb_only: bool = False       # Dirty-words-only writebacks (MESI)
     l2_write_validate: bool = False   # L2 Write-Validate (DeNovo only)
     l2_dirty_wb_only: bool = False    # Dirty-words-only L2->mem writebacks
     flex_l1: bool = False             # Flex for cache-sourced responses
@@ -126,6 +138,10 @@ class ProtocolConfig:
             )
             if denovo_only:
                 raise ValueError("DeNovo-only optimization on a MESI config")
+        elif self.dirty_wb_only:
+            raise ValueError(
+                "dirty_wb_only is a MESI flag; DeNovo writebacks are "
+                "always dirty-words-only")
         if self.flex_l2 and not self.flex_l1:
             raise ValueError("flex_l2 requires flex_l1")
         if self.bypass_l2_request and not self.bypass_l2_response:
@@ -134,6 +150,12 @@ class ProtocolConfig:
     @property
     def is_denovo(self) -> bool:
         return self.kind == "denovo"
+
+    def enabled_flags(self) -> tuple:
+        """Names of the optimization flags this rung turns on."""
+        return tuple(f.name for f in fields(self)
+                     if f.name not in ("name", "kind")
+                     and getattr(self, f.name))
 
 
 def _mesi(name: str, **flags) -> ProtocolConfig:
@@ -144,41 +166,51 @@ def _denovo(name: str, **flags) -> ProtocolConfig:
     return ProtocolConfig(name=name, kind="denovo", **flags)
 
 
-#: The nine protocol configurations of paper Sections 3.2-3.3, in the order
-#: they appear on every figure's x-axis.
-PROTOCOLS: dict = {
-    "MESI": _mesi("MESI"),
-    "MMemL1": _mesi("MMemL1", mem_to_l1=True),
-    "DeNovo": _denovo("DeNovo"),
-    "DFlexL1": _denovo("DFlexL1", flex_l1=True),
-    "DValidateL2": _denovo(
-        "DValidateL2", l2_write_validate=True, l2_dirty_wb_only=True),
-    "DMemL1": _denovo(
-        "DMemL1", l2_write_validate=True, l2_dirty_wb_only=True,
-        mem_to_l1=True),
-    "DFlexL2": _denovo(
-        "DFlexL2", l2_write_validate=True, l2_dirty_wb_only=True,
-        mem_to_l1=True, flex_l1=True, flex_l2=True),
-    "DBypL2": _denovo(
-        "DBypL2", l2_write_validate=True, l2_dirty_wb_only=True,
-        mem_to_l1=True, flex_l1=True, flex_l2=True,
-        bypass_l2_response=True),
-    "DBypFull": _denovo(
-        "DBypFull", l2_write_validate=True, l2_dirty_wb_only=True,
-        mem_to_l1=True, flex_l1=True, flex_l2=True,
-        bypass_l2_response=True, bypass_l2_request=True),
-}
-
-PROTOCOL_ORDER = tuple(PROTOCOLS)
+# The nine protocol configurations of paper Sections 3.2-3.3, registered
+# as the ladder in the order they appear on every figure's x-axis.
+for _cfg in (
+    _mesi("MESI"),
+    _mesi("MMemL1", mem_to_l1=True),
+    _denovo("DeNovo"),
+    _denovo("DFlexL1", flex_l1=True),
+    _denovo("DValidateL2", l2_write_validate=True, l2_dirty_wb_only=True),
+    _denovo("DMemL1", l2_write_validate=True, l2_dirty_wb_only=True,
+            mem_to_l1=True),
+    _denovo("DFlexL2", l2_write_validate=True, l2_dirty_wb_only=True,
+            mem_to_l1=True, flex_l1=True, flex_l2=True),
+    _denovo("DBypL2", l2_write_validate=True, l2_dirty_wb_only=True,
+            mem_to_l1=True, flex_l1=True, flex_l2=True,
+            bypass_l2_response=True),
+    _denovo("DBypFull", l2_write_validate=True, l2_dirty_wb_only=True,
+            mem_to_l1=True, flex_l1=True, flex_l2=True,
+            bypass_l2_response=True, bypass_l2_request=True),
+):
+    register_protocol(_cfg, ladder=True)
 
 
-def protocol(name: str) -> ProtocolConfig:
-    """Look up a protocol configuration by its paper name."""
-    try:
-        return PROTOCOLS[name]
-    except KeyError:
-        known = ", ".join(PROTOCOL_ORDER)
-        raise KeyError(f"unknown protocol {name!r}; known: {known}") from None
+# Beyond-paper rungs: registered (runnable, listed) but off the paper
+# ladder so figure defaults stay paper-shaped.
+
+@register_protocol
+def _mdirty_wb() -> ProtocolConfig:
+    """MESI sending dirty-words-only writebacks (L1->L2 and L2->mem)."""
+    return _mesi("MDirtyWB", dirty_wb_only=True)
+
+
+@register_protocol
+def _dword_hybrid() -> ProtocolConfig:
+    """DeNovo with line-granularity L2 write-miss fills (fetch-on-write,
+    like the baseline) but word-granularity L2->mem writebacks (like
+    DValidateL2): isolates the writeback half of DValidateL2."""
+    return _denovo("DWordHybrid", l2_dirty_wb_only=True)
+
+
+#: Live name -> ProtocolConfig registry view (all rungs, registration
+#: order).  New rungs appear here as soon as they are registered.
+PROTOCOLS = REGISTRY
+
+#: The paper's nine-rung ladder (every figure's x-axis order).
+PROTOCOL_ORDER = paper_ladder()
 
 
 @dataclass(frozen=True)

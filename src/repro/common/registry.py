@@ -1,0 +1,119 @@
+"""Protocol registry: named coherence-protocol configurations.
+
+Every protocol rung — the paper's nine-step ladder and any rung added
+later — registers here, and every consumer (``core.system``, the sweep
+runner, ``analysis.figures``, the ``python -m repro`` CLI) resolves
+names through :func:`protocol` instead of a hard-coded table.  Adding a
+rung is therefore one ``register_protocol(...)`` call; nothing else in
+the stack needs to learn its name.
+
+Registration order is stable (insertion-ordered) and drives default
+listings.  Rungs registered with ``ladder=True`` form the *paper
+ladder* — the x-axis of every figure — in registration order; extra
+rungs are runnable and listed but excluded from figure defaults.
+
+The registry is intentionally generic: it stores any object with a
+``name`` attribute, so it has no import cycle with
+:mod:`repro.common.config`, which defines ``ProtocolConfig`` and
+performs the actual registrations.
+"""
+
+from __future__ import annotations
+
+import difflib
+from collections import OrderedDict
+from typing import Callable, List, Optional, Tuple, TypeVar, Union
+
+ProtoT = TypeVar("ProtoT")
+
+#: Live name -> config mapping, in registration order.  Exposed (as
+#: ``repro.common.config.PROTOCOLS``) for iteration; mutate it only
+#: through :func:`register_protocol` / :func:`unregister_protocol`.
+REGISTRY: "OrderedDict[str, object]" = OrderedDict()
+
+_LADDER: List[str] = []
+
+
+def register_protocol(config: Union[ProtoT, Callable[[], ProtoT], None] = None,
+                      *, ladder: bool = False,
+                      replace: bool = False):
+    """Register a protocol configuration under its ``name``.
+
+    Usable three ways::
+
+        register_protocol(ProtocolConfig(name="MESI", ...), ladder=True)
+
+        @register_protocol          # zero-arg factory; returns the config
+        def _mdirty_wb():
+            return ProtocolConfig(name="MDirtyWB", ...)
+
+        @register_protocol(ladder=True)
+        def _mesi(): ...
+
+    Duplicate names are rejected unless ``replace=True`` (which keeps
+    the original registration position, so figure ordering is stable
+    under re-registration).
+    """
+    if config is None:
+        def decorate(factory):
+            return register_protocol(factory, ladder=ladder, replace=replace)
+        return decorate
+    if callable(config) and not hasattr(config, "name"):
+        config = config()
+    name = getattr(config, "name", None)
+    if not isinstance(name, str) or not name:
+        raise TypeError("protocol configs must have a non-empty .name")
+    if name in REGISTRY and not replace:
+        raise ValueError(f"protocol {name!r} is already registered; "
+                         f"pass replace=True to override")
+    REGISTRY[name] = config
+    if ladder and name not in _LADDER:
+        _LADDER.append(name)
+    return config
+
+
+def unregister_protocol(name: str) -> None:
+    """Remove a registered protocol (primarily for tests)."""
+    REGISTRY.pop(name, None)
+    if name in _LADDER:
+        _LADDER.remove(name)
+
+
+def protocol(name: str):
+    """Look up a registered protocol configuration by name."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(REGISTRY)
+        hint = ""
+        close = suggest(name)
+        if close:
+            hint = f"; did you mean {' or '.join(close)}?"
+        raise KeyError(
+            f"unknown protocol {name!r}; known: {known}{hint}") from None
+
+
+def is_registered(name: str) -> bool:
+    return name in REGISTRY
+
+
+def registered_protocols() -> Tuple[str, ...]:
+    """All registered protocol names, in registration order."""
+    return tuple(REGISTRY)
+
+
+def paper_ladder() -> Tuple[str, ...]:
+    """The paper's protocol ladder (figure x-axis), in order."""
+    return tuple(_LADDER)
+
+
+def suggest(name: str, n: int = 2) -> List[str]:
+    """Near-miss candidates for a misspelled protocol name."""
+    matches = difflib.get_close_matches(name, list(REGISTRY), n=n,
+                                        cutoff=0.4)
+    if not matches:
+        lowered = {p.lower(): p for p in REGISTRY}
+        exact = lowered.get(name.lower())
+        if exact:
+            matches = [exact]
+    return matches

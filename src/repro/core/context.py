@@ -33,7 +33,7 @@ MC_FRONTEND_LATENCY = 4
 NACK_RETRY_DELAY = 20
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadRequest:
     """Bookkeeping for one outstanding (blocking) load miss."""
 
@@ -47,7 +47,7 @@ class LoadRequest:
     retries: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class StoreRequest:
     """Bookkeeping for one outstanding (non-blocking) store-path request."""
 

@@ -49,22 +49,31 @@ class Core:
     # ------------------------------------------------------------------
 
     def _run(self, at: int) -> None:
-        t = max(at, self.ctx.queue.now)
+        # The hottest loop in the simulator: bind the per-op lookups
+        # (trace, time stats, protocol entry points, trace length) to
+        # locals so each op skips repeated attribute chains.
+        queue = self.ctx.queue
+        t = max(at, queue.now)
         batch = 0
         trace = self.trace
-        while self.pc < len(trace):
+        trace_len = len(trace)
+        time = self.time
+        core_id = self.core_id
+        proto_load = self.proto.load
+        proto_store = self.proto.store
+        while self.pc < trace_len:
             kind, arg = trace[self.pc]
             if kind == OP_COMPUTE:
-                self.time.busy += arg
+                time.busy += arg
                 t += arg
                 self.pc += 1
                 batch += 1
                 if arg > BATCH_LIMIT:
-                    self.ctx.queue.schedule(t, lambda tt=t: self._run(tt))
+                    queue.schedule(t, lambda tt=t: self._run(tt))
                     return
             elif kind == OP_LOAD:
-                self.time.busy += 1
-                done = self.proto.load(self.core_id, arg, t, self._load_done)
+                time.busy += 1
+                done = proto_load(core_id, arg, t, self._load_done)
                 if done is None:
                     self._wait_start = t
                     return
@@ -72,14 +81,14 @@ class Core:
                 self.pc += 1
                 batch += 1
             elif kind == OP_STORE:
-                accepted = self.proto.store(self.core_id, arg, t)
+                accepted = proto_store(core_id, arg, t)
                 if not accepted:
                     self._wait_start = t
                     self.proto.on_retire(
-                        self.core_id,
+                        core_id,
                         lambda tt: self._store_stall_resume(tt))
                     return
-                self.time.busy += 1
+                time.busy += 1
                 t += 1
                 self.pc += 1
                 batch += 1
@@ -94,7 +103,7 @@ class Core:
             else:
                 raise ValueError(f"unknown op kind {kind}")
             if batch >= BATCH_LIMIT:
-                self.ctx.queue.schedule(t, lambda tt=t: self._run(tt))
+                queue.schedule(t, lambda tt=t: self._run(tt))
                 return
         self.finished = True
         self.finish_time = t

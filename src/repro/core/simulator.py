@@ -11,8 +11,8 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.common.config import (
-    PROTOCOL_ORDER, ProtocolConfig, SystemConfig, protocol as
-    protocol_by_name)
+    ProtocolConfig, SystemConfig, protocol as protocol_by_name)
+from repro.common.registry import paper_ladder
 from repro.core.stats import RunResult
 from repro.core.system import System
 from repro.workloads.trace import Workload
@@ -31,8 +31,13 @@ def simulate_all_protocols(
         workload: Workload,
         protocols: Optional[Iterable[Union[str, ProtocolConfig]]] = None,
         config: Optional[SystemConfig] = None) -> Dict[str, RunResult]:
-    """Run one workload under every protocol (figure x-axis order)."""
-    names = list(protocols) if protocols is not None else list(PROTOCOL_ORDER)
+    """Run one workload under every protocol (figure x-axis order).
+
+    ``protocols`` defaults to the paper ladder from the protocol
+    registry; pass ``repro.common.registry.registered_protocols()`` to
+    include beyond-paper rungs.
+    """
+    names = list(protocols) if protocols is not None else list(paper_ladder())
     results: Dict[str, RunResult] = {}
     for proto in names:
         result = simulate(workload, proto, config)

@@ -10,10 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.coherence.denovo import DenovoSystem
-from repro.coherence.mesi import MesiSystem
-from repro.common.config import (
-    ProtocolConfig, SystemConfig, protocol as protocol_by_name)
+from repro.coherence import build_protocol_system
+from repro.common.config import ProtocolConfig, SystemConfig
 from repro.core.context import SimContext
 from repro.core.core import Core
 from repro.core.stats import RunResult, TimeStats
@@ -40,11 +38,11 @@ class System:
         # same workload object is reused across protocol runs.
         self.regions = workload.regions.clone()
         self.ctx = SimContext(self.config, proto, self.regions)
-        if proto.is_denovo:
-            self.proto_sys = DenovoSystem(self.ctx)
-        else:
-            self.proto_sys = MesiSystem(self.ctx)
-        self.barrier = Barrier(self.ctx.queue, workload.num_cores)
+        # The protocol core comes from the kind registry (see
+        # repro.coherence.PROTOCOL_CORES), not a hard-coded if/else.
+        self.proto_sys = build_protocol_system(self.ctx)
+        self.barrier = Barrier(self.ctx.queue, workload.num_cores,
+                               release_cost=self.config.barrier_release_cost)
         self.ctx.barrier = self.barrier
         self.barrier.on_release(self._on_barrier_release)
         self._finished = 0
@@ -111,10 +109,8 @@ class System:
             time_total.add(core.time)
         exec_cycles = max(c.finish_time or 0 for c in self.cores)
         exec_cycles -= self._measure_start
-        proto_stats = {
-            name[5:]: getattr(self.proto_sys, name)
-            for name in dir(self.proto_sys) if name.startswith("stat_")
-        }
+        # Explicit stats() protocol (no dir()-scan over stat_* attributes).
+        proto_stats = self.proto_sys.stats()
         dram_stats: Dict[str, int] = {"reads": 0, "writes": 0,
                                       "row_hits": 0, "row_misses": 0}
         for dram in self.ctx.drams.values():

@@ -66,8 +66,10 @@ class Barrier:
 
     Cores call :meth:`arrive` with a continuation; once every participant
     has arrived, all continuations are released at the same cycle (plus a
-    fixed communication cost).  ``on_release`` hooks let protocols attach
-    barrier-time work (DeNovo self-invalidation, Bloom-filter clears).
+    fixed communication cost — ``System`` threads this in from
+    ``SystemConfig.barrier_release_cost``).  ``on_release`` hooks let
+    protocols attach barrier-time work (DeNovo self-invalidation,
+    Bloom-filter clears).
     """
 
     def __init__(self, queue: EventQueue, participants: int,

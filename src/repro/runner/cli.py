@@ -2,15 +2,20 @@
 
 Subcommands::
 
+    python -m repro list
     python -m repro sweep   --workloads radix --protocols MESI DeNovo --jobs 8
     python -m repro figures --figures 5.1a 5.2
     python -m repro report
     python -m repro clean-cache
 
-Every grid-shaped subcommand shares the same selection flags
+``list`` prints every registered workload and protocol (including
+beyond-paper rungs like ``MDirtyWB``/``DWordHybrid``).  Every
+grid-shaped subcommand shares the same selection flags
 (``--workloads/--protocols/--scale/--seed``), the parallelism flag
 (``--jobs``, 0 = one per CPU) and cache controls (``--cache-dir``,
 ``--fresh``).  ``sweep`` prints one progress line per completed cell.
+Protocol names resolve through the protocol registry; a misspelled
+``--protocols`` entry reports near-miss suggestions.
 """
 
 from __future__ import annotations
@@ -21,7 +26,9 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.common.config import PROTOCOL_ORDER, ScaleConfig
+from repro.common.config import ScaleConfig
+from repro.common.registry import (
+    paper_ladder, protocol as protocol_by_name, registered_protocols)
 from repro.runner.jobs import DEFAULT_SEED
 from repro.runner.pool import JobOutcome, sweep_grid
 from repro.runner.store import ResultStore
@@ -73,7 +80,7 @@ def cmd_sweep(ns: argparse.Namespace, out=None) -> int:
     out = out if out is not None else sys.stdout
     jobs = _resolve_jobs(ns.jobs)
     workloads = tuple(ns.workloads) if ns.workloads else WORKLOAD_ORDER
-    protocols = tuple(ns.protocols) if ns.protocols else PROTOCOL_ORDER
+    protocols = tuple(ns.protocols) if ns.protocols else paper_ladder()
     cells = len(workloads) * len(protocols)
     print(f"sweep: {len(workloads)} workloads x {len(protocols)} protocols "
           f"= {cells} cells, scale={ns.scale}, jobs={jobs}",
@@ -108,6 +115,27 @@ def cmd_report(ns: argparse.Namespace, out=None) -> int:
     return 0
 
 
+def cmd_list(ns: argparse.Namespace, out=None) -> int:
+    """Print registered workloads and protocols (from the registries)."""
+    out = out if out is not None else sys.stdout
+    print("workloads:", file=out)
+    paper_workloads = set(WORKLOAD_ORDER)
+    ordered = list(WORKLOAD_ORDER) + sorted(
+        set(GENERATORS) - paper_workloads)
+    for name in ordered:
+        tag = "paper" if name in paper_workloads else "extra"
+        print(f"  {name:<14s} {tag}", file=out)
+    print("protocols:", file=out)
+    ladder = set(paper_ladder())
+    for name in registered_protocols():
+        proto = protocol_by_name(name)
+        tag = "paper-ladder" if name in ladder else "extra"
+        flags = ", ".join(proto.enabled_flags()) or "-"
+        print(f"  {name:<12s} {proto.kind:<7s} {tag:<13s} {flags}",
+              file=out)
+    return 0
+
+
 def cmd_clean_cache(ns: argparse.Namespace, out=None) -> int:
     out = out if out is not None else sys.stdout
     store = _make_store(ns)
@@ -134,8 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"workloads to sweep (default: paper order; "
              f"known: {', '.join(sorted(GENERATORS))})")
     grid_flags.add_argument(
-        "--protocols", nargs="+", metavar="P", choices=PROTOCOL_ORDER,
-        help="protocol configurations (default: all nine)")
+        "--protocols", nargs="+", metavar="P",
+        help="protocol configurations (default: the paper's nine-rung "
+             "ladder; see `python -m repro list` for every registered "
+             "rung)")
     grid_flags.add_argument(
         "--scale", choices=sorted(SCALES), default="small",
         help="input-size scale (default: small)")
@@ -170,6 +200,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the full paper-vs-measured report")
     p.set_defaults(func=cmd_report)
 
+    p = sub.add_parser("list",
+                       help="print registered workloads and protocols")
+    p.set_defaults(func=cmd_list)
+
     p = sub.add_parser("clean-cache",
                        help="delete every stored result")
     p.add_argument("--cache-dir", metavar="DIR",
@@ -183,6 +217,13 @@ def _validate(ns: argparse.Namespace) -> Optional[str]:
     for name in getattr(ns, "workloads", None) or ():
         try:
             canonical_workload(name)
+        except KeyError as exc:
+            return str(exc.args[0])
+    # Protocols resolve through the registry; its KeyError carries
+    # near-miss suggestions ("did you mean ...?").
+    for name in getattr(ns, "protocols", None) or ():
+        try:
+            protocol_by_name(name)
         except KeyError as exc:
             return str(exc.args[0])
     # Every figure and the report normalize to the MESI bar, so a grid

@@ -9,8 +9,11 @@ workers rebuild the (large) workload trace locally from the spec.
 Key derivation is shared with the durable result store: every cell has
 
 * a **config key** — hash of (scale, system) only, shared by all cells
-  of one grid sweep (this is the key :mod:`repro.analysis.persist` has
-  always used, preserved bit-for-bit so existing caches stay valid);
+  of one grid sweep.  The key payload hashes every ``SystemConfig``
+  field, so GRID_VERSION 4 (which added ``barrier_release_cost``)
+  deliberately retired the pre-v4 keys the legacy
+  :mod:`repro.analysis.persist` module derived — old cache files are
+  re-simulated, not misread;
 * a **store key** — the config key plus the seed when it differs from
   the generators' default, naming the cache file;
 * a **job key** — hash of the full spec, used for in-process memoization
@@ -23,19 +26,20 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.common.config import (
-    DEFAULT_SCALE, PROTOCOL_ORDER, ScaleConfig, SystemConfig, protocol,
-    scaled_system)
+    DEFAULT_SCALE, ScaleConfig, SystemConfig, protocol, scaled_system)
 from repro.common.hashing import config_items, stable_hash
+from repro.common.registry import paper_ladder
 from repro.workloads import WORKLOAD_ORDER, canonical_workload
 
 #: Default trace-generator seed (matches ``workloads.base.Generator``).
 DEFAULT_SEED = 12345
 
-#: Bump when workload generators or protocol semantics change, so stale
-#: cached results are never reused.  (Moved here from
-#: ``repro.analysis.persist``; the value and hash payload are unchanged
-#: so previously cached grids remain addressable.)
-GRID_VERSION = 3
+#: Bump when workload generators, protocol semantics or the config hash
+#: payload change, so stale cached results are never reused.  v4:
+#: ``SystemConfig`` gained ``barrier_release_cost``, which enters
+#: ``config_items`` and therefore every config key — pre-v4 cache files
+#: are simply re-simulated on first use.
+GRID_VERSION = 4
 
 
 def config_key(scale: ScaleConfig, config: SystemConfig) -> str:
@@ -93,7 +97,7 @@ def expand_grid(workloads: Optional[Sequence[str]] = None,
     configuration shrunk in step with the scale.
     """
     workloads = tuple(workloads) if workloads else WORKLOAD_ORDER
-    protocols = tuple(protocols) if protocols else PROTOCOL_ORDER
+    protocols = tuple(protocols) if protocols else paper_ladder()
     scale = scale if scale is not None else DEFAULT_SCALE
     config = config if config is not None else scaled_system(scale)
     return tuple(JobSpec(workload=w, protocol=p, scale=scale,

@@ -1,0 +1,47 @@
+"""Golden bit-identity regression over the tiny-scale paper grid.
+
+``tests/golden/grid_tiny.json`` snapshots the serialized ``RunResult``
+of every (workload, protocol) cell of the paper grid at ``tiny`` scale,
+captured before the coherence-kernel refactor.  These tests assert the
+current code reproduces every cell bit-for-bit — traffic flit-hops,
+waste taxonomies, per-bucket times, exec cycles, protocol stats and
+even the event count.
+
+If a change is *supposed* to alter simulation results, regenerate the
+snapshot with ``PYTHONPATH=src python tools/gen_golden_grid.py`` and
+explain why in the commit message.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.common.config import PROTOCOL_ORDER, ScaleConfig, scaled_system
+from repro.core.simulator import simulate
+from repro.runner.store import result_to_dict
+from repro.workloads import WORKLOAD_ORDER, build_workload
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "grid_tiny.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())["grid"]
+
+SCALE = ScaleConfig.tiny()
+CONFIG = scaled_system(SCALE)
+
+
+def test_golden_covers_the_full_paper_grid():
+    assert set(GOLDEN) == set(WORKLOAD_ORDER)
+    for workload, cells in GOLDEN.items():
+        assert set(cells) == set(PROTOCOL_ORDER), workload
+
+
+@pytest.mark.parametrize("workload_name", WORKLOAD_ORDER)
+def test_grid_cells_bit_identical_to_golden(workload_name):
+    workload = build_workload(workload_name, SCALE)
+    for proto in PROTOCOL_ORDER:
+        result = result_to_dict(simulate(workload, proto, CONFIG))
+        expected = GOLDEN[workload_name][proto]
+        assert result == expected, (
+            f"{workload_name} x {proto} diverged from the golden result; "
+            f"if intentional, regenerate tests/golden/grid_tiny.json with "
+            f"tools/gen_golden_grid.py")

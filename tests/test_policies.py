@@ -1,0 +1,261 @@
+"""Unit tests for the coherence policy layer.
+
+Covers each policy class in isolation, the flag -> policy resolution for
+every registered rung, and the policies composed end-to-end by both
+protocol cores (MESI and DeNovo), including the beyond-paper rungs
+MDirtyWB and DWordHybrid.
+"""
+
+import pytest
+
+from tests.conftest import TINY_SYSTEM, loads, run_micro, stores
+from repro.coherence import build_protocol_system
+from repro.coherence.policies import (
+    BypassPolicy, TransferPolicy, WritebackPolicy, resolve_policies)
+from repro.common.addressing import WORDS_PER_LINE, line_of, words_of_line
+from repro.common.config import (
+    SystemConfig, protocol, scaled_system)
+from repro.common.regions import FlexPattern, Region, RegionTable
+from repro.common.registry import registered_protocols
+from repro.network import traffic as T
+
+
+def flex_table(stride=8, fields=(0, 1), size=4096, bypass=False):
+    table = RegionTable()
+    table.add(Region(region_id=0, name="structs", base_word=0,
+                     size_words=size, bypass_l2=bypass,
+                     flex=FlexPattern(stride_words=stride,
+                                      field_offsets=fields)))
+    return table
+
+
+# ----------------------------------------------------------------------
+# Policy classes in isolation
+# ----------------------------------------------------------------------
+
+class TestWritebackPolicy:
+    DIRTY = [True, False, True] + [False] * (WORDS_PER_LINE - 3)
+
+    def test_full_line_flags_pass_through(self):
+        policy = WritebackPolicy(l1_dirty_only=False, l2_dirty_only=False)
+        assert policy.l1_flags(self.DIRTY) == self.DIRTY
+        assert policy.l2_flags(self.DIRTY) == self.DIRTY
+
+    def test_dirty_only_ships_just_the_dirty_words(self):
+        policy = WritebackPolicy(l1_dirty_only=True, l2_dirty_only=True)
+        assert policy.l1_flags(self.DIRTY) == [True, True]
+        assert policy.l2_flags(self.DIRTY) == [True, True]
+
+    def test_flags_are_copies_not_aliases(self):
+        policy = WritebackPolicy(l1_dirty_only=False, l2_dirty_only=False)
+        flags = policy.l1_flags(self.DIRTY)
+        flags[0] = False
+        assert self.DIRTY[0] is True
+
+
+class TestTransferPolicy:
+    def test_line_granular_without_flex(self):
+        policy = TransferPolicy(regions=flex_table(), max_words=16,
+                                flex_l1=False, flex_l2=False)
+        assert policy.cache_candidates(37) == \
+            list(words_of_line(line_of(37)))
+        assert policy.memory_region(37) is None
+
+    def test_flex_l1_gathers_region_fields(self):
+        policy = TransferPolicy(regions=flex_table(stride=8, fields=(0, 1)),
+                                max_words=16, flex_l1=True, flex_l2=False)
+        # Word 9 = element 1, field offset 1 -> fields {8, 9}.
+        assert policy.cache_candidates(9) == [8, 9]
+        assert policy.memory_region(9) is None
+
+    def test_flex_inserts_requested_word_when_off_field(self):
+        policy = TransferPolicy(regions=flex_table(stride=8, fields=(0, 1)),
+                                max_words=16, flex_l1=True, flex_l2=False)
+        # Word 12 is element 1, offset 4 — not a used field; the
+        # requested word must still lead the response.
+        candidates = policy.cache_candidates(12)
+        assert candidates[0] == 12
+
+    def test_flex_l2_exposes_the_memory_region(self):
+        table = flex_table()
+        policy = TransferPolicy(regions=table, max_words=16,
+                                flex_l1=True, flex_l2=True)
+        region = policy.memory_region(9)
+        assert region is not None
+        assert policy.region_words(region, 9) == [8, 9]
+
+    def test_falls_back_to_line_outside_flex_regions(self):
+        policy = TransferPolicy(regions=flex_table(size=64), max_words=16,
+                                flex_l1=True, flex_l2=False)
+        outside = 4096
+        assert policy.cache_candidates(outside) == \
+            list(words_of_line(line_of(outside)))
+
+
+class TestBypassPolicy:
+    def region(self, bypass):
+        return Region(region_id=0, name="r", base_word=0, size_words=64,
+                      bypass_l2=bypass)
+
+    def test_disabled_never_bypasses(self):
+        policy = BypassPolicy(response_enabled=False, request_enabled=False)
+        assert not policy.bypasses(self.region(bypass=True))
+
+    def test_enabled_requires_annotated_region(self):
+        policy = BypassPolicy(response_enabled=True, request_enabled=False)
+        assert policy.bypasses(self.region(bypass=True))
+        assert not policy.bypasses(self.region(bypass=False))
+        assert not policy.bypasses(None)
+
+
+# ----------------------------------------------------------------------
+# Flag -> policy resolution per registered rung
+# ----------------------------------------------------------------------
+
+class TestResolvePolicies:
+    def resolve(self, name):
+        return resolve_policies(protocol(name), flex_table(),
+                                SystemConfig())
+
+    def test_mesi_baseline(self):
+        p = self.resolve("MESI")
+        assert not p.granularity.l2_fetch_on_write
+        assert not p.writeback.l1_dirty_only
+        assert not p.writeback.l2_dirty_only
+        assert not p.mem_transfer.direct_to_l1
+        assert not p.bypass.response_enabled
+
+    def test_mmeml1_routes_memory_to_l1(self):
+        assert self.resolve("MMemL1").mem_transfer.direct_to_l1
+
+    def test_mdirty_wb_filters_both_writeback_levels(self):
+        p = self.resolve("MDirtyWB")
+        assert p.writeback.l1_dirty_only and p.writeback.l2_dirty_only
+
+    def test_denovo_baseline_fetches_on_l2_write_miss(self):
+        p = self.resolve("DeNovo")
+        assert p.granularity.l2_fetch_on_write
+        assert not p.writeback.l2_dirty_only
+
+    def test_dvalidatel2_write_validates_and_filters(self):
+        p = self.resolve("DValidateL2")
+        assert not p.granularity.l2_fetch_on_write
+        assert p.writeback.l2_dirty_only
+
+    def test_dword_hybrid_keeps_line_fills_but_word_writebacks(self):
+        p = self.resolve("DWordHybrid")
+        assert p.granularity.l2_fetch_on_write     # line-granularity fills
+        assert p.writeback.l2_dirty_only           # word-granularity WBs
+
+    def test_dbypfull_enables_both_bypasses(self):
+        p = self.resolve("DBypFull")
+        assert p.bypass.response_enabled and p.bypass.request_enabled
+
+    def test_flex_rungs_resolve_transfer_policy(self):
+        assert self.resolve("DFlexL1").transfer.flex_l1
+        assert not self.resolve("DFlexL1").transfer.flex_l2
+        assert self.resolve("DFlexL2").transfer.flex_l2
+
+    @pytest.mark.parametrize("name", registered_protocols())
+    def test_every_registered_rung_resolves(self, name):
+        p = self.resolve(name)
+        # Only DeNovo rungs can fetch-on-write at the L2, and request
+        # bypass never resolves without response bypass.
+        if p.granularity.l2_fetch_on_write:
+            assert protocol(name).kind == "denovo"
+        assert p.bypass.request_enabled <= p.bypass.response_enabled
+        # The writeback flags API works for every rung's policy.
+        assert p.writeback.l1_flags([True, False]) in \
+            ([True, False], [True])
+
+
+# ----------------------------------------------------------------------
+# Policies exercised through both protocol cores
+# ----------------------------------------------------------------------
+
+def _write_two_words_per_line(lines=4):
+    """One core writes two words in each of ``lines`` distinct lines of
+    the same L1 set, forcing dirty evictions in the tiny system."""
+    ops = []
+    cache_lines = TINY_SYSTEM.l1_kb * 1024 // TINY_SYSTEM.line_bytes
+    sets = cache_lines // TINY_SYSTEM.l1_assoc
+    span = sets * WORDS_PER_LINE * (TINY_SYSTEM.l1_assoc + lines)
+    for i in range(lines * 8):
+        base = (i * sets) * WORDS_PER_LINE % span
+        stores(ops, base, base + 1)
+    return {0: ops}
+
+
+class TestWritebackPolicyThroughCores:
+    def wb_data(self, result):
+        return (result.traffic[T.WB][T.WB_L2_USED]
+                + result.traffic[T.WB][T.WB_L2_WASTE]
+                + result.traffic[T.WB][T.WB_MEM_USED]
+                + result.traffic[T.WB][T.WB_MEM_WASTE])
+
+    def test_mdirty_wb_reduces_mesi_writeback_traffic(self):
+        ops = _write_two_words_per_line()
+        base, _ = run_micro(ops, proto="MESI")
+        dirty, _ = run_micro(ops, proto="MDirtyWB")
+        assert self.wb_data(base) > 0
+        assert self.wb_data(dirty) < self.wb_data(base)
+        # The filtered writebacks carry no clean (waste) words.
+        assert dirty.traffic[T.WB][T.WB_L2_WASTE] == 0.0
+        assert dirty.traffic[T.WB][T.WB_MEM_WASTE] == 0.0
+
+    def test_dword_hybrid_removes_mem_wb_waste_of_denovo(self):
+        # fluidanimate at tiny scale evicts partially-dirty lines from
+        # the L2 to memory: whole-line under baseline DeNovo (Mem
+        # Waste), dirty-words-only under DWordHybrid.
+        from repro.common.config import ScaleConfig
+        from repro.core.simulator import simulate
+        from repro.workloads import build_workload
+        scale = ScaleConfig.tiny()
+        workload = build_workload("fluidanimate", scale)
+        config = scaled_system(scale)
+        base = simulate(workload, "DeNovo", config)
+        hybrid = simulate(workload, "DWordHybrid", config)
+        assert base.traffic[T.WB][T.WB_MEM_WASTE] > 0
+        assert hybrid.traffic[T.WB][T.WB_MEM_WASTE] == 0.0
+        assert self.wb_data(hybrid) < self.wb_data(base)
+
+    def test_mesi_baseline_writes_back_whole_lines(self):
+        ops = _write_two_words_per_line()
+        base, _ = run_micro(ops, proto="MESI")
+        # Partially dirty lines shipped whole -> clean words become waste.
+        assert base.traffic[T.WB][T.WB_L2_WASTE] > 0
+
+
+class TestCoresComposePolicies:
+    @pytest.mark.parametrize("name", ("MDirtyWB", "DWordHybrid"))
+    def test_new_rungs_complete_micro_workloads(self, name):
+        ops = {0: [], 1: []}
+        loads(ops[0], 0, 8, 16)
+        stores(ops[0], 0, 4)
+        loads(ops[1], 0, 16)
+        stores(ops[1], 128)
+        result, system = run_micro(ops, proto=name)
+        assert result.protocol == name
+        assert result.exec_cycles > 0
+        assert system.proto_sys.stats() == result.protocol_stats
+
+    @pytest.mark.parametrize("name", registered_protocols())
+    def test_stats_protocol_for_every_rung(self, name):
+        ops = {0: []}
+        stores(ops[0], 0, 1)
+        loads(ops[0], 64)
+        result, system = run_micro(ops, proto=name)
+        stats = system.proto_sys.stats()
+        assert isinstance(stats, dict)
+        assert stats == result.protocol_stats
+        assert all(isinstance(v, int) for v in stats.values())
+
+    def test_core_factory_rejects_unknown_kind(self):
+        class FakeProto:
+            kind = "token-coherence"
+
+        class FakeCtx:
+            proto = FakeProto()
+
+        with pytest.raises(KeyError, match="token-coherence"):
+            build_protocol_system(FakeCtx())

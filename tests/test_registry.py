@@ -1,0 +1,102 @@
+"""Unit tests for the protocol registry."""
+
+import pytest
+
+from repro.common.config import PROTOCOL_ORDER, ProtocolConfig, _denovo, _mesi
+from repro.common.registry import (
+    is_registered, paper_ladder, protocol, register_protocol,
+    registered_protocols, suggest, unregister_protocol)
+
+
+class TestRegistryContents:
+    def test_paper_ladder_is_the_nine_rungs_in_figure_order(self):
+        assert paper_ladder() == (
+            "MESI", "MMemL1", "DeNovo", "DFlexL1", "DValidateL2",
+            "DMemL1", "DFlexL2", "DBypL2", "DBypFull")
+        assert PROTOCOL_ORDER == paper_ladder()
+
+    def test_beyond_paper_rungs_registered_after_the_ladder(self):
+        names = registered_protocols()
+        assert names[:9] == paper_ladder()
+        assert "MDirtyWB" in names and "DWordHybrid" in names
+        assert "MDirtyWB" not in paper_ladder()
+        assert "DWordHybrid" not in paper_ladder()
+
+    def test_new_rung_flag_combinations(self):
+        mdirty = protocol("MDirtyWB")
+        assert mdirty.kind == "mesi" and mdirty.dirty_wb_only
+        hybrid = protocol("DWordHybrid")
+        assert hybrid.kind == "denovo"
+        assert hybrid.l2_dirty_wb_only and not hybrid.l2_write_validate
+
+    def test_order_stable_across_lookups(self):
+        assert registered_protocols() == registered_protocols()
+        protocol("DBypFull")
+        assert registered_protocols()[:9] == paper_ladder()
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_protocol(_mesi("MESI"))
+
+    def test_replace_keeps_position(self):
+        before = registered_protocols()
+        register_protocol(_mesi("MESI"), replace=True)
+        assert registered_protocols() == before
+
+    def test_register_and_unregister_roundtrip(self):
+        cfg = _denovo("DTestRung", flex_l1=True)
+        try:
+            returned = register_protocol(cfg)
+            assert returned is cfg
+            assert is_registered("DTestRung")
+            assert protocol("DTestRung") is cfg
+            assert registered_protocols()[-1] == "DTestRung"
+            # Not on the paper ladder unless asked.
+            assert "DTestRung" not in paper_ladder()
+        finally:
+            unregister_protocol("DTestRung")
+        assert not is_registered("DTestRung")
+
+    def test_decorator_factory_form(self):
+        try:
+            @register_protocol
+            def _factory():
+                return _mesi("MDecorated")
+
+            assert is_registered("MDecorated")
+            assert protocol("MDecorated").kind == "mesi"
+        finally:
+            unregister_protocol("MDecorated")
+
+    def test_nameless_object_rejected(self):
+        with pytest.raises(TypeError):
+            register_protocol(object())
+
+
+class TestLookup:
+    def test_unknown_protocol_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            protocol("MOESI")
+
+    def test_near_miss_suggestion_in_error(self):
+        with pytest.raises(KeyError, match="did you mean"):
+            protocol("MESl")
+
+    def test_suggest_finds_close_matches(self):
+        assert "MESI" in suggest("MESl")
+        assert "DBypFull" in suggest("dbypfull")
+
+    def test_suggest_handles_hopeless_input(self):
+        assert suggest("qqqqqqqq") == []
+
+
+class TestProtocolConfigValidation:
+    def test_dirty_wb_only_rejected_on_denovo(self):
+        with pytest.raises(ValueError, match="dirty_wb_only"):
+            ProtocolConfig(name="bad", kind="denovo", dirty_wb_only=True)
+
+    def test_dirty_wb_only_allowed_on_mesi(self):
+        cfg = ProtocolConfig(name="ok", kind="mesi", dirty_wb_only=True)
+        assert cfg.enabled_flags() == ("dirty_wb_only",)

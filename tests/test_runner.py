@@ -54,20 +54,19 @@ class TestJobSpec:
                             config=SystemConfig(l1_kb=64))
         assert base.job_key() != other_cfg.job_key()
 
-    def test_store_key_matches_legacy_persist_key(self):
-        """Default-seed cells keep the exact key the pre-runner
-        analysis.persist module derived, so existing cache directories
-        stay valid.  Pinned literals: the keys in the cache files the
-        original harness committed — NOT recomputed through the current
-        code, which would make the check circular.  If this fails, the
-        hash payload or serialization changed and every stored result
-        silently became unreachable; bump GRID_VERSION deliberately
-        instead."""
+    def test_store_key_is_pinned(self):
+        """Cache keys must never change *silently*.  Pinned literals:
+        the GRID_VERSION-4 keys (SystemConfig.barrier_release_cost
+        entered the hash payload, deliberately retiring the v3 keys the
+        pre-runner analysis.persist module derived).  If this fails,
+        the hash payload or serialization changed and every stored
+        result silently became unreachable; bump GRID_VERSION
+        deliberately and re-pin instead."""
         from repro.common.config import DEFAULT_SCALE, scaled_system
         assert config_key(
             DEFAULT_SCALE,
-            scaled_system(DEFAULT_SCALE)) == "3b6d1ff3d15f2fd2"
-        assert spec().store_key() == "2d36c4ba4f5c2302"
+            scaled_system(DEFAULT_SCALE)) == "c6930957a706c035"
+        assert spec().store_key() == "15279253e2c7052d"
 
     def test_store_key_includes_non_default_seed(self):
         assert spec(seed=7).store_key() != spec().store_key()
@@ -330,6 +329,34 @@ class TestCLI:
         assert rc == 2
         err = capsys.readouterr().err
         assert "error" in err and "radxi" in err
+
+    def test_unknown_protocol_suggests_near_miss(self, capsys):
+        rc = cli_main(["sweep", "--protocols", "MESl", "--scale", "tiny"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "MESl" in err
+        assert "did you mean" in err and "MESI" in err
+
+    def test_list_prints_registered_workloads_and_protocols(self, capsys):
+        rc = cli_main(["list"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "workloads:" in out and "protocols:" in out
+        for workload in ("fluidanimate", "radix", "stream"):
+            assert workload in out
+        # The paper ladder and the beyond-paper rungs both appear.
+        for proto in ("MESI", "DBypFull", "MDirtyWB", "DWordHybrid"):
+            assert proto in out
+        assert "paper-ladder" in out and "extra" in out
+
+    def test_sweep_runs_beyond_paper_rungs(self, tmp_path, capsys):
+        rc = cli_main(["sweep", "--workloads", "stream",
+                       "--protocols", "MDirtyWB", "DWordHybrid",
+                       "--scale", "tiny", "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "MDirtyWB" in out and "DWordHybrid" in out
+        assert len(ResultStore(tmp_path)) == 2
 
     def test_figures_without_mesi_baseline_rejected(self, capsys):
         """Figures normalize to MESI; fail before sweeping, not after."""

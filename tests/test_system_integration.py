@@ -121,6 +121,46 @@ class TestCrossProtocolShapes:
         assert best.traffic_total() < mesi.traffic_total()
 
 
+class TestBarrierReleaseCost:
+    """SystemConfig.barrier_release_cost must reach the Barrier."""
+
+    def _run(self, cost):
+        from dataclasses import replace
+        ops = {0: [(OP_STORE, 0), (OP_BARRIER, 0), (OP_LOAD, 0)]}
+        cfg = replace(TINY_SYSTEM, barrier_release_cost=cost)
+        return run_micro(ops, config=cfg)
+
+    def test_threaded_through_system(self):
+        _, system = self._run(123)
+        assert system.barrier._release_cost == 123
+        assert system.config.barrier_release_cost == 123
+
+    def test_cost_shows_up_in_execution_time(self):
+        cheap, _ = self._run(0)
+        dear, _ = self._run(5000)
+        assert dear.exec_cycles > cheap.exec_cycles
+
+    def test_default_matches_paper_value(self):
+        assert SystemConfig().barrier_release_cost == 50
+
+
+class TestBeyondPaperRungs:
+    """The registry's extra rungs run end-to-end on real workloads."""
+
+    @pytest.mark.parametrize("proto", ["MDirtyWB", "DWordHybrid"])
+    def test_run_completes(self, workload, proto):
+        result = simulate(workload, proto, CFG)
+        assert result.exec_cycles > 0
+        assert result.traffic_total() > 0
+
+    def test_mdirty_wb_never_exceeds_mesi_traffic(self, workload):
+        mesi = simulate(workload, "MESI", CFG)
+        dirty = simulate(workload, "MDirtyWB", CFG)
+        assert dirty.traffic_total() <= mesi.traffic_total()
+        assert dirty.traffic_bucket(T.WB, T.WB_L2_WASTE) == 0
+        assert dirty.traffic_bucket(T.WB, T.WB_MEM_WASTE) == 0
+
+
 class TestSimulateApi:
     def test_accepts_protocol_object(self, workload):
         result = simulate(workload, protocol("MESI"), CFG)
