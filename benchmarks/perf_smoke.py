@@ -1,11 +1,21 @@
 #!/usr/bin/env python3
 """Perf smoke: time a tiny-scale radix x {MESI, DeNovo} sweep.
 
-Runs the two cells in-process, serially and cache-free (so the number is
+Runs the cells in-process, serially and cache-free (so the numbers are
 pure simulation speed, not store hits), and writes a small JSON record —
 ``BENCH_sweep.json`` by default — that CI uploads as a workflow
 artifact.  Comparing the artifact across commits gives the perf
 trajectory of the simulator hot path without a full benchmark session.
+
+The record carries three trend metrics:
+
+* per-cell seconds and events/second (simulator hot path);
+* ``cells_per_second`` over the whole smoke, including one
+  non-default-shape cell (4-tile 2x2 machine) so the machine-shape
+  layer stays on the trajectory;
+* ``trace_memo`` — the speedup the pool workers' built-trace memo
+  delivers per cell (a memoized cell skips the trace rebuild, so its
+  cost is simulation only).
 
 Run:  PYTHONPATH=src python benchmarks/perf_smoke.py [--out FILE]
 """
@@ -25,6 +35,8 @@ from repro.workloads import build_workload
 WORKLOAD = "radix"
 PROTOCOLS = ("MESI", "DeNovo")
 SCALE = "tiny"
+#: The extra machine shape exercised each run (the paper's is 16).
+EXTRA_TILES = 4
 
 
 def run() -> dict:
@@ -42,17 +54,51 @@ def run() -> dict:
         cells.append({
             "workload": WORKLOAD,
             "protocol": proto,
+            "num_tiles": config.num_tiles,
             "seconds": round(elapsed, 4),
             "events": result.events,
             "events_per_second": round(result.events / elapsed, 1),
             "exec_cycles": result.exec_cycles,
         })
+
+    # One non-default-shape cell, timed like the others (prebuilt
+    # trace, simulate() only) so its events/second stays comparable
+    # across the cells and across commits.
+    shape_config = scaled_system(scale, num_tiles=EXTRA_TILES)
+    shape_workload = build_workload(WORKLOAD, scale,
+                                    num_cores=EXTRA_TILES)
+    t0 = time.perf_counter()
+    shape_result = simulate(shape_workload, PROTOCOLS[0], shape_config)
+    shape_s = time.perf_counter() - t0
+    cells.append({
+        "workload": WORKLOAD,
+        "protocol": PROTOCOLS[0],
+        "num_tiles": EXTRA_TILES,
+        "seconds": round(shape_s, 4),
+        "events": shape_result.events,
+        "events_per_second": round(shape_result.events / shape_s, 1),
+        "exec_cycles": shape_result.exec_cycles,
+    })
+
+    total_s = sum(c["seconds"] for c in cells)
+    mean_sim = sum(c["seconds"] for c in cells[:len(PROTOCOLS)]) / len(
+        PROTOCOLS)
     return {
         "bench": f"sweep_{WORKLOAD}_{SCALE}",
         "python": platform.python_version(),
         "platform": platform.platform(),
         "trace_build_seconds": round(build_s, 4),
-        "total_seconds": round(sum(c["seconds"] for c in cells), 4),
+        "total_seconds": round(total_s, 4),
+        "cells_per_second": round(len(cells) / total_s, 3),
+        # The pool workers memoize built traces per (workload, scale,
+        # num_cores, seed): every cell after the first of a (workload,
+        # shape) run costs sim-only instead of build+sim.
+        "trace_memo": {
+            "build_seconds": round(build_s, 4),
+            "mean_sim_seconds": round(mean_sim, 4),
+            "speedup_per_memoized_cell":
+                round((build_s + mean_sim) / mean_sim, 2) if mean_sim else 0.0,
+        },
         "cells": cells,
     }
 

@@ -1,7 +1,8 @@
 """repro — reproduction of "Eliminating on-chip traffic waste: are we
 there yet?" (Smolinski).
 
-A word-granular simulator of a 16-tile CMP with MESI and DeNovo
+A word-granular simulator of a tiled CMP (the paper's 16-tile 4x4 mesh
+by default; the machine shape is a sweep axis) with MESI and DeNovo
 coherence protocols, the paper's waste-characterization methodology, its
 six benchmark access patterns, and harnesses regenerating every table
 and figure of the evaluation.
@@ -19,7 +20,9 @@ from repro.common.config import (
     ProtocolConfig,
     ScaleConfig,
     SystemConfig,
+    mc_tile_placement,
     protocol,
+    reshape_system,
     scaled_system,
 )
 from repro.common.registry import (
@@ -36,7 +39,7 @@ __version__ = "1.1.0"
 __all__ = [
     "PROTOCOLS", "PROTOCOL_ORDER", "ProtocolConfig", "RunResult",
     "ScaleConfig", "SystemConfig", "WORKLOAD_ORDER", "build_all",
-    "build_workload", "paper_ladder", "protocol", "register_protocol",
-    "registered_protocols", "scaled_system", "simulate",
-    "simulate_all_protocols", "__version__",
+    "build_workload", "mc_tile_placement", "paper_ladder", "protocol",
+    "register_protocol", "registered_protocols", "reshape_system",
+    "scaled_system", "simulate", "simulate_all_protocols", "__version__",
 ]

@@ -24,11 +24,17 @@ from repro.analysis.figures import (
     table_4_1,
     table_4_2,
 )
+from repro.analysis.scaling import (
+    ScalingFigure,
+    figure_scaling,
+    run_scaling,
+)
 
 __all__ = [
-    "ALL_FIGURES", "FigureTable",
+    "ALL_FIGURES", "FigureTable", "ScalingFigure",
     "figure_5_1a", "figure_5_1b", "figure_5_1c", "figure_5_1d",
     "figure_5_2", "figure_5_3a", "figure_5_3b", "figure_5_3c",
+    "figure_scaling", "run_scaling",
     "table_4_1", "table_4_2",
     "run_grid", "clear_cache",
     "traffic_reduction", "average_traffic_reduction",

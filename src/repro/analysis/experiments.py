@@ -31,18 +31,23 @@ def run_grid(workloads: Optional[Sequence[str]] = None,
              scale: Optional[ScaleConfig] = None,
              config: Optional[SystemConfig] = None,
              use_cache: bool = True,
-             jobs: int = 1) -> Grid:
+             jobs: int = 1,
+             num_tiles: Optional[int] = None) -> Grid:
     """Simulate every (workload, protocol) pair.
 
     Returns ``grid[workload][protocol] -> RunResult`` in paper order.
     ``protocols`` defaults to the registry's paper ladder (beyond-paper
     rungs run when named explicitly).  ``scale`` defaults to the fast
     ``small`` inputs with proportionally shrunk caches (see
-    ``repro.common.config.scaled_system``).  ``jobs`` shards the missing
+    ``repro.common.config.scaled_system``).  ``num_tiles`` re-shapes
+    the machine (tile count/mesh/MC placement, total L2 preserved) —
+    one shape per grid; sweep a shape axis with
+    :func:`repro.runner.sweep_shapes`.  ``jobs`` shards the missing
     cells across that many worker processes; the serial ``jobs=1`` path
     simulates in-process exactly as before.
     """
-    specs = expand_grid(workloads, protocols, scale, config)
+    specs = expand_grid(workloads, protocols, scale, config,
+                        tiles=(num_tiles,) if num_tiles else None)
     key = stable_hash([spec.job_key() for spec in specs])
     if use_cache and key in _GRID_CACHE:
         _GRID_CACHE.move_to_end(key)

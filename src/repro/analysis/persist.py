@@ -3,8 +3,12 @@
 The durable result cache now lives in the runner subsystem
 (:class:`repro.runner.store.ResultStore`): atomic writes, corrupt-file
 tolerance and a versioned schema.  This module keeps the original
-function-style API (and the exact key derivation, so existing cache
-directories remain valid) for callers that predate the runner.
+function-style API for callers that predate the runner.  Note the
+runner's cell file names are the *store* keys of
+:class:`repro.runner.jobs.JobSpec` — the :func:`config_key` here plus a
+``-tN`` machine-shape tag (and a seed suffix when non-default) — so
+derive keys through ``JobSpec.store_key()`` when reading cells the
+sweep runner wrote.
 """
 
 from __future__ import annotations

@@ -61,8 +61,13 @@ def per_app_table(grid) -> str:
     return "\n".join(lines)
 
 
-def generate(grid=None, jobs: int = 1) -> str:
-    """Full report text (the body of EXPERIMENTS.md)."""
+def generate(grid=None, jobs: int = 1, scaling=None) -> str:
+    """Full report text (the body of EXPERIMENTS.md).
+
+    ``scaling``, when given, is a swept shape grid
+    (``repro.analysis.scaling.run_scaling`` output); its core-count
+    scaling figure is appended as a beyond-the-paper section.
+    """
     if grid is None:
         from repro.runner import sweep_grid
         grid = sweep_grid(jobs=jobs)
@@ -78,6 +83,9 @@ def generate(grid=None, jobs: int = 1) -> str:
         fig = builder(grid)
         parts.append(f"\n## {fig.figure_id}: {fig.title}\n")
         parts.append("```\n" + fig.render() + "\n```")
+    if scaling:
+        from repro.analysis.scaling import report_section
+        parts.append("\n" + report_section(scaling))
     return "\n".join(parts)
 
 

@@ -53,11 +53,15 @@ class SetAssocCache(Generic[LineT]):
                  line_factory: Callable[[int], LineT] = CacheLine,
                  index_shift: int = 0) -> None:
         """``index_shift`` drops low line-address bits before set
-        selection — L2 slices must shift out the home-interleaving bits
-        (line % num_tiles selects the slice), otherwise every line of a
-        slice lands in the same set."""
+        selection — L2 slices on power-of-two machines must shift out
+        the home-interleaving bits (line % num_tiles selects the slice),
+        otherwise every line of a slice lands in the same set.
+        Non-power-of-two tile counts pass 0: their slice id is not a
+        bit-field, so the low bits still spread across sets."""
         if num_sets <= 0 or assoc <= 0:
             raise ValueError("sets and associativity must be positive")
+        if index_shift < 0:
+            raise ValueError("index_shift must be non-negative")
         self._num_sets = num_sets
         self._assoc = assoc
         self._index_shift = index_shift

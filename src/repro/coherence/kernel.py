@@ -54,9 +54,16 @@ class CoherenceKernel:
         self.l1: List[SetAssocCache] = [
             SetAssocCache(cfg.l1_sets, cfg.l1_assoc, self.l1_line_cls)
             for _ in range(num_tiles)]
+        # Home interleaving (line % num_tiles) consumes the low
+        # line-address bits only when the tile count is a power of two;
+        # shift them out of the L2 set index in that case.  For
+        # non-power-of-two shapes (3x3, 5x5, ...) the slice id is not a
+        # bit-field, every set stays reachable, and no shift is correct.
+        l2_shift = (num_tiles.bit_length() - 1
+                    if num_tiles & (num_tiles - 1) == 0 else 0)
         self.l2: List[SetAssocCache] = [
             SetAssocCache(cfg.l2_slice_sets, cfg.l2_assoc, self.l2_line_cls,
-                          index_shift=num_tiles.bit_length() - 1)
+                          index_shift=l2_shift)
             for _ in range(num_tiles)]
         # Core-level callbacks fired after any retire (buffer-full stalls).
         self._retire_hooks: List[List[Callable[[int], None]]] = [

@@ -20,7 +20,9 @@ from repro.common.config import (
     ScaleConfig,
     SystemConfig,
     corner_tiles,
+    mc_tile_placement,
     protocol,
+    reshape_system,
     scaled_system,
 )
 from repro.common.regions import (
@@ -42,7 +44,7 @@ __all__ = [
     "words_of_line",
     "DEFAULT_SCALE", "DEFAULT_SYSTEM", "PROTOCOL_ORDER", "PROTOCOLS",
     "ProtocolConfig", "ScaleConfig", "SystemConfig", "corner_tiles",
-    "protocol", "scaled_system",
+    "mc_tile_placement", "protocol", "reshape_system", "scaled_system",
     "paper_ladder", "register_protocol", "registered_protocols",
     "unregister_protocol",
     "FlexPattern", "Region", "RegionAllocator", "RegionTable",

@@ -8,19 +8,33 @@ proportionally scaled-down inputs that run quickly in pure Python.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, fields, replace
 
 from repro.common.addressing import LINE_BYTES, WORD_BYTES, WORDS_PER_LINE
 from repro.common.registry import (
     REGISTRY, paper_ladder, protocol, register_protocol)
 
+#: Machine shapes the model is validated for: square meshes from 2x2
+#: (4 tiles) up to 8x8 (64 tiles).  The paper evaluates only 4x4.
+MIN_MESH_WIDTH = 2
+MAX_MESH_WIDTH = 8
+
 
 @dataclass(frozen=True)
 class SystemConfig:
-    """Hardware parameters of the simulated tiled CMP (paper Table 4.1)."""
+    """Hardware parameters of the simulated tiled CMP (paper Table 4.1).
+
+    The machine *shape* — ``num_tiles``, the mesh and the
+    memory-controller placement — is a first-class axis: ``mesh_width``
+    is derived from ``num_tiles`` (pass 0, the default, to auto-derive),
+    and ``num_mem_controllers`` is validated against the mesh via
+    :func:`mc_tile_placement`.  Any square mesh from 2x2 to 8x8 works;
+    the paper's machine is the default 16-tile 4x4.
+    """
 
     num_tiles: int = 16
-    mesh_width: int = 4
+    mesh_width: int = 0            # 0 = derive from num_tiles
     core_ghz: float = 2.0
 
     l1_kb: int = 32
@@ -59,8 +73,20 @@ class SystemConfig:
     bloom_hashes: int = 1
 
     def __post_init__(self) -> None:
-        if self.mesh_width * self.mesh_width != self.num_tiles:
+        width = self.mesh_width
+        if width == 0:
+            width = math.isqrt(self.num_tiles)
+            object.__setattr__(self, "mesh_width", width)
+        if width * width != self.num_tiles:
             raise ValueError("num_tiles must be mesh_width squared")
+        if not (MIN_MESH_WIDTH <= width <= MAX_MESH_WIDTH):
+            raise ValueError(
+                f"mesh_width must be between {MIN_MESH_WIDTH} and "
+                f"{MAX_MESH_WIDTH} (got {width}); the model is validated "
+                f"for 2x2 through 8x8 meshes")
+        # Fails with a clear message when the controller count has no
+        # placement on this mesh (e.g. 8 controllers on a 2x2).
+        mc_tile_placement(width, self.num_mem_controllers)
         if self.line_bytes % self.word_bytes:
             raise ValueError("line size must be a whole number of words")
 
@@ -92,10 +118,22 @@ class SystemConfig:
     def max_words_per_message(self) -> int:
         return self.max_data_flits * self.words_per_flit
 
+    def mc_placement(self) -> tuple:
+        """Tile ids hosting this machine's memory controllers."""
+        return mc_tile_placement(self.mesh_width, self.num_mem_controllers)
 
-# The four corner tiles of a 4x4 mesh host the memory controllers.
+
 def corner_tiles(mesh_width: int) -> tuple:
-    """Tile ids of the four mesh corners (memory-controller locations)."""
+    """Tile ids of the four mesh corners.
+
+    The paper's machine places its four memory controllers here; the
+    general placement (other controller counts, validation) lives in
+    :func:`mc_tile_placement`.
+    """
+    if mesh_width < 2:
+        raise ValueError(
+            f"a {mesh_width}x{mesh_width} mesh has no four distinct "
+            f"corners; mesh_width must be at least 2")
     last = mesh_width - 1
     return (
         0,
@@ -103,6 +141,50 @@ def corner_tiles(mesh_width: int) -> tuple:
         mesh_width * last,
         mesh_width * last + last,
     )
+
+
+def mc_tile_placement(mesh_width: int, num_mem_controllers: int = 4) -> tuple:
+    """Tile ids of the memory controllers on a ``mesh_width``-wide mesh.
+
+    Generalizes the paper's corner placement to any square mesh from
+    2x2 to 8x8 and controller counts of 1, 2, 4 or 8:
+
+    * 1 — tile 0;
+    * 2 — two opposite corners (maximal separation);
+    * 4 — the four corners (the paper's 4x4 machine);
+    * 8 — the four corners plus the four edge midpoints (needs at
+      least a 3x3 mesh for the midpoints to be distinct tiles).
+
+    Raises :class:`ValueError` for any combination with no valid
+    placement, so degenerate shapes fail loudly instead of silently
+    duplicating controller tiles.
+    """
+    if mesh_width < 2:
+        raise ValueError(
+            f"memory-controller placement needs at least a 2x2 mesh, "
+            f"got {mesh_width}x{mesh_width}")
+    corners = corner_tiles(mesh_width)
+    if num_mem_controllers == 1:
+        return (0,)
+    if num_mem_controllers == 2:
+        return (corners[0], corners[3])
+    if num_mem_controllers == 4:
+        return corners
+    if num_mem_controllers == 8:
+        if mesh_width < 3:
+            raise ValueError(
+                "8 memory controllers need at least a 3x3 mesh (the "
+                "edge midpoints coincide with corners on a 2x2)")
+        last = mesh_width - 1
+        mid = mesh_width // 2
+        midpoints = (mid,                        # top edge
+                     mesh_width * mid,           # left edge
+                     mesh_width * mid + last,    # right edge
+                     mesh_width * last + mid)    # bottom edge
+        return corners + midpoints
+    raise ValueError(
+        f"num_mem_controllers must be 1, 2, 4 or 8 "
+        f"(got {num_mem_controllers})")
 
 
 @dataclass(frozen=True)
@@ -256,7 +338,37 @@ DEFAULT_SYSTEM = SystemConfig()
 DEFAULT_SCALE = ScaleConfig()
 
 
-def scaled_system(scale: ScaleConfig, base: SystemConfig = DEFAULT_SYSTEM) -> SystemConfig:
+def reshape_system(base: SystemConfig, num_tiles: int) -> SystemConfig:
+    """Re-shape ``base`` to ``num_tiles`` tiles, preserving capacity ratios.
+
+    The tile count is a sweep axis; the quantity the paper's effects
+    hinge on is the ratio between each workload's working set and the
+    *total* L2 (bypass only matters when the data set greatly exceeds
+    it).  The working set does not change with the tile count, so the
+    per-slice L2 capacity is scaled inversely to keep the total as
+    close to constant as whole-KB slices allow — exact on the default
+    power-of-two axis (4/16/64 tiles), rounded to the nearest KB per
+    slice otherwise (e.g. a 64KB total over nine 3x3 slices becomes
+    9x7KB = 63KB).  The per-slice Bloom banks shrink/grow with the
+    slice.  Per-core resources (L1, store buffers, write-combining
+    tables) stay fixed — more tiles genuinely means more aggregate
+    private cache, exactly the effect a core-count scaling experiment
+    studies.
+    """
+    if num_tiles == base.num_tiles:
+        return base
+    if num_tiles < 1:
+        raise ValueError(f"num_tiles must be positive (got {num_tiles})")
+    total_kb = base.l2_slice_kb * base.num_tiles
+    slice_kb = max(1, (2 * total_kb + num_tiles) // (2 * num_tiles))
+    filters = max(1, (2 * base.bloom_filters_per_slice * base.num_tiles
+                      + num_tiles) // (2 * num_tiles))
+    return replace(base, num_tiles=num_tiles, mesh_width=0,
+                   l2_slice_kb=slice_kb, bloom_filters_per_slice=filters)
+
+
+def scaled_system(scale: ScaleConfig, base: SystemConfig = DEFAULT_SYSTEM,
+                  num_tiles: "int | None" = None) -> SystemConfig:
     """Shrink cache capacities in step with scaled-down inputs.
 
     The paper's effects depend on *ratios* between working sets and cache
@@ -264,13 +376,21 @@ def scaled_system(scale: ScaleConfig, base: SystemConfig = DEFAULT_SYSTEM) -> Sy
     the L2).  When inputs are scaled below the paper sizes we shrink the
     caches by a similar factor so those ratios, and hence the figure
     shapes, are preserved.
+
+    ``num_tiles``, when given, additionally re-shapes the machine to
+    that tile count via :func:`reshape_system` (total L2 capacity is
+    preserved across shapes so the figure-driving ratios survive).
     """
     if scale.name == "paper":
-        return base
-    if scale.name == "tiny":
+        cfg = base
+    elif scale.name == "tiny":
         # Bloom tables shrink with the inputs so filter-copy overhead
         # stays the ~0.5%-of-traffic the paper reports (Section 5.2.4).
-        return replace(base, l1_kb=2, l2_slice_kb=4,
-                       bloom_entries=128, bloom_filters_per_slice=2)
-    return replace(base, l1_kb=8, l2_slice_kb=8,
-                   bloom_entries=256, bloom_filters_per_slice=4)
+        cfg = replace(base, l1_kb=2, l2_slice_kb=4,
+                      bloom_entries=128, bloom_filters_per_slice=2)
+    else:
+        cfg = replace(base, l1_kb=8, l2_slice_kb=8,
+                      bloom_entries=256, bloom_filters_per_slice=4)
+    if num_tiles is not None:
+        cfg = reshape_system(cfg, num_tiles)
+    return cfg

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.common.config import ProtocolConfig, SystemConfig, corner_tiles
+from repro.common.config import ProtocolConfig, SystemConfig
 from repro.common.regions import RegionTable
 from repro.dram.model import DramChannel
 from repro.engine.events import Barrier, EventQueue
@@ -72,7 +72,9 @@ class SimContext:
         self.l1_prof = CacheLevelProfiler("L1")
         self.l2_prof = CacheLevelProfiler("L2")
         self.mem_prof = MemoryProfiler()
-        self.mc_tiles = corner_tiles(config.mesh_width)
+        # Memory-controller tiles: the paper's four corners by default,
+        # generalized by the config for other shapes/controller counts.
+        self.mc_tiles = config.mc_placement()
         self.drams: Dict[int, DramChannel] = {
             tile: DramChannel(config, self.queue) for tile in self.mc_tiles}
         self._l2_free: Dict[int, int] = {t: 0 for t in range(config.num_tiles)}

@@ -23,7 +23,14 @@ MAX_EVENTS = 200_000_000
 
 
 class System:
-    """One simulated 16-tile machine running one workload."""
+    """One simulated tiled machine running one workload.
+
+    The machine shape comes from the ``SystemConfig`` (the paper's
+    16-tile 4x4 mesh by default; any square mesh from 2x2 to 8x8 is
+    supported) and must match the workload's core count — build the
+    workload with ``build_workload(name, scale,
+    num_cores=config.num_tiles)`` for non-default shapes.
+    """
 
     def __init__(self, workload: Workload, proto: ProtocolConfig,
                  config: Optional[SystemConfig] = None) -> None:

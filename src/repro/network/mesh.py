@@ -28,7 +28,8 @@ class Mesh:
         self._model_contention = model_contention
         # busy-until time per directed link, keyed by (tile, direction).
         self._link_free: Dict[Tuple[int, int, int, int], int] = {}
-        # route link-lists are tiny (16x16 pairs) and hot: cache them.
+        # route link-lists are small (num_tiles^2 pairs, <= 64x64 for
+        # the largest supported mesh) and hot: cache them.
         self._route_links: Dict[Tuple[int, int],
                                 Tuple[Tuple[int, int, int, int], ...]] = {}
 

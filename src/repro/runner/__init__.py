@@ -14,7 +14,7 @@ and exposes the whole pipeline on the command line via
 from repro.runner.jobs import (
     DEFAULT_SEED, GRID_VERSION, JobSpec, config_key, expand_grid)
 from repro.runner.pool import (
-    JobOutcome, execute_job, run_jobs, sweep, sweep_grid)
+    JobOutcome, execute_job, run_jobs, sweep, sweep_grid, sweep_shapes)
 from repro.runner.store import (
     ResultStore, default_cache_dir, result_from_dict, result_to_dict)
 
@@ -22,4 +22,5 @@ __all__ = [
     "DEFAULT_SEED", "GRID_VERSION", "JobOutcome", "JobSpec", "ResultStore",
     "config_key", "default_cache_dir", "execute_job", "expand_grid",
     "result_from_dict", "result_to_dict", "run_jobs", "sweep", "sweep_grid",
+    "sweep_shapes",
 ]

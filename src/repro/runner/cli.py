@@ -4,18 +4,24 @@ Subcommands::
 
     python -m repro list
     python -m repro sweep   --workloads radix --protocols MESI DeNovo --jobs 8
+    python -m repro sweep   --tiles 4,16,64 --scale tiny
     python -m repro figures --figures 5.1a 5.2
     python -m repro report
+    python -m repro scaling --tiles 4,16,64 --workloads radix
     python -m repro clean-cache
 
 ``list`` prints every registered workload and protocol (including
 beyond-paper rungs like ``MDirtyWB``/``DWordHybrid``).  Every
 grid-shaped subcommand shares the same selection flags
-(``--workloads/--protocols/--scale/--seed``), the parallelism flag
-(``--jobs``, 0 = one per CPU) and cache controls (``--cache-dir``,
-``--fresh``).  ``sweep`` prints one progress line per completed cell.
-Protocol names resolve through the protocol registry; a misspelled
-``--protocols`` entry reports near-miss suggestions.
+(``--workloads/--protocols/--scale/--seed/--tiles``), the parallelism
+flag (``--jobs``, 0 = one per CPU) and cache controls (``--cache-dir``,
+``--fresh``).  ``sweep`` prints one progress line per completed cell
+and accepts a multi-valued ``--tiles`` machine-shape axis; ``figures``
+and ``report`` render one shape (a single ``--tiles`` value);
+``scaling`` renders the core-count scaling figure over a multi-valued
+``--tiles`` axis.  Protocol names resolve through the protocol
+registry; a misspelled ``--protocols`` entry reports near-miss
+suggestions.
 """
 
 from __future__ import annotations
@@ -24,13 +30,13 @@ import argparse
 import os
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from repro.common.config import ScaleConfig
+from repro.common.config import ScaleConfig, scaled_system
 from repro.common.registry import (
     paper_ladder, protocol as protocol_by_name, registered_protocols)
-from repro.runner.jobs import DEFAULT_SEED
-from repro.runner.pool import JobOutcome, sweep_grid
+from repro.runner.jobs import DEFAULT_SEED, expand_grid
+from repro.runner.pool import JobOutcome, sweep, sweep_grid, sweep_shapes
 from repro.runner.store import ResultStore
 from repro.workloads import GENERATORS, WORKLOAD_ORDER, canonical_workload
 
@@ -39,7 +45,6 @@ SCALES = {
     "small": ScaleConfig,
     "paper": ScaleConfig.paper,
 }
-
 
 def _resolve_jobs(jobs: int) -> int:
     if jobs <= 0:
@@ -51,6 +56,20 @@ def _make_store(ns: argparse.Namespace) -> ResultStore:
     return ResultStore(ns.cache_dir) if ns.cache_dir else ResultStore()
 
 
+def _parse_tiles(ns: argparse.Namespace) -> Optional[Tuple[int, ...]]:
+    """The --tiles axis as ints (accepts ``4,16`` and ``4 16`` forms)."""
+    raw = getattr(ns, "tiles", None)
+    if not raw:
+        return None
+    values = []
+    for chunk in raw:
+        for part in chunk.split(","):
+            part = part.strip()
+            if part:
+                values.append(int(part))
+    return tuple(values) or None
+
+
 def _progress_printer(out):
     def progress(outcome: JobOutcome, done: int, total: int) -> None:
         spec = outcome.spec
@@ -59,15 +78,29 @@ def _progress_printer(out):
         retried = (f"  (attempt {outcome.attempts})"
                    if outcome.attempts > 1 else "")
         print(f"[{done:3d}/{total}] {spec.workload:<14s} "
-              f"{spec.protocol:<12s} {status}{retried}",
+              f"{spec.protocol:<12s} {spec.num_tiles:3d}t {status}{retried}",
               file=out, flush=True)
     return progress
 
 
+def _single_shape_config(ns: argparse.Namespace, scale: ScaleConfig):
+    """System config for one-shape commands (figures/report)."""
+    tiles = _parse_tiles(ns)
+    if tiles is None:
+        return None
+    if len(tiles) != 1:
+        raise ValueError(
+            f"{ns.command} renders one machine shape at a time; pass a "
+            f"single --tiles value (use `sweep`/`scaling` for a shape "
+            f"axis)")
+    return scaled_system(scale, num_tiles=tiles[0])
+
+
 def _grid(ns: argparse.Namespace, progress=None):
+    scale = SCALES[ns.scale]()
     return sweep_grid(
         workloads=ns.workloads, protocols=ns.protocols,
-        scale=SCALES[ns.scale](), seed=ns.seed,
+        scale=scale, config=_single_shape_config(ns, scale), seed=ns.seed,
         jobs=_resolve_jobs(ns.jobs), store=_make_store(ns),
         use_cache=not ns.fresh, progress=progress)
 
@@ -81,25 +114,49 @@ def cmd_sweep(ns: argparse.Namespace, out=None) -> int:
     jobs = _resolve_jobs(ns.jobs)
     workloads = tuple(ns.workloads) if ns.workloads else WORKLOAD_ORDER
     protocols = tuple(ns.protocols) if ns.protocols else paper_ladder()
-    cells = len(workloads) * len(protocols)
-    print(f"sweep: {len(workloads)} workloads x {len(protocols)} protocols "
-          f"= {cells} cells, scale={ns.scale}, jobs={jobs}",
+    tiles = _parse_tiles(ns)
+    scale = SCALES[ns.scale]()
+    specs = expand_grid(workloads, protocols, scale, seed=ns.seed,
+                        tiles=tiles)
+    shapes = (f" x {len(tiles)} shapes ({','.join(map(str, tiles))} tiles)"
+              if tiles else "")
+    print(f"sweep: {len(workloads)} workloads x {len(protocols)} protocols"
+          f"{shapes} = {len(specs)} cells, scale={ns.scale}, jobs={jobs}",
           file=out, flush=True)
+    store = _make_store(ns)
     start = time.perf_counter()
-    _grid(ns, progress=_progress_printer(out))
+    sweep(specs, jobs=jobs, store=store, use_cache=not ns.fresh,
+          progress=_progress_printer(out))
     elapsed = time.perf_counter() - start
-    print(f"sweep: {cells} cells in {elapsed:.2f}s "
-          f"(results in {_make_store(ns).directory})", file=out, flush=True)
+    print(f"sweep: {len(specs)} cells in {elapsed:.2f}s "
+          f"(results in {store.directory})", file=out, flush=True)
+    return 0
+
+
+def cmd_scaling(ns: argparse.Namespace, out=None) -> int:
+    """Render the core-count scaling figure over a --tiles axis."""
+    out = out if out is not None else sys.stdout
+    from repro.analysis.scaling import DEFAULT_TILES, figure_scaling
+    tiles = _parse_tiles(ns) or DEFAULT_TILES
+    workloads = tuple(ns.workloads) if ns.workloads else ("radix",)
+    shapes = sweep_shapes(
+        tiles, workloads=workloads, protocols=ns.protocols,
+        scale=SCALES[ns.scale](), seed=ns.seed,
+        jobs=_resolve_jobs(ns.jobs), store=_make_store(ns),
+        use_cache=not ns.fresh, progress=_progress_printer(sys.stderr))
+    print(figure_scaling(shapes).render(), file=out)
     return 0
 
 
 def cmd_figures(ns: argparse.Namespace, out=None) -> int:
     out = out if out is not None else sys.stdout
     from repro.analysis.figures import figures_from_store
+    scale = SCALES[ns.scale]()
     figures = figures_from_store(
         ns.figures, jobs=_resolve_jobs(ns.jobs),
         workloads=ns.workloads, protocols=ns.protocols,
-        scale=SCALES[ns.scale](), seed=ns.seed, store=_make_store(ns),
+        scale=scale, config=_single_shape_config(ns, scale),
+        seed=ns.seed, store=_make_store(ns),
         use_cache=not ns.fresh, progress=_progress_printer(sys.stderr))
     for figure in figures:
         print(figure.render(), file=out)
@@ -173,6 +230,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=DEFAULT_SEED,
         help=f"trace-generator seed (default: {DEFAULT_SEED})")
     grid_flags.add_argument(
+        "--tiles", nargs="+", metavar="N",
+        help="machine-shape axis: tile counts as comma- or "
+             "space-separated square numbers, e.g. `--tiles 4,16,64` "
+             "(default: the paper's 16-tile 4x4 mesh; sweep/scaling "
+             "accept several shapes, figures/report exactly one)")
+    grid_flags.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="parallel worker processes; 0 = one per CPU (default: 1)")
     grid_flags.add_argument(
@@ -200,6 +263,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the full paper-vs-measured report")
     p.set_defaults(func=cmd_report)
 
+    p = sub.add_parser(
+        "scaling", parents=[grid_flags],
+        help="render the core-count scaling figure (exec time and "
+             "traffic vs tile count, one line per protocol)")
+    p.set_defaults(func=cmd_scaling)
+
     p = sub.add_parser("list",
                        help="print registered workloads and protocols")
     p.set_defaults(func=cmd_list)
@@ -226,6 +295,24 @@ def _validate(ns: argparse.Namespace) -> Optional[str]:
             protocol_by_name(name)
         except KeyError as exc:
             return str(exc.args[0])
+    # Machine shapes: fail before sweeping, with the config's message.
+    try:
+        tiles = _parse_tiles(ns)
+    except ValueError:
+        return (f"--tiles takes comma- or space-separated integers "
+                f"(got {' '.join(getattr(ns, 'tiles', []))!r})")
+    if tiles:
+        scale = SCALES[ns.scale]()
+        for count in tiles:
+            try:
+                scaled_system(scale, num_tiles=count)
+            except ValueError as exc:
+                return f"--tiles {count}: {exc}"
+        if ns.command in ("figures", "report"):
+            try:
+                _single_shape_config(ns, scale)
+            except ValueError as exc:
+                return str(exc)
     # Every figure and the report normalize to the MESI bar, so a grid
     # without MESI would only fail after the whole sweep ran.
     if ns.command in ("figures", "report"):

@@ -1,21 +1,24 @@
 """Job specifications for the sweep runner.
 
-A :class:`JobSpec` names one (workload, protocol) simulation cell
-completely: the workload and protocol, the input scale, the system
-configuration and the trace-generator seed.  Specs are small frozen
-dataclasses so they pickle cheaply across the process-pool pipe —
-workers rebuild the (large) workload trace locally from the spec.
+A :class:`JobSpec` names one (workload, protocol, machine shape)
+simulation cell completely: the workload and protocol, the input scale,
+the system configuration — which carries the machine shape, so a sweep
+cell is a point on the (workload x protocol x shape) grid — and the
+trace-generator seed.  Specs are small frozen dataclasses so they
+pickle cheaply across the process-pool pipe — workers rebuild the
+(large) workload trace locally from the spec, sized to the spec's tile
+count.
 
 Key derivation is shared with the durable result store: every cell has
 
 * a **config key** — hash of (scale, system) only, shared by all cells
   of one grid sweep.  The key payload hashes every ``SystemConfig``
-  field, so GRID_VERSION 4 (which added ``barrier_release_cost``)
-  deliberately retired the pre-v4 keys the legacy
-  :mod:`repro.analysis.persist` module derived — old cache files are
-  re-simulated, not misread;
-* a **store key** — the config key plus the seed when it differs from
-  the generators' default, naming the cache file;
+  field, so the machine shape (``num_tiles``/``mesh_width``) enters
+  every key;
+* a **store key** — the config key tagged with the tile count (a
+  readable ``-tN`` suffix, so shapes are distinguishable in a cache
+  directory listing) plus the seed when it differs from the generators'
+  default; it names the cache file;
 * a **job key** — hash of the full spec, used for in-process memoization
   (e.g. the experiment grid LRU).
 """
@@ -26,7 +29,8 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.common.config import (
-    DEFAULT_SCALE, ScaleConfig, SystemConfig, protocol, scaled_system)
+    DEFAULT_SCALE, ScaleConfig, SystemConfig, protocol, reshape_system,
+    scaled_system)
 from repro.common.hashing import config_items, stable_hash
 from repro.common.registry import paper_ladder
 from repro.workloads import WORKLOAD_ORDER, canonical_workload
@@ -35,11 +39,12 @@ from repro.workloads import WORKLOAD_ORDER, canonical_workload
 DEFAULT_SEED = 12345
 
 #: Bump when workload generators, protocol semantics or the config hash
-#: payload change, so stale cached results are never reused.  v4:
-#: ``SystemConfig`` gained ``barrier_release_cost``, which enters
-#: ``config_items`` and therefore every config key — pre-v4 cache files
-#: are simply re-simulated on first use.
-GRID_VERSION = 4
+#: payload change, so stale cached results are never reused.  v5: the
+#: machine shape became a sweep axis — workload traces are built per
+#: tile count and store keys gained the ``-tN`` shape tag — so v4 keys
+#: (which predate shape-sized traces) are deliberately retired; old
+#: cache files are simply re-simulated on first use.
+GRID_VERSION = 5
 
 
 def config_key(scale: ScaleConfig, config: SystemConfig) -> str:
@@ -50,7 +55,12 @@ def config_key(scale: ScaleConfig, config: SystemConfig) -> str:
 
 @dataclass(frozen=True)
 class JobSpec:
-    """One independent simulation cell of a sweep."""
+    """One independent simulation cell of a sweep.
+
+    The machine shape rides in ``config`` (``config.num_tiles``); it
+    enters every derived key and sizes the workload trace the worker
+    builds.
+    """
 
     workload: str
     protocol: str
@@ -64,16 +74,21 @@ class JobSpec:
         object.__setattr__(self, "workload", canonical_workload(self.workload))
         protocol(self.protocol)
 
+    @property
+    def num_tiles(self) -> int:
+        """Machine shape of this cell (tile == core count)."""
+        return self.config.num_tiles
+
     # -- key derivation ----------------------------------------------------
     def config_key(self) -> str:
         return config_key(self.scale, self.config)
 
     def store_key(self) -> str:
         """Key naming this cell's cache file in the result store."""
-        base = self.config_key()
+        key = f"{self.config_key()}-t{self.num_tiles}"
         if self.seed == DEFAULT_SEED:
-            return base
-        return f"{base}-s{self.seed}"
+            return key
+        return f"{key}-s{self.seed}"
 
     def job_key(self) -> str:
         """Hash of the complete spec (for in-process memo keys)."""
@@ -82,24 +97,32 @@ class JobSpec:
                             config_items(self.config)])
 
     def label(self) -> str:
-        return f"{self.workload} x {self.protocol}"
+        return f"{self.workload} x {self.protocol} @ {self.num_tiles}t"
 
 
 def expand_grid(workloads: Optional[Sequence[str]] = None,
                 protocols: Optional[Sequence[str]] = None,
                 scale: Optional[ScaleConfig] = None,
                 config: Optional[SystemConfig] = None,
-                seed: int = DEFAULT_SEED) -> Tuple[JobSpec, ...]:
-    """The (workload x protocol) grid as job specs, workload-major.
+                seed: int = DEFAULT_SEED,
+                tiles: Optional[Sequence[int]] = None) -> Tuple[JobSpec, ...]:
+    """The (workload x shape x protocol) grid as job specs.
 
     Defaults mirror :func:`repro.analysis.experiments.run_grid`: paper
     workload/protocol order, the fast ``small`` scale, and a system
-    configuration shrunk in step with the scale.
+    configuration shrunk in step with the scale.  ``tiles`` adds the
+    machine-shape axis: each entry re-shapes the base configuration via
+    :func:`repro.common.config.reshape_system`.  Specs are ordered
+    workload-major, then shape, then protocol, so all protocol cells
+    sharing one (workload, shape) trace are adjacent — pool workers
+    memoize the built trace per (workload, scale, num_cores, seed).
     """
     workloads = tuple(workloads) if workloads else WORKLOAD_ORDER
     protocols = tuple(protocols) if protocols else paper_ladder()
     scale = scale if scale is not None else DEFAULT_SCALE
-    config = config if config is not None else scaled_system(scale)
+    base = config if config is not None else scaled_system(scale)
+    configs = (tuple(reshape_system(base, t) for t in tiles) if tiles
+               else (base,))
     return tuple(JobSpec(workload=w, protocol=p, scale=scale,
-                         config=config, seed=seed)
-                 for w in workloads for p in protocols)
+                         config=cfg, seed=seed)
+                 for w in workloads for cfg in configs for p in protocols)

@@ -55,18 +55,29 @@ class JobOutcome:
 # Worker side
 # ----------------------------------------------------------------------
 
-#: Per-process memo of the last built workload.  Specs arrive
-#: workload-major, so one entry suffices to share a build across the
-#: protocol cells of a workload without unbounded growth.
-_WORKLOAD_MEMO: dict = {}
+#: Per-process memo of built workload traces, keyed by
+#: (name, scale, num_cores, seed) — the complete build input.  Specs
+#: arrive workload-major then shape-major, so all protocol cells of one
+#: (workload, shape) share a single build; a small LRU (rather than a
+#: single slot) keeps neighbouring shapes warm when completion order
+#: interleaves cells, without pinning unbounded trace memory.
+_WORKLOAD_MEMO: "dict" = {}
+_WORKLOAD_MEMO_MAX = 4
 
 
-def _cached_workload(name: str, scale: ScaleConfig, seed: int):
-    key = (name, scale, seed)
+def _cached_workload(name: str, scale: ScaleConfig, num_cores: int,
+                     seed: int):
+    key = (name, scale, num_cores, seed)
     workload = _WORKLOAD_MEMO.get(key)
     if workload is None:
-        _WORKLOAD_MEMO.clear()
-        workload = build_workload(name, scale, seed=seed)
+        while len(_WORKLOAD_MEMO) >= _WORKLOAD_MEMO_MAX:
+            _WORKLOAD_MEMO.pop(next(iter(_WORKLOAD_MEMO)))
+        workload = build_workload(name, scale, num_cores=num_cores,
+                                  seed=seed)
+        _WORKLOAD_MEMO[key] = workload
+    else:
+        # Refresh LRU position (dicts preserve insertion order).
+        _WORKLOAD_MEMO.pop(key)
         _WORKLOAD_MEMO[key] = workload
     return workload
 
@@ -74,7 +85,8 @@ def _cached_workload(name: str, scale: ScaleConfig, seed: int):
 def execute_job(spec: JobSpec) -> Tuple[RunResult, float]:
     """Simulate one cell; returns the result and its wall-clock time."""
     start = time.perf_counter()
-    workload = _cached_workload(spec.workload, spec.scale, spec.seed)
+    workload = _cached_workload(spec.workload, spec.scale,
+                                spec.config.num_tiles, spec.seed)
     result = simulate(workload, spec.protocol, spec.config)
     return result, time.perf_counter() - start
 
@@ -217,7 +229,8 @@ def sweep_grid(workloads: Optional[Sequence[str]] = None,
     """Sweep the (workload x protocol) grid; returns paper-order results.
 
     Drop-in data source for the figure/report renderers:
-    ``grid[workload][protocol] -> RunResult``.
+    ``grid[workload][protocol] -> RunResult``.  One machine shape per
+    call (the config's); use :func:`sweep_shapes` for a tiles axis.
     """
     specs = expand_grid(workloads, protocols, scale, config, seed=seed)
     outcomes = sweep(specs, jobs=jobs, store=store, use_cache=use_cache,
@@ -227,3 +240,33 @@ def sweep_grid(workloads: Optional[Sequence[str]] = None,
         grid.setdefault(outcome.spec.workload, {})[
             outcome.spec.protocol] = outcome.result
     return grid
+
+
+def sweep_shapes(tiles: Sequence[int],
+                 workloads: Optional[Sequence[str]] = None,
+                 protocols: Optional[Sequence[str]] = None,
+                 scale: Optional[ScaleConfig] = None,
+                 config: Optional[SystemConfig] = None,
+                 seed: int = DEFAULT_SEED,
+                 jobs: int = 1,
+                 store: Optional[ResultStore] = None,
+                 use_cache: bool = True,
+                 retries: int = 1,
+                 progress: Optional[ProgressFn] = None,
+                 ) -> Dict[int, Grid]:
+    """Sweep the (workload x shape x protocol) grid over a tiles axis.
+
+    Returns ``shapes[num_tiles][workload][protocol] -> RunResult`` in
+    the order the ``tiles`` axis was given — the data source for the
+    core-count scaling figure (:mod:`repro.analysis.scaling`).
+    """
+    specs = expand_grid(workloads, protocols, scale, config, seed=seed,
+                        tiles=tiles)
+    outcomes = sweep(specs, jobs=jobs, store=store, use_cache=use_cache,
+                     retries=retries, progress=progress)
+    shapes: Dict[int, Grid] = {}
+    for outcome in outcomes:
+        spec = outcome.spec
+        shapes.setdefault(spec.num_tiles, {}).setdefault(
+            spec.workload, {})[spec.protocol] = outcome.result
+    return shapes

@@ -4,7 +4,7 @@ from typing import Dict, List, Optional, Type
 
 from repro.common.config import DEFAULT_SCALE, ScaleConfig
 from repro.workloads.barnes import BarnesGenerator
-from repro.workloads.base import Generator
+from repro.workloads.base import DEFAULT_NUM_CORES, Generator, core_grid
 from repro.workloads.fft import FFTGenerator
 from repro.workloads.fluidanimate import FluidanimateGenerator
 from repro.workloads.kdtree import KDTreeGenerator
@@ -49,27 +49,36 @@ def canonical_workload(name: str) -> str:
 
 def build_workload(name: str,
                    scale: Optional[ScaleConfig] = None,
+                   num_cores: Optional[int] = None,
                    **kwargs) -> Workload:
     """Build a named workload's traces (paper Table 4.2 names).
 
     Accepts case-insensitive names; ``scale`` defaults to the fast
     ``small`` configuration (use ``ScaleConfig.paper()`` for the paper's
-    input sizes).
+    input sizes).  ``num_cores`` defaults to the paper's 16-core
+    machine; pass the target ``SystemConfig.num_tiles`` to build traces
+    for another machine shape (every generator's partitioning scales).
     """
     key = canonical_workload(name)
+    if num_cores is not None:
+        kwargs["num_cores"] = num_cores
     generator = GENERATORS[key](scale if scale is not None else DEFAULT_SCALE,
                                 **kwargs)
     return generator.build()
 
 
-def build_all(scale: Optional[ScaleConfig] = None) -> Dict[str, Workload]:
+def build_all(scale: Optional[ScaleConfig] = None,
+              num_cores: Optional[int] = None) -> Dict[str, Workload]:
     """Build every workload in paper order."""
-    return {name: build_workload(name, scale) for name in WORKLOAD_ORDER}
+    return {name: build_workload(name, scale, num_cores=num_cores)
+            for name in WORKLOAD_ORDER}
 
 
 __all__ = [
-    "GENERATORS", "WORKLOAD_ORDER", "Generator", "Workload", "TraceBuilder",
+    "DEFAULT_NUM_CORES", "GENERATORS", "WORKLOAD_ORDER", "Generator",
+    "Workload", "TraceBuilder",
     "RegionUpdate", "build_all", "build_workload", "canonical_workload",
+    "core_grid",
     "OP_LOAD", "OP_STORE", "OP_COMPUTE", "OP_BARRIER",
     "BarnesGenerator", "FFTGenerator", "FluidanimateGenerator",
     "KDTreeGenerator", "LUGenerator", "RadixGenerator", "StreamGenerator",

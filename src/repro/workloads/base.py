@@ -13,18 +13,36 @@ reproducible.
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.config import ScaleConfig
 from repro.common.regions import FlexPattern, Region, RegionAllocator
 from repro.workloads.trace import TraceBuilder, Workload
 
-NUM_CORES = 16
+#: The paper's machine has 16 cores; every generator takes ``num_cores``
+#: so the same access patterns scale to any machine shape.
+DEFAULT_NUM_CORES = 16
 
 #: Words per scalar type in the simulated 4-byte-word machine.
 FLOAT_WORDS = 1
 DOUBLE_WORDS = 2
+
+
+def core_grid(num_cores: int) -> Tuple[int, int]:
+    """``(rows, cols)`` of the most-square 2D scatter grid of the cores.
+
+    Used by owner-computes workloads (LU) that assign work in a 2D
+    block-cyclic pattern: 16 cores -> 4x4 (the paper's machine), 4 ->
+    2x2, 8 -> 2x4, 1 -> 1x1.
+    """
+    if num_cores < 1:
+        raise ValueError("num_cores must be positive")
+    rows = math.isqrt(num_cores)
+    while num_cores % rows:
+        rows -= 1
+    return rows, num_cores // rows
 
 
 class Generator:
@@ -32,8 +50,10 @@ class Generator:
 
     name = "base"
 
-    def __init__(self, scale: ScaleConfig, num_cores: int = NUM_CORES,
+    def __init__(self, scale: ScaleConfig, num_cores: int = DEFAULT_NUM_CORES,
                  seed: int = 12345) -> None:
+        if num_cores < 1:
+            raise ValueError("num_cores must be positive")
         self.scale = scale
         self.num_cores = num_cores
         self.rng = random.Random(seed)

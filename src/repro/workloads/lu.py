@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.common.config import ScaleConfig
-from repro.workloads.base import DOUBLE_WORDS, Generator
+from repro.workloads.base import DOUBLE_WORDS, Generator, core_grid
 
 
 class LUGenerator(Generator):
@@ -34,6 +34,8 @@ class LUGenerator(Generator):
             raise ValueError("matrix size must be a multiple of block size")
         self.nblocks = self.n // self.b
         self.block_words = self.b * self.b * DOUBLE_WORDS
+        # 2D block-cyclic owner grid: 4x4 on the paper's 16-core machine.
+        self.grid_rows, self.grid_cols = core_grid(self.num_cores)
 
     def description(self) -> str:
         return (f"{self.n}x{self.n} matrix, {self.b}x{self.b} blocks, "
@@ -53,8 +55,8 @@ class LUGenerator(Generator):
 
     def owner(self, bi: int, bj: int) -> int:
         """2D scatter block-to-core assignment (SPLASH LU)."""
-        side = 4   # 16 cores in a 4x4 grid of block owners
-        return (bi % side) * side + (bj % side)
+        return ((bi % self.grid_rows) * self.grid_cols
+                + (bj % self.grid_cols))
 
     # -- emission --------------------------------------------------------
     def emit(self) -> None:

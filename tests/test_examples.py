@@ -36,3 +36,10 @@ class TestExamples:
         proc = run_example("bloom_tuning.py")
         assert proc.returncode == 0, proc.stderr
         assert "direct" in proc.stdout
+
+    def test_core_scaling(self):
+        proc = run_example("core_scaling.py", "stream", "4", "16")
+        assert proc.returncode == 0, proc.stderr
+        assert "Core-count scaling" in proc.stdout
+        assert "4t" in proc.stdout and "16t" in proc.stdout
+        assert "less traffic than MESI" in proc.stdout

@@ -71,8 +71,12 @@ class TestRunGrid:
                         scale=scale)
         assert set(grid) == {"LU"}
         assert set(grid["LU"]) == {"MESI", "DeNovo"}
-        # Cached on disk.
-        key = persist.config_key(scale, scaled_system(scale))
+        # Cached on disk, under the runner's shape-tagged store key.
+        from repro.runner import JobSpec
+        key = JobSpec(workload="LU", protocol="MESI", scale=scale,
+                      config=scaled_system(scale)).store_key()
+        assert key.startswith(persist.config_key(scale,
+                                                 scaled_system(scale)))
         assert persist.load_result("LU", "MESI", key) is not None
         # Second call is served from cache (no simulation): just verify
         # it returns equal numbers.

@@ -56,22 +56,32 @@ class TestJobSpec:
 
     def test_store_key_is_pinned(self):
         """Cache keys must never change *silently*.  Pinned literals:
-        the GRID_VERSION-4 keys (SystemConfig.barrier_release_cost
-        entered the hash payload, deliberately retiring the v3 keys the
-        pre-runner analysis.persist module derived).  If this fails,
+        the GRID_VERSION-5 keys (the machine shape became a sweep axis:
+        traces are built per tile count and store keys carry a ``-tN``
+        shape tag, deliberately retiring the v4 keys).  If this fails,
         the hash payload or serialization changed and every stored
         result silently became unreachable; bump GRID_VERSION
         deliberately and re-pin instead."""
         from repro.common.config import DEFAULT_SCALE, scaled_system
         assert config_key(
             DEFAULT_SCALE,
-            scaled_system(DEFAULT_SCALE)) == "c6930957a706c035"
-        assert spec().store_key() == "15279253e2c7052d"
+            scaled_system(DEFAULT_SCALE)) == "62850e6ad6f3862b"
+        assert spec().store_key() == "6a048a0d3ccf79f2-t16"
 
     def test_store_key_includes_non_default_seed(self):
         assert spec(seed=7).store_key() != spec().store_key()
         assert spec(seed=7).store_key().startswith(
             config_key(TINY, TINY_SYSTEM))
+
+    def test_store_key_tags_the_machine_shape(self):
+        from repro.common.config import reshape_system
+        small = spec()
+        big = JobSpec(workload="radix", protocol="MESI", scale=TINY,
+                      config=reshape_system(TINY_SYSTEM, 64))
+        assert small.store_key().endswith("-t16")
+        assert big.store_key().endswith("-t64")
+        assert small.config_key() != big.config_key()
+        assert small.job_key() != big.job_key()
 
     def test_workload_name_canonicalized(self):
         assert spec(workload="RADIX").workload == "radix"
@@ -88,6 +98,17 @@ class TestJobSpec:
         assert [(s.workload, s.protocol) for s in specs] == [
             ("LU", "MESI"), ("LU", "DeNovo"),
             ("radix", "MESI"), ("radix", "DeNovo")]
+
+    def test_expand_grid_tiles_axis_keeps_shapes_adjacent(self):
+        """Protocol cells sharing one (workload, shape) trace must be
+        adjacent so pool workers reuse the per-shape trace memo."""
+        specs = expand_grid(("radix",), ("MESI", "DeNovo"), TINY,
+                            tiles=(4, 16))
+        assert [(s.workload, s.num_tiles, s.protocol) for s in specs] == [
+            ("radix", 4, "MESI"), ("radix", 4, "DeNovo"),
+            ("radix", 16, "MESI"), ("radix", 16, "DeNovo")]
+        # The 16-tile cells reuse the base config object unchanged.
+        assert specs[2].config == TINY_SYSTEM
 
 
 # ----------------------------------------------------------------------
@@ -357,6 +378,43 @@ class TestCLI:
         assert rc == 0
         assert "MDirtyWB" in out and "DWordHybrid" in out
         assert len(ResultStore(tmp_path)) == 2
+
+    def test_sweep_tiles_axis(self, tmp_path, capsys):
+        """Acceptance: `sweep --tiles 4,16` runs end-to-end."""
+        rc = cli_main(["sweep", "--workloads", "stream",
+                       "--protocols", "MESI", "DeNovo",
+                       "--tiles", "4,16", "--scale", "tiny",
+                       "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "2 shapes (4,16 tiles)" in out and "= 4 cells" in out
+        assert "  4t" in out and " 16t" in out
+        assert len(ResultStore(tmp_path)) == 4
+
+    def test_scaling_renders_figure_from_swept_results(self, tmp_path,
+                                                       capsys):
+        rc = cli_main(["scaling", "--workloads", "stream",
+                       "--protocols", "MESI", "DeNovo",
+                       "--tiles", "4", "16", "--scale", "tiny",
+                       "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Core-count scaling" in out
+        assert "Execution time" in out and "flit-hops" in out
+        assert "MESI" in out and "DeNovo" in out
+
+    def test_invalid_tiles_value_is_a_clean_cli_error(self, capsys):
+        rc = cli_main(["sweep", "--tiles", "15", "--scale", "tiny"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "--tiles 15" in err and "mesh_width squared" in err
+
+    def test_figures_reject_multi_shape_tiles(self, capsys):
+        rc = cli_main(["figures", "--workloads", "stream",
+                       "--protocols", "MESI", "--tiles", "4,16",
+                       "--scale", "tiny"])
+        assert rc == 2
+        assert "one machine shape" in capsys.readouterr().err
 
     def test_figures_without_mesi_baseline_rejected(self, capsys):
         """Figures normalize to MESI; fail before sweeping, not after."""
