@@ -7,7 +7,7 @@ pure simulation speed, not store hits), and writes a small JSON record —
 artifact.  Comparing the artifact across commits gives the perf
 trajectory of the simulator hot path without a full benchmark session.
 
-The record carries three trend metrics:
+The record carries four trend metrics:
 
 * per-cell seconds and events/second (simulator hot path);
 * ``cells_per_second`` over the whole smoke, including one
@@ -15,7 +15,11 @@ The record carries three trend metrics:
   layer stays on the trajectory;
 * ``trace_memo`` — the speedup the pool workers' built-trace memo
   delivers per cell (a memoized cell skips the trace rebuild, so its
-  cost is simulation only).
+  cost is simulation only);
+* ``energy_derivation`` — wall time to derive the post-hoc energy
+  breakdown of every cell under every registered technology preset,
+  asserted to stay below 5% of the sweep's simulation time (energy is
+  supposed to be free relative to simulating).
 
 Run:  PYTHONPATH=src python benchmarks/perf_smoke.py [--out FILE]
 """
@@ -28,8 +32,10 @@ import platform
 import sys
 import time
 
-from repro.common.config import ScaleConfig, scaled_system
+from repro.common.config import (
+    ScaleConfig, registered_energy_models, scaled_system)
 from repro.core.simulator import simulate
+from repro.energy import compute_energy
 from repro.workloads import build_workload
 
 WORKLOAD = "radix"
@@ -37,6 +43,10 @@ PROTOCOLS = ("MESI", "DeNovo")
 SCALE = "tiny"
 #: The extra machine shape exercised each run (the paper's is 16).
 EXTRA_TILES = 4
+
+#: Post-hoc energy derivation must stay below this fraction of the
+#: sweep's simulation wall time (it is pure arithmetic over counters).
+ENERGY_OVERHEAD_BUDGET = 0.05
 
 
 def run() -> dict:
@@ -47,10 +57,12 @@ def run() -> dict:
     build_s = time.perf_counter() - t_build
 
     cells = []
+    results = []
     for proto in PROTOCOLS:
         t0 = time.perf_counter()
         result = simulate(workload, proto, config)
         elapsed = time.perf_counter() - t0
+        results.append((result, config))
         cells.append({
             "workload": WORKLOAD,
             "protocol": proto,
@@ -80,7 +92,26 @@ def run() -> dict:
         "exec_cycles": shape_result.exec_cycles,
     })
 
+    # Energy-derivation cell: price every simulated cell under every
+    # registered preset, post hoc.  This must be cheap — it is the whole
+    # point of a counter-driven model — so assert the budget here, where
+    # CI runs it on every commit.
+    results.append((shape_result, shape_config))
+    presets = registered_energy_models()
+    t0 = time.perf_counter()
+    derivations = 0
+    for cell_result, cell_config in results:
+        for preset in presets:
+            compute_energy(cell_result, preset, cell_config)
+            derivations += 1
+    energy_s = time.perf_counter() - t0
+
     total_s = sum(c["seconds"] for c in cells)
+    overhead = energy_s / total_s if total_s else 0.0
+    assert overhead < ENERGY_OVERHEAD_BUDGET, (
+        f"post-hoc energy derivation took {energy_s:.4f}s = "
+        f"{overhead:.1%} of the {total_s:.4f}s sweep (budget "
+        f"{ENERGY_OVERHEAD_BUDGET:.0%})")
     mean_sim = sum(c["seconds"] for c in cells[:len(PROTOCOLS)]) / len(
         PROTOCOLS)
     return {
@@ -98,6 +129,16 @@ def run() -> dict:
             "mean_sim_seconds": round(mean_sim, 4),
             "speedup_per_memoized_cell":
                 round((build_s + mean_sim) / mean_sim, 2) if mean_sim else 0.0,
+        },
+        # Post-hoc energy model: pure arithmetic over stored counters,
+        # so derivation cost must stay a rounding error next to
+        # simulation (asserted above against ENERGY_OVERHEAD_BUDGET).
+        "energy_derivation": {
+            "derivations": derivations,
+            "presets": list(presets),
+            "seconds": round(energy_s, 4),
+            "fraction_of_sweep": round(overhead, 5),
+            "budget": ENERGY_OVERHEAD_BUDGET,
         },
         "cells": cells,
     }

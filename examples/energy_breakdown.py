@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Energy breakdown: walk the protocol ladder and price each rung.
+
+The paper measures network traffic and word-level waste because both
+proxy energy; the ``repro.energy`` subsystem closes the loop.  This
+example simulates one workload at tiny scale under every rung of the
+paper's nine-step ladder, then derives — post hoc, from the recorded
+event counters — a per-component energy breakdown (core / L1 / L2 /
+NoC / MC / DRAM) and the EDP table under a chosen technology preset.
+
+Run:  python examples/energy_breakdown.py [workload] [preset]
+      python examples/energy_breakdown.py radix 22nm
+"""
+
+import sys
+
+from repro.analysis.energy import edp_table, figure_energy
+from repro.common.config import (
+    DEFAULT_ENERGY_MODEL, PROTOCOL_ORDER, ScaleConfig, scaled_system)
+from repro.core.simulator import simulate
+from repro.workloads import build_workload
+
+
+def main(argv) -> None:
+    workload_name = argv[1] if len(argv) > 1 else "radix"
+    preset = argv[2] if len(argv) > 2 else DEFAULT_ENERGY_MODEL
+    scale = ScaleConfig.tiny()
+    config = scaled_system(scale)
+    workload = build_workload(workload_name, scale)
+    print(f"simulating {workload_name} x the {len(PROTOCOL_ORDER)}-rung "
+          f"ladder (tiny scale), pricing with the {preset} preset...")
+    grid = {workload_name: {
+        proto: simulate(workload, proto, config)
+        for proto in PROTOCOL_ORDER}}
+    print()
+    print(figure_energy(grid, preset, config).render())
+    print()
+    print(edp_table(grid, preset, config))
+    print()
+    # The headline question: does the most aggressive rung save energy
+    # on top of the traffic it saves?
+    from repro.energy import compute_energy
+    base = compute_energy(grid[workload_name]["MESI"], preset, config)
+    best = compute_energy(grid[workload_name]["DBypFull"], preset, config)
+    print(f"DBypFull vs MESI [{preset}]: "
+          f"{1.0 - best.total / base.total:+.1%} total energy, "
+          f"{1.0 - best.edp / base.edp:+.1%} EDP, "
+          f"{1.0 - best.dynamic['noc'] / base.dynamic['noc']:+.1%} "
+          f"NoC dynamic energy")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

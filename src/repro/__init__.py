@@ -9,19 +9,24 @@ and figure of the evaluation.
 
 Quickstart::
 
-    from repro import build_workload, simulate
+    from repro import build_workload, compute_energy, simulate
     result = simulate(build_workload("radix"), "DBypFull")
     print(result.traffic_total())
+    print(compute_energy(result).total)   # post-hoc energy (joules)
 """
 
 from repro.common.config import (
+    ENERGY_MODELS,
     PROTOCOL_ORDER,
     PROTOCOLS,
+    EnergyModelConfig,
     ProtocolConfig,
     ScaleConfig,
     SystemConfig,
+    energy_model,
     mc_tile_placement,
     protocol,
+    registered_energy_models,
     reshape_system,
     scaled_system,
 )
@@ -32,14 +37,18 @@ from repro.common.registry import (
 )
 from repro.core.simulator import simulate, simulate_all_protocols
 from repro.core.stats import RunResult
+from repro.energy import EnergyStats, compute_energy
 from repro.workloads import WORKLOAD_ORDER, build_all, build_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "ENERGY_MODELS", "EnergyModelConfig", "EnergyStats",
     "PROTOCOLS", "PROTOCOL_ORDER", "ProtocolConfig", "RunResult",
     "ScaleConfig", "SystemConfig", "WORKLOAD_ORDER", "build_all",
-    "build_workload", "mc_tile_placement", "paper_ladder", "protocol",
-    "register_protocol", "registered_protocols", "reshape_system",
+    "build_workload", "compute_energy", "energy_model",
+    "mc_tile_placement", "paper_ladder", "protocol",
+    "register_protocol", "registered_energy_models",
+    "registered_protocols", "reshape_system",
     "scaled_system", "simulate", "simulate_all_protocols", "__version__",
 ]

@@ -24,6 +24,11 @@ from repro.analysis.figures import (
     table_4_1,
     table_4_2,
 )
+from repro.analysis.energy import (
+    edp_table,
+    energy_grid,
+    figure_energy,
+)
 from repro.analysis.scaling import (
     ScalingFigure,
     figure_scaling,
@@ -34,6 +39,7 @@ __all__ = [
     "ALL_FIGURES", "FigureTable", "ScalingFigure",
     "figure_5_1a", "figure_5_1b", "figure_5_1c", "figure_5_1d",
     "figure_5_2", "figure_5_3a", "figure_5_3b", "figure_5_3c",
+    "figure_energy", "edp_table", "energy_grid",
     "figure_scaling", "run_scaling",
     "table_4_1", "table_4_2",
     "run_grid", "clear_cache",

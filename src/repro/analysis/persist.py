@@ -1,4 +1,4 @@
-"""Backward-compatible facade over :mod:`repro.runner.store`.
+"""Deprecated backward-compatible facade over :mod:`repro.runner.store`.
 
 The durable result cache now lives in the runner subsystem
 (:class:`repro.runner.store.ResultStore`): atomic writes, corrupt-file
@@ -9,12 +9,25 @@ runner's cell file names are the *store* keys of
 ``-tN`` machine-shape tag (and a seed suffix when non-default) — so
 derive keys through ``JobSpec.store_key()`` when reading cells the
 sweep runner wrote.
+
+.. deprecated::
+   Import :class:`~repro.runner.store.ResultStore` (and the
+   serialization helpers) from :mod:`repro.runner.store` directly; this
+   shim emits :class:`DeprecationWarning` on import and will be removed
+   in a later release.
 """
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 from typing import Optional
+
+warnings.warn(
+    "repro.analysis.persist is deprecated; use repro.runner.store "
+    "(ResultStore, result_to_dict, result_from_dict) and "
+    "repro.runner.jobs (config_key, JobSpec.store_key) instead",
+    DeprecationWarning, stacklevel=2)
 
 from repro.core.stats import RunResult
 from repro.runner.jobs import GRID_VERSION, config_key

@@ -61,12 +61,18 @@ def per_app_table(grid) -> str:
     return "\n".join(lines)
 
 
-def generate(grid=None, jobs: int = 1, scaling=None) -> str:
+def generate(grid=None, jobs: int = 1, scaling=None, energy: bool = True,
+             energy_config=None) -> str:
     """Full report text (the body of EXPERIMENTS.md).
 
     ``scaling``, when given, is a swept shape grid
     (``repro.analysis.scaling.run_scaling`` output); its core-count
     scaling figure is appended as a beyond-the-paper section.
+
+    ``energy`` (default on) appends the counter-driven energy/EDP
+    section, rendered for every registered technology preset;
+    ``energy_config`` supplies the machine shape when the grid was swept
+    on a non-default one (it defaults to the paper's 16-tile machine).
     """
     if grid is None:
         from repro.runner import sweep_grid
@@ -83,6 +89,9 @@ def generate(grid=None, jobs: int = 1, scaling=None) -> str:
         fig = builder(grid)
         parts.append(f"\n## {fig.figure_id}: {fig.title}\n")
         parts.append("```\n" + fig.render() + "\n```")
+    if energy:
+        from repro.analysis.energy import report_section as energy_section
+        parts.append("\n" + energy_section(grid, config=energy_config))
     if scaling:
         from repro.analysis.scaling import report_section
         parts.append("\n" + report_section(scaling))

@@ -69,8 +69,12 @@ class ScalingFigure:
     tiles: Tuple[int, ...]
     rows: Dict[str, Dict[str, Dict[int, Dict[str, float]]]]
 
+    #: Per-instance when the energy preset differs from the default —
+    #: :func:`figure_scaling` overrides the energy label with the
+    #: resolved preset name.
     METRICS = (("exec_cycles", "Execution time (cycles)"),
-               ("traffic", "Network traffic (flit-hops)"))
+               ("traffic", "Network traffic (flit-hops)"),
+               ("energy", "Total energy (nJ, 45nm preset)"))
 
     def metric(self, workload: str, protocol: str, num_tiles: int,
                name: str) -> float:
@@ -106,19 +110,32 @@ class ScalingFigure:
 
 
 def figure_scaling(shapes: ShapeGrid,
-                   title: str = "Core-count scaling") -> ScalingFigure:
-    """Build the scaling figure from :func:`run_scaling` results."""
+                   title: str = "Core-count scaling",
+                   energy_model=None) -> ScalingFigure:
+    """Build the scaling figure from :func:`run_scaling` results.
+
+    The energy line derives post hoc from each cell's recorded counters
+    under ``energy_model`` (a preset name or config; default preset when
+    omitted), with the machine's unit counts re-shaped to the cell's
+    tile count — how the coherence ladder's *energy* cost moves with the
+    machine size is exactly the question the shape axis opens up.
+    """
+    from repro.energy import compute_energy, resolve_model, shaped_config
     if not shapes:
         raise ValueError("no swept shapes to render")
+    em = resolve_model(energy_model)
     tiles = tuple(sorted(shapes))
     rows: Dict[str, Dict[str, Dict[int, Dict[str, float]]]] = {}
     for num_tiles in tiles:
+        config = shaped_config(num_tiles)
         for workload, protos in shapes[num_tiles].items():
             for proto, result in protos.items():
+                energy = compute_energy(result, em, config)
                 rows.setdefault(workload, {}).setdefault(proto, {})[
                     num_tiles] = {
                         "exec_cycles": float(result.exec_cycles),
                         "traffic": float(result.traffic_total()),
+                        "energy": energy.total * 1e9,
                 }
     # Every (workload, protocol) line needs a point at every tile count,
     # otherwise the relative columns would silently compare different
@@ -130,7 +147,12 @@ def figure_scaling(shapes: ShapeGrid,
                 raise ValueError(
                     f"{workload} x {proto} missing tile counts {missing}; "
                     f"sweep every shape before rendering")
-    return ScalingFigure(title=title, tiles=tiles, rows=rows)
+    figure = ScalingFigure(title=title, tiles=tiles, rows=rows)
+    figure.METRICS = (
+        ("exec_cycles", "Execution time (cycles)"),
+        ("traffic", "Network traffic (flit-hops)"),
+        ("energy", f"Total energy (nJ, {em.name} preset)"))
+    return figure
 
 
 def scaling_summary(shapes: ShapeGrid) -> str:

@@ -125,18 +125,29 @@ class SliceFilterBank:
         self._filters = [CountingBloomFilter(entries, hashes)
                          for _ in range(num_filters)]
         self._select = H3Hash(num_filters, seed * 1000 + 997)
+        # Energy-model event counters (observational only; consumed by
+        # ``repro.energy`` — lookups and counter updates cost energy).
+        self.stat_checks = 0      # membership queries against the bank
+        self.stat_updates = 0     # counter inserts/removes
 
     def filter_index(self, line_addr: int) -> int:
         return self._select(line_addr)
 
     def insert(self, line_addr: int) -> None:
+        self.stat_updates += 1
         self._filters[self.filter_index(line_addr)].insert(line_addr)
 
     def remove(self, line_addr: int) -> None:
+        self.stat_updates += 1
         self._filters[self.filter_index(line_addr)].remove(line_addr)
 
     def may_contain(self, line_addr: int) -> bool:
+        self.stat_checks += 1
         return self._filters[self.filter_index(line_addr)].may_contain(line_addr)
+
+    def reset_energy_counters(self) -> None:
+        self.stat_checks = 0
+        self.stat_updates = 0
 
     def bit_projection(self, filter_index: int) -> List[int]:
         return self._filters[filter_index].bit_projection()
@@ -164,6 +175,10 @@ class L1FilterShadow:
         ]
         self._valid = [[False] * num_filters for _ in range(num_slices)]
         self._select = H3Hash(num_filters, seed * 1000 + 997)
+        # Energy-model event counters (observational only).
+        self.stat_checks = 0      # shadow membership queries
+        self.stat_inserts = 0     # writeback-driven shadow inserts
+        self.stat_installs = 0    # filter projections copied from an L2
 
     def filter_index(self, line_addr: int) -> int:
         return self._select(line_addr)
@@ -174,17 +189,25 @@ class L1FilterShadow:
     def install(self, slice_id: int, filter_index: int,
                 bits: Sequence[int]) -> None:
         """Union a slice filter's bit projection into the shadow copy."""
+        self.stat_installs += 1
         self._filters[slice_id][filter_index].union_bits(bits)
         self._valid[slice_id][filter_index] = True
 
     def note_writeback(self, slice_id: int, line_addr: int) -> None:
         """Every L1 writeback inserts its line address into the shadow."""
+        self.stat_inserts += 1
         self._filters[slice_id][self.filter_index(line_addr)].insert(line_addr)
 
     def may_contain(self, slice_id: int, line_addr: int) -> bool:
         if not self.has_copy(slice_id, line_addr):
             raise RuntimeError("querying an uncopied filter; fetch it first")
+        self.stat_checks += 1
         return self._filters[slice_id][self.filter_index(line_addr)].may_contain(line_addr)
+
+    def reset_energy_counters(self) -> None:
+        self.stat_checks = 0
+        self.stat_inserts = 0
+        self.stat_installs = 0
 
     def clear(self) -> None:
         """Barrier: wipe all shadow copies and validity bits."""

@@ -69,6 +69,12 @@ class SetAssocCache(Generic[LineT]):
         # Per set: line_addr -> line, plus LRU order (front = MRU).
         self._tags: List[Dict[int, LineT]] = [dict() for _ in range(num_sets)]
         self._lru: List[List[int]] = [[] for _ in range(num_sets)]
+        # Energy-model event counters (purely observational: they feed
+        # ``repro.energy`` per-event cost tables and never influence
+        # timing or replacement decisions).
+        self.stat_probes = 0        # tag-array probes (lookup calls)
+        self.stat_installs = 0      # new lines written into the array
+        self.stat_evictions = 0     # lines removed (evictions + recalls)
 
     @property
     def num_sets(self) -> int:
@@ -87,6 +93,7 @@ class SetAssocCache(Generic[LineT]):
 
     def lookup(self, line_addr: int, touch: bool = True) -> Optional[LineT]:
         """Return the resident line or None; by default refresh LRU."""
+        self.stat_probes += 1
         idx = self.set_index(line_addr)
         line = self._tags[idx].get(line_addr)
         if line is not None and touch:
@@ -127,9 +134,11 @@ class SetAssocCache(Generic[LineT]):
         if len(tags) >= self._assoc:
             victim_addr = order.pop()
             victim = tags.pop(victim_addr)
+            self.stat_evictions += 1
         line = self._line_factory(line_addr)
         tags[line_addr] = line
         order.insert(0, line_addr)
+        self.stat_installs += 1
         return line, victim
 
     def remove(self, line_addr: int) -> Optional[LineT]:
@@ -138,7 +147,14 @@ class SetAssocCache(Generic[LineT]):
         line = self._tags[idx].pop(line_addr, None)
         if line is not None:
             self._lru[idx].remove(line_addr)
+            self.stat_evictions += 1
         return line
+
+    def reset_energy_counters(self) -> None:
+        """Zero the observational counters (end of measurement warm-up)."""
+        self.stat_probes = 0
+        self.stat_installs = 0
+        self.stat_evictions = 0
 
     def resident_lines(self) -> List[LineT]:
         """All resident lines (for end-of-simulation finalization)."""

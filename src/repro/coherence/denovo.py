@@ -136,6 +136,25 @@ class DenovoSystem(CoherenceKernel):
             "self_invalidated_words": self.stat_self_invalidated_words,
         }
 
+    def energy_counters(self) -> Dict[str, int]:
+        counters = super().energy_counters()
+        counters.update(
+            bloom_slice_checks=sum(b.stat_checks for b in self.slice_blooms),
+            bloom_slice_updates=sum(b.stat_updates for b in self.slice_blooms),
+            bloom_shadow_checks=sum(s.stat_checks for s in self.l1_blooms),
+            bloom_shadow_inserts=sum(s.stat_inserts for s in self.l1_blooms),
+            bloom_shadow_installs=sum(s.stat_installs
+                                      for s in self.l1_blooms),
+        )
+        return counters
+
+    def reset_energy_counters(self) -> None:
+        super().reset_energy_counters()
+        for bank in self.slice_blooms:
+            bank.reset_energy_counters()
+        for shadow in self.l1_blooms:
+            shadow.reset_energy_counters()
+
     # ------------------------------------------------------------------
     # Core-facing interface
     # ------------------------------------------------------------------
@@ -974,3 +993,21 @@ class _ShadowArray(L1FilterShadow):
     def clear(self) -> None:
         for shadow in self._shadows:
             shadow.clear()
+
+    # Energy counters aggregate over the per-slice shadows (this class
+    # never runs the base __init__, so the base counters don't exist).
+    @property
+    def stat_checks(self) -> int:
+        return sum(s.stat_checks for s in self._shadows)
+
+    @property
+    def stat_inserts(self) -> int:
+        return sum(s.stat_inserts for s in self._shadows)
+
+    @property
+    def stat_installs(self) -> int:
+        return sum(s.stat_installs for s in self._shadows)
+
+    def reset_energy_counters(self) -> None:
+        for shadow in self._shadows:
+            shadow.reset_energy_counters()

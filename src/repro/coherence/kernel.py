@@ -107,6 +107,30 @@ class CoherenceKernel:
         """Protocol counters for ``RunResult.protocol_stats``."""
         return {}
 
+    def energy_counters(self) -> Dict[str, int]:
+        """Event counters for ``RunResult.energy_counters``.
+
+        The base kernel reports the shared tag-array events; protocol
+        cores extend the dict with their own structures (e.g. DeNovo's
+        Bloom filter banks).  Purely observational — the energy model
+        (:mod:`repro.energy`) multiplies these by per-event costs.
+        """
+        counters = {"l1_probes": 0, "l1_installs": 0, "l1_evictions": 0,
+                    "l2_probes": 0, "l2_installs": 0, "l2_evictions": 0}
+        for prefix, caches in (("l1", self.l1), ("l2", self.l2)):
+            for cache in caches:
+                counters[f"{prefix}_probes"] += cache.stat_probes
+                counters[f"{prefix}_installs"] += cache.stat_installs
+                counters[f"{prefix}_evictions"] += cache.stat_evictions
+        return counters
+
+    def reset_energy_counters(self) -> None:
+        """Zero the energy event counters (end of measurement warm-up)."""
+        for cache in self.l1:
+            cache.reset_energy_counters()
+        for cache in self.l2:
+            cache.reset_energy_counters()
+
     # ------------------------------------------------------------------
     # Retire hooks
     # ------------------------------------------------------------------

@@ -798,9 +798,12 @@ class MesiSystem(CoherenceKernel):
                 entry.owner = None
                 entry.dir_state = DIR_IDLE
             entry.sharers.discard(core)
-        # Writeback ack (control, WB category).
+        # Writeback ack (control, WB category); fire-and-forget, so the
+        # mesh never sees it through latency() — count it explicitly to
+        # keep the energy-model flit-hop counter ledger-exact.
         hops = ctx.mesh.hops(home, core)
         ctx.ledger.add_wb_control(hops)
+        ctx.mesh.count_packet(hops)
 
     def _dir_clean_wb(self, line_addr: int, core: int, t: int) -> None:
         ctx = self.ctx

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field, fields, replace
 
 from repro.common.addressing import LINE_BYTES, WORD_BYTES, WORDS_PER_LINE
 from repro.common.registry import (
-    REGISTRY, paper_ladder, protocol, register_protocol)
+    REGISTRY, Registry, paper_ladder, protocol, register_protocol)
 
 #: Machine shapes the model is validated for: square meshes from 2x2
 #: (4 tiles) up to 8x8 (64 tiles).  The paper evaluates only 4x4.
@@ -332,6 +332,111 @@ class ScaleConfig:
             name="tiny", lu_matrix=32, lu_block=16, fft_points=1024,
             radix_keys=2048, radix_buckets=256, barnes_bodies=128,
             fluid_cells=128, kdtree_triangles=256)
+
+
+@dataclass(frozen=True)
+class EnergyModelConfig:
+    """Per-event energy cost table for one technology point.
+
+    The post-hoc energy model (:mod:`repro.energy`) multiplies these
+    CACTI/McPAT-style costs by the event counters a run records
+    (``RunResult.energy_counters``, traffic flit-hops, DRAM commands,
+    busy cycles) and adds leakage scaled by execution time.  The values
+    are *relative-fidelity* estimates — plausible magnitudes with
+    faithful ratios between components — not silicon-validated numbers;
+    cross-rung and cross-shape comparisons are meaningful, absolute
+    joules are indicative only.
+
+    Dynamic costs are picojoules per event; leakage is milliwatts per
+    hardware unit (tile, L2 slice, router, memory controller, DRAM
+    channel), multiplied by the unit count of the simulated machine.
+    """
+
+    name: str
+    process_nm: int
+
+    # Dynamic energy per event (picojoules).
+    core_cycle_pj: float          # per busy (non-stalled) core cycle
+    l1_probe_pj: float            # per L1 tag-array probe
+    l1_word_pj: float             # per word moved into an L1 data array
+    l2_probe_pj: float            # per L2 tag-array probe
+    l2_word_pj: float             # per word moved into an L2 data array
+    bloom_op_pj: float            # per Bloom filter query/update
+    router_flit_hop_pj: float     # per flit per router traversal
+    link_flit_hop_pj: float       # per flit per link traversal
+    mc_request_pj: float          # per memory-controller command
+    dram_activate_pj: float       # per row ACTIVATE
+    dram_precharge_pj: float      # per row PRECHARGE
+    dram_access_pj: float         # per line burst read or written
+
+    # Leakage power per unit (milliwatts), scaled by execution time.
+    core_leak_mw: float           # per tile (core logic)
+    l1_leak_mw: float             # per tile (L1 arrays)
+    l2_leak_mw: float             # per L2 slice
+    noc_leak_mw: float            # per router
+    mc_leak_mw: float             # per memory controller
+    dram_leak_mw: float           # per DRAM channel (background power)
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            if f.name in ("name",):
+                continue
+            value = getattr(self, f.name)
+            if not value >= 0:       # also rejects NaN
+                raise ValueError(
+                    f"energy model {self.name!r}: {f.name} must be a "
+                    f"non-negative number (got {value!r})")
+
+
+#: Named technology presets for the energy model, resolved by the
+#: :mod:`repro.energy` subsystem and the ``python -m repro energy`` CLI
+#: the same way protocol rungs resolve through the protocol registry.
+ENERGY_MODELS = Registry("energy model")
+
+# Two process nodes.  The 22nm point scales dynamic energy by ~0.45x of
+# the 45nm point while leakage shrinks only ~0.65x — the classic
+# "leakage fraction grows as the node shrinks" trend — so the two
+# presets genuinely reorder EDP trade-offs rather than rescaling them.
+for _em in (
+    EnergyModelConfig(
+        name="45nm", process_nm=45,
+        core_cycle_pj=18.0,
+        l1_probe_pj=2.6, l1_word_pj=4.4,
+        l2_probe_pj=6.1, l2_word_pj=9.2,
+        bloom_op_pj=0.8,
+        router_flit_hop_pj=3.6, link_flit_hop_pj=2.2,
+        mc_request_pj=4.1,
+        dram_activate_pj=1900.0, dram_precharge_pj=1300.0,
+        dram_access_pj=5200.0,
+        core_leak_mw=85.0, l1_leak_mw=18.0, l2_leak_mw=46.0,
+        noc_leak_mw=12.0, mc_leak_mw=30.0, dram_leak_mw=110.0),
+    EnergyModelConfig(
+        name="22nm", process_nm=22,
+        core_cycle_pj=8.1,
+        l1_probe_pj=1.2, l1_word_pj=2.0,
+        l2_probe_pj=2.7, l2_word_pj=4.1,
+        bloom_op_pj=0.36,
+        router_flit_hop_pj=1.6, link_flit_hop_pj=1.0,
+        mc_request_pj=1.8,
+        dram_activate_pj=1100.0, dram_precharge_pj=760.0,
+        dram_access_pj=3000.0,
+        core_leak_mw=55.0, l1_leak_mw=12.0, l2_leak_mw=30.0,
+        noc_leak_mw=8.0, mc_leak_mw=20.0, dram_leak_mw=72.0),
+):
+    ENERGY_MODELS.register(_em)
+
+#: Preset used when callers don't pick one.
+DEFAULT_ENERGY_MODEL = "45nm"
+
+
+def energy_model(name: str) -> EnergyModelConfig:
+    """Look up a registered energy-model preset by name."""
+    return ENERGY_MODELS.get(name)
+
+
+def registered_energy_models() -> tuple:
+    """All registered preset names, in registration order."""
+    return ENERGY_MODELS.names()
 
 
 DEFAULT_SYSTEM = SystemConfig()

@@ -1,21 +1,29 @@
-"""Protocol registry: named coherence-protocol configurations.
+"""Named-configuration registries (protocol rungs, energy presets).
 
-Every protocol rung — the paper's nine-step ladder and any rung added
-later — registers here, and every consumer (``core.system``, the sweep
-runner, ``analysis.figures``, the ``python -m repro`` CLI) resolves
-names through :func:`protocol` instead of a hard-coded table.  Adding a
-rung is therefore one ``register_protocol(...)`` call; nothing else in
-the stack needs to learn its name.
+:class:`Registry` is a small generic building block: an
+insertion-ordered ``name -> config`` mapping with duplicate rejection,
+near-miss suggestions on failed lookups, and an optional *ladder* — the
+subset (in registration order) that forms a display default, like the
+paper's nine-rung protocol ladder that is the x-axis of every figure.
+It stores any object with a ``name`` attribute, so it has no import
+cycle with :mod:`repro.common.config`, which defines the config classes
+and performs the actual registrations.
 
-Registration order is stable (insertion-ordered) and drives default
-listings.  Rungs registered with ``ladder=True`` form the *paper
-ladder* — the x-axis of every figure — in registration order; extra
-rungs are runnable and listed but excluded from figure defaults.
+Two registries live in the stack today:
 
-The registry is intentionally generic: it stores any object with a
-``name`` attribute, so it has no import cycle with
-:mod:`repro.common.config`, which defines ``ProtocolConfig`` and
-performs the actual registrations.
+* the **protocol registry** (module-level API below, kept for the many
+  existing callers): every coherence rung — the paper ladder and any
+  rung added later — registers here, and every consumer
+  (``core.system``, the sweep runner, ``analysis.figures``, the
+  ``python -m repro`` CLI) resolves names through :func:`protocol`
+  instead of a hard-coded table;
+* the **energy-model registry**
+  (``repro.common.config.ENERGY_MODELS``): named technology presets
+  consumed by the :mod:`repro.energy` subsystem and the ``python -m
+  repro energy`` CLI.
+
+Adding an entry to either is one ``register(...)`` call; nothing else
+in the stack needs to learn its name.
 """
 
 from __future__ import annotations
@@ -26,12 +34,122 @@ from typing import Callable, List, Optional, Tuple, TypeVar, Union
 
 ProtoT = TypeVar("ProtoT")
 
+
+class Registry:
+    """Insertion-ordered ``name -> config`` registry with suggestions.
+
+    ``kind`` names what is registered ("protocol", "energy model") and
+    appears in error messages.  ``entries`` is the live mapping —
+    exposed for iteration; mutate it only through :meth:`register` /
+    :meth:`unregister`.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self.entries: "OrderedDict[str, object]" = OrderedDict()
+        self._ladder: List[str] = []
+
+    # -- registration ---------------------------------------------------
+    def register(self,
+                 config: Union[ProtoT, Callable[[], ProtoT], None] = None,
+                 *, ladder: bool = False, replace: bool = False):
+        """Register a configuration under its ``name``.
+
+        Usable three ways::
+
+            registry.register(Config(name="X", ...), ladder=True)
+
+            @registry.register          # zero-arg factory; returns the config
+            def _x():
+                return Config(name="X", ...)
+
+            @registry.register(ladder=True)
+            def _x(): ...
+
+        Duplicate names are rejected unless ``replace=True`` (which
+        keeps the original registration position, so display ordering
+        is stable under re-registration).
+        """
+        if config is None:
+            def decorate(factory):
+                return self.register(factory, ladder=ladder, replace=replace)
+            return decorate
+        if callable(config) and not hasattr(config, "name"):
+            config = config()
+        name = getattr(config, "name", None)
+        if not isinstance(name, str) or not name:
+            raise TypeError(
+                f"{self.kind} configs must have a non-empty .name")
+        if name in self.entries and not replace:
+            raise ValueError(f"{self.kind} {name!r} is already registered; "
+                             f"pass replace=True to override")
+        self.entries[name] = config
+        if ladder and name not in self._ladder:
+            self._ladder.append(name)
+        return config
+
+    def unregister(self, name: str) -> None:
+        """Remove a registered entry (primarily for tests)."""
+        self.entries.pop(name, None)
+        if name in self._ladder:
+            self._ladder.remove(name)
+
+    # -- lookup ---------------------------------------------------------
+    def get(self, name: str):
+        """Look up a registered configuration by name."""
+        try:
+            return self.entries[name]
+        except KeyError:
+            known = ", ".join(self.entries)
+            hint = ""
+            close = self.suggest(name)
+            if close:
+                hint = f"; did you mean {' or '.join(close)}?"
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; known: {known}{hint}"
+            ) from None
+
+    def suggest(self, name: str, n: int = 2) -> List[str]:
+        """Near-miss candidates for a misspelled name."""
+        matches = difflib.get_close_matches(name, list(self.entries), n=n,
+                                            cutoff=0.4)
+        if not matches:
+            lowered = {p.lower(): p for p in self.entries}
+            exact = lowered.get(name.lower())
+            if exact:
+                matches = [exact]
+        return matches
+
+    # -- views ----------------------------------------------------------
+    def names(self) -> Tuple[str, ...]:
+        """All registered names, in registration order."""
+        return tuple(self.entries)
+
+    def ladder(self) -> Tuple[str, ...]:
+        """The names registered with ``ladder=True``, in order."""
+        return tuple(self._ladder)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+# ----------------------------------------------------------------------
+# The protocol registry (module-level API, predates the Registry class)
+# ----------------------------------------------------------------------
+
+#: The coherence-protocol registry instance.
+PROTOCOL_REGISTRY = Registry("protocol")
+
 #: Live name -> config mapping, in registration order.  Exposed (as
 #: ``repro.common.config.PROTOCOLS``) for iteration; mutate it only
 #: through :func:`register_protocol` / :func:`unregister_protocol`.
-REGISTRY: "OrderedDict[str, object]" = OrderedDict()
-
-_LADDER: List[str] = []
+REGISTRY = PROTOCOL_REGISTRY.entries
 
 
 def register_protocol(config: Union[ProtoT, Callable[[], ProtoT], None] = None,
@@ -39,81 +157,38 @@ def register_protocol(config: Union[ProtoT, Callable[[], ProtoT], None] = None,
                       replace: bool = False):
     """Register a protocol configuration under its ``name``.
 
-    Usable three ways::
-
-        register_protocol(ProtocolConfig(name="MESI", ...), ladder=True)
-
-        @register_protocol          # zero-arg factory; returns the config
-        def _mdirty_wb():
-            return ProtocolConfig(name="MDirtyWB", ...)
-
-        @register_protocol(ladder=True)
-        def _mesi(): ...
-
-    Duplicate names are rejected unless ``replace=True`` (which keeps
-    the original registration position, so figure ordering is stable
-    under re-registration).
+    See :meth:`Registry.register` for the three usable forms.  Rungs
+    registered with ``ladder=True`` form the *paper ladder* — the
+    x-axis of every figure — in registration order; extra rungs are
+    runnable and listed but excluded from figure defaults.
     """
-    if config is None:
-        def decorate(factory):
-            return register_protocol(factory, ladder=ladder, replace=replace)
-        return decorate
-    if callable(config) and not hasattr(config, "name"):
-        config = config()
-    name = getattr(config, "name", None)
-    if not isinstance(name, str) or not name:
-        raise TypeError("protocol configs must have a non-empty .name")
-    if name in REGISTRY and not replace:
-        raise ValueError(f"protocol {name!r} is already registered; "
-                         f"pass replace=True to override")
-    REGISTRY[name] = config
-    if ladder and name not in _LADDER:
-        _LADDER.append(name)
-    return config
+    return PROTOCOL_REGISTRY.register(config, ladder=ladder, replace=replace)
 
 
 def unregister_protocol(name: str) -> None:
     """Remove a registered protocol (primarily for tests)."""
-    REGISTRY.pop(name, None)
-    if name in _LADDER:
-        _LADDER.remove(name)
+    PROTOCOL_REGISTRY.unregister(name)
 
 
 def protocol(name: str):
     """Look up a registered protocol configuration by name."""
-    try:
-        return REGISTRY[name]
-    except KeyError:
-        known = ", ".join(REGISTRY)
-        hint = ""
-        close = suggest(name)
-        if close:
-            hint = f"; did you mean {' or '.join(close)}?"
-        raise KeyError(
-            f"unknown protocol {name!r}; known: {known}{hint}") from None
+    return PROTOCOL_REGISTRY.get(name)
 
 
 def is_registered(name: str) -> bool:
-    return name in REGISTRY
+    return name in PROTOCOL_REGISTRY
 
 
 def registered_protocols() -> Tuple[str, ...]:
     """All registered protocol names, in registration order."""
-    return tuple(REGISTRY)
+    return PROTOCOL_REGISTRY.names()
 
 
 def paper_ladder() -> Tuple[str, ...]:
     """The paper's protocol ladder (figure x-axis), in order."""
-    return tuple(_LADDER)
+    return PROTOCOL_REGISTRY.ladder()
 
 
 def suggest(name: str, n: int = 2) -> List[str]:
     """Near-miss candidates for a misspelled protocol name."""
-    matches = difflib.get_close_matches(name, list(REGISTRY), n=n,
-                                        cutoff=0.4)
-    if not matches:
-        lowered = {p.lower(): p for p in REGISTRY}
-        exact = lowered.get(name.lower())
-        if exact:
-            matches = [exact]
-    return matches
+    return PROTOCOL_REGISTRY.suggest(name, n=n)

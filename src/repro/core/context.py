@@ -181,6 +181,14 @@ class SimContext:
         self.l1_prof = CacheLevelProfiler("L1")
         self.l2_prof = CacheLevelProfiler("L2")
         self.mem_prof = MemoryProfiler()
+        # Energy counters follow the same measurement window as the
+        # ledger: NoC flit-hops must reconcile with the post-warm-up
+        # traffic totals, and DRAM/MC energy events with the window's
+        # command counts.  (The coherence kernel's counters are reset by
+        # ``System`` right after this call, for the same reason.)
+        self.mesh.reset_energy_counters()
+        for dram in self.drams.values():
+            dram.reset_energy_counters()
 
     def finalize(self) -> None:
         self.l1_prof.finalize()

@@ -67,6 +67,11 @@ class RunResult:
     events: int
     protocol_stats: Dict[str, int] = field(default_factory=dict)
     dram_stats: Dict[str, int] = field(default_factory=dict)
+    # Event counters feeding the post-hoc energy model
+    # (:mod:`repro.energy`): tag probes, line installs/evictions, Bloom
+    # filter activity, NoC packet/flit-hop totals.  Observational only —
+    # they never influence simulated timing, traffic or waste.
+    energy_counters: Dict[str, int] = field(default_factory=dict)
 
     # -- traffic helpers -----------------------------------------------
     def traffic_total(self) -> float:

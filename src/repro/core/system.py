@@ -84,6 +84,7 @@ class System:
                 and self.barrier.barriers_passed
                 == self.workload.warmup_barriers):
             self.ctx.reset_stats()
+            self.proto_sys.reset_energy_counters()
             for core in self.cores:
                 core.reset_time()
                 # The cores resume right after this hook and will charge
@@ -119,12 +120,25 @@ class System:
         # Explicit stats() protocol (no dir()-scan over stat_* attributes).
         proto_stats = self.proto_sys.stats()
         dram_stats: Dict[str, int] = {"reads": 0, "writes": 0,
-                                      "row_hits": 0, "row_misses": 0}
+                                      "row_hits": 0, "row_misses": 0,
+                                      "activates": 0, "precharges": 0}
         for dram in self.ctx.drams.values():
             dram_stats["reads"] += dram.reads
             dram_stats["writes"] += dram.writes
             dram_stats["row_hits"] += dram.row_hits
             dram_stats["row_misses"] += dram.row_misses
+            dram_stats["activates"] += dram.activates
+            dram_stats["precharges"] += dram.precharges
+        energy_counters = self.proto_sys.energy_counters()
+        energy_counters["noc_packets"] = self.ctx.mesh.stat_packets
+        energy_counters["noc_flit_hops"] = self.ctx.mesh.stat_flit_hops
+        # DRAM/MC energy events, scoped to the measurement window
+        # (dram_stats above keeps its long-standing whole-run scope).
+        for key in ("reads", "writes", "activates", "precharges"):
+            energy_counters[f"dram_{key}"] = 0
+        for dram in self.ctx.drams.values():
+            for key, count in dram.window_commands().items():
+                energy_counters[f"dram_{key}"] += count
         return RunResult(
             workload=self.workload.name,
             protocol=self.proto.name,
@@ -137,4 +151,5 @@ class System:
             events=self.ctx.queue.events_run,
             protocol_stats=proto_stats,
             dram_stats=dram_stats,
+            energy_counters=energy_counters,
         )

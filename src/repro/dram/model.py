@@ -55,6 +55,17 @@ class DramChannel:
         self.writes = 0
         self.row_hits = 0
         self.row_misses = 0
+        # Energy-model command counters: every row miss issues an
+        # ACTIVATE; misses on a bank with another row open additionally
+        # issue a PRECHARGE first.  Observational only.
+        self.activates = 0
+        self.precharges = 0
+        # Measurement-window baseline: the cumulative stats above cover
+        # the whole run (warm-up included, the long-standing dram_stats
+        # convention), but energy must follow the post-warm-up window
+        # like every other component, so the warm-up reset snapshots the
+        # counts and window_commands() reports the difference.
+        self._window_base = (0, 0, 0, 0)
 
     # -- address mapping ---------------------------------------------------
     def bank_of(self, line_addr: int) -> int:
@@ -86,6 +97,19 @@ class DramChannel:
     @property
     def queue_depth(self) -> int:
         return len(self._pending)
+
+    def reset_energy_counters(self) -> None:
+        """Start the measurement window (end of warm-up)."""
+        self._window_base = (self.reads, self.writes, self.activates,
+                             self.precharges)
+
+    def window_commands(self) -> Dict[str, int]:
+        """Command counts since the last :meth:`reset_energy_counters`."""
+        reads, writes, activates, precharges = self._window_base
+        return {"reads": self.reads - reads,
+                "writes": self.writes - writes,
+                "activates": self.activates - activates,
+                "precharges": self.precharges - precharges}
 
     # -- internals -----------------------------------------------------------
     def _next_seq(self) -> int:
@@ -156,9 +180,12 @@ class DramChannel:
             access = cfg.dram_t_cl
         elif bank.open_row is None:
             self.row_misses += 1
+            self.activates += 1
             access = cfg.dram_t_rcd + cfg.dram_t_cl
         else:
             self.row_misses += 1
+            self.activates += 1
+            self.precharges += 1
             access = cfg.dram_t_rp + cfg.dram_t_rcd + cfg.dram_t_cl
         bank.open_row = row
         # Bank access latencies overlap across banks; only the data burst

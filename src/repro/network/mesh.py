@@ -32,6 +32,13 @@ class Mesh:
         # the largest supported mesh) and hot: cache them.
         self._route_links: Dict[Tuple[int, int],
                                 Tuple[Tuple[int, int, int, int], ...]] = {}
+        # Energy-model event counters (observational only).  Every flit
+        # of every packet crossing a link is one flit-hop, matching the
+        # ledger's charging rule, so ``stat_flit_hops`` reconciles
+        # exactly with ``TrafficLedger`` totals (same-tile packets cross
+        # zero links in both accountings).
+        self.stat_packets = 0
+        self.stat_flit_hops = 0
 
     def coords(self, tile: int) -> Tuple[int, int]:
         """(x, y) coordinates of ``tile``."""
@@ -73,10 +80,12 @@ class Mesh:
         """
         if total_flits <= 0:
             raise ValueError("a packet has at least one flit")
+        self.stat_packets += 1
         if src == dst:
             return self.LOCAL_LATENCY
         if not self._model_contention:
             hops = self.hops(src, dst)
+            self.stat_flit_hops += total_flits * hops
             return hops * self._link_latency + total_flits - 1
 
         links = self._route_links.get((src, dst))
@@ -86,6 +95,7 @@ class Mesh:
                 self.coords(here) + self.coords(there)
                 for here, there in zip(path, path[1:]))
             self._route_links[(src, dst)] = links
+        self.stat_flit_hops += total_flits * len(links)
         time = now
         link_free = self._link_free
         for link in links:
@@ -99,3 +109,19 @@ class Mesh:
 
     def reset_contention(self) -> None:
         self._link_free.clear()
+
+    def count_packet(self, hops: int, total_flits: int = 1) -> None:
+        """Count a packet whose delivery is not latency-simulated.
+
+        Fire-and-forget messages (e.g. MESI's writeback ack) are charged
+        to the traffic ledger but never pass through :meth:`latency`;
+        this keeps the energy-model flit-hop counter reconciled with the
+        ledger.
+        """
+        self.stat_packets += 1
+        self.stat_flit_hops += total_flits * hops
+
+    def reset_energy_counters(self) -> None:
+        """Zero the observational counters (end of measurement warm-up)."""
+        self.stat_packets = 0
+        self.stat_flit_hops = 0

@@ -60,6 +60,35 @@ DEST_L1 = "l1"
 DEST_L2 = "l2"
 DEST_MEM = "mem"
 
+#: Data-carrying sub-buckets per major; every other bucket is control.
+#: The energy model charges both at the same per-flit-hop cost (flits
+#: are link-width either way) but reports the split, and the
+#: conservation audit reconciles the two halves against the NoC total.
+DATA_BUCKETS = {
+    LD: (RESP_L1_USED, RESP_L1_WASTE, RESP_L2_USED, RESP_L2_WASTE),
+    ST: (RESP_L1_USED, RESP_L1_WASTE, RESP_L2_USED, RESP_L2_WASTE),
+    WB: (WB_L2_USED, WB_L2_WASTE, WB_MEM_USED, WB_MEM_WASTE),
+    OVH: (),
+}
+
+
+def split_flit_hops(breakdown: Dict[str, Dict[str, float]]):
+    """``(data, control)`` flit-hop totals of a finalized breakdown.
+
+    ``breakdown`` is the ``{major: {bucket: flit_hops}}`` mapping from
+    :meth:`TrafficLedger.breakdown` (or ``RunResult.traffic``).  The two
+    halves sum exactly to the ledger's grand total.
+    """
+    data = control = 0.0
+    for major, buckets in breakdown.items():
+        data_keys = DATA_BUCKETS.get(major, ())
+        for bucket, hops in buckets.items():
+            if bucket in data_keys:
+                data += hops
+            else:
+                control += hops
+    return data, control
+
 
 # Deferred data-word deliveries awaiting a used/waste verdict are stored
 # as (entry, flit_hops, major, dest) tuples — this list holds one element

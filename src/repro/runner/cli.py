@@ -8,6 +8,7 @@ Subcommands::
     python -m repro figures --figures 5.1a 5.2
     python -m repro report
     python -m repro scaling --tiles 4,16,64 --workloads radix
+    python -m repro energy  --preset 22nm --workloads radix
     python -m repro clean-cache
 
 ``list`` prints every registered workload and protocol (including
@@ -16,12 +17,15 @@ grid-shaped subcommand shares the same selection flags
 (``--workloads/--protocols/--scale/--seed/--tiles``), the parallelism
 flag (``--jobs``, 0 = one per CPU) and cache controls (``--cache-dir``,
 ``--fresh``).  ``sweep`` prints one progress line per completed cell
-and accepts a multi-valued ``--tiles`` machine-shape axis; ``figures``
-and ``report`` render one shape (a single ``--tiles`` value);
-``scaling`` renders the core-count scaling figure over a multi-valued
-``--tiles`` axis.  Protocol names resolve through the protocol
-registry; a misspelled ``--protocols`` entry reports near-miss
-suggestions.
+and accepts a multi-valued ``--tiles`` machine-shape axis; ``figures``,
+``report`` and ``energy`` render one shape (a single ``--tiles``
+value); ``scaling`` renders the core-count scaling figure over a
+multi-valued ``--tiles`` axis.  ``energy`` derives the per-rung energy
+breakdown and EDP table post hoc from stored results (cells already in
+the result store are never re-simulated) under one technology preset
+(``--preset``; default: every registered preset).  Protocol and preset
+names resolve through their registries; a misspelled ``--protocols`` or
+``--preset`` entry reports near-miss suggestions.
 """
 
 from __future__ import annotations
@@ -32,7 +36,8 @@ import sys
 import time
 from typing import List, Optional, Tuple
 
-from repro.common.config import ScaleConfig, scaled_system
+from repro.common.config import (
+    ENERGY_MODELS, ScaleConfig, registered_energy_models, scaled_system)
 from repro.common.registry import (
     paper_ladder, protocol as protocol_by_name, registered_protocols)
 from repro.runner.jobs import DEFAULT_SEED, expand_grid
@@ -148,6 +153,28 @@ def cmd_scaling(ns: argparse.Namespace, out=None) -> int:
     return 0
 
 
+def cmd_energy(ns: argparse.Namespace, out=None) -> int:
+    """Derive per-rung energy/EDP from the (cached) grid, post hoc."""
+    out = out if out is not None else sys.stdout
+    from repro.analysis.energy import edp_table, energy_grid, figure_energy
+    scale = SCALES[ns.scale]()
+    config = _single_shape_config(ns, scale) or scaled_system(scale)
+    grid = sweep_grid(
+        workloads=ns.workloads, protocols=ns.protocols,
+        scale=scale, config=config, seed=ns.seed,
+        jobs=_resolve_jobs(ns.jobs), store=_make_store(ns),
+        use_cache=not ns.fresh, progress=_progress_printer(sys.stderr))
+    presets = [ns.preset] if ns.preset else list(registered_energy_models())
+    for preset in presets:
+        stats = energy_grid(grid, preset, config)
+        print(figure_energy(grid, preset, config, stats=stats).render(),
+              file=out)
+        print(file=out)
+        print(edp_table(grid, preset, config, stats=stats), file=out)
+        print(file=out)
+    return 0
+
+
 def cmd_figures(ns: argparse.Namespace, out=None) -> int:
     out = out if out is not None else sys.stdout
     from repro.analysis.figures import figures_from_store
@@ -167,8 +194,10 @@ def cmd_figures(ns: argparse.Namespace, out=None) -> int:
 def cmd_report(ns: argparse.Namespace, out=None) -> int:
     out = out if out is not None else sys.stdout
     from repro.analysis import report
+    scale = SCALES[ns.scale]()
     grid = _grid(ns, progress=_progress_printer(sys.stderr))
-    print(report.generate(grid), file=out)
+    config = _single_shape_config(ns, scale) or scaled_system(scale)
+    print(report.generate(grid, energy_config=config), file=out)
     return 0
 
 
@@ -265,9 +294,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "scaling", parents=[grid_flags],
-        help="render the core-count scaling figure (exec time and "
-             "traffic vs tile count, one line per protocol)")
+        help="render the core-count scaling figure (exec time, "
+             "traffic and energy vs tile count, one line per protocol)")
     p.set_defaults(func=cmd_scaling)
+
+    p = sub.add_parser(
+        "energy", parents=[grid_flags],
+        help="derive the per-rung energy breakdown and EDP table from "
+             "stored results (no re-simulation for cached cells)")
+    p.add_argument(
+        "--preset", metavar="NAME",
+        help=f"technology preset (default: all; known: "
+             f"{', '.join(registered_energy_models())})")
+    p.set_defaults(func=cmd_energy)
 
     p = sub.add_parser("list",
                        help="print registered workloads and protocols")
@@ -295,6 +334,12 @@ def _validate(ns: argparse.Namespace) -> Optional[str]:
             protocol_by_name(name)
         except KeyError as exc:
             return str(exc.args[0])
+    # Energy presets resolve the same way.
+    if getattr(ns, "preset", None):
+        try:
+            ENERGY_MODELS.get(ns.preset)
+        except KeyError as exc:
+            return str(exc.args[0])
     # Machine shapes: fail before sweeping, with the config's message.
     try:
         tiles = _parse_tiles(ns)
@@ -308,14 +353,14 @@ def _validate(ns: argparse.Namespace) -> Optional[str]:
                 scaled_system(scale, num_tiles=count)
             except ValueError as exc:
                 return f"--tiles {count}: {exc}"
-        if ns.command in ("figures", "report"):
+        if ns.command in ("figures", "report", "energy"):
             try:
                 _single_shape_config(ns, scale)
             except ValueError as exc:
                 return str(exc)
     # Every figure and the report normalize to the MESI bar, so a grid
     # without MESI would only fail after the whole sweep ran.
-    if ns.command in ("figures", "report"):
+    if ns.command in ("figures", "report", "energy"):
         protocols = getattr(ns, "protocols", None)
         if protocols and "MESI" not in protocols:
             return (f"{ns.command} normalizes to the MESI baseline; "

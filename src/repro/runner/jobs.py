@@ -39,12 +39,14 @@ from repro.workloads import WORKLOAD_ORDER, canonical_workload
 DEFAULT_SEED = 12345
 
 #: Bump when workload generators, protocol semantics or the config hash
-#: payload change, so stale cached results are never reused.  v5: the
-#: machine shape became a sweep axis — workload traces are built per
-#: tile count and store keys gained the ``-tN`` shape tag — so v4 keys
-#: (which predate shape-sized traces) are deliberately retired; old
-#: cache files are simply re-simulated on first use.
-GRID_VERSION = 5
+#: payload change, so stale cached results are never reused.  v6: the
+#: energy accounting subsystem landed — results grew the
+#: ``energy_counters`` payload (tag probes, Bloom activity, NoC
+#: flit-hops, DRAM activate/precharge commands), which ``python -m
+#: repro energy`` derives energy from without re-simulation — so v5
+#: cells (which lack the counters) are deliberately retired; old cache
+#: files are simply re-simulated on first use.
+GRID_VERSION = 6
 
 
 def config_key(scale: ScaleConfig, config: SystemConfig) -> str:

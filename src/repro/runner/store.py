@@ -63,6 +63,7 @@ def result_to_dict(result: RunResult) -> dict:
         "events": result.events,
         "protocol_stats": result.protocol_stats,
         "dram_stats": result.dram_stats,
+        "energy_counters": result.energy_counters,
     }
 
 
@@ -82,6 +83,7 @@ def result_from_dict(data: dict) -> RunResult:
         events=data["events"],
         protocol_stats=data.get("protocol_stats", {}),
         dram_stats=data.get("dram_stats", {}),
+        energy_counters=data.get("energy_counters", {}),
     )
 
 

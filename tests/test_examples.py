@@ -37,6 +37,14 @@ class TestExamples:
         assert proc.returncode == 0, proc.stderr
         assert "direct" in proc.stdout
 
+    def test_energy_breakdown(self):
+        proc = run_example("energy_breakdown.py", "radix", "22nm")
+        assert proc.returncode == 0, proc.stderr
+        assert "Figure E.1 [22nm]" in proc.stdout
+        assert "Energy & EDP (22nm preset)" in proc.stdout
+        assert "DBypFull vs MESI [22nm]" in proc.stdout
+        assert "EDP" in proc.stdout
+
     def test_core_scaling(self):
         proc = run_example("core_scaling.py", "stream", "4", "16")
         assert proc.returncode == 0, proc.stderr

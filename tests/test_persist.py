@@ -1,8 +1,14 @@
 """Tests for result serialization and the disk cache."""
 
+import importlib
+import warnings
+
 import pytest
 
-from repro.analysis import persist
+with warnings.catch_warnings():
+    # The compat shim's DeprecationWarning is covered explicitly below.
+    warnings.simplefilter("ignore", DeprecationWarning)
+    from repro.analysis import persist
 from repro.common.config import ScaleConfig, SystemConfig, scaled_system
 from repro.core.simulator import simulate
 from repro.workloads import build_workload
@@ -51,6 +57,22 @@ class TestRoundTrip:
         path.write_text("{not json")
         assert persist.load_result(result.workload, result.protocol, key,
                                    directory=tmp_path) is None
+
+
+class TestDeprecation:
+    def test_import_emits_deprecation_warning(self):
+        """The shim warns on import so callers migrate to runner.store."""
+        with pytest.warns(DeprecationWarning,
+                          match="repro.analysis.persist is deprecated"):
+            importlib.reload(persist)
+
+    def test_shim_still_delegates_after_reload(self, result, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            importlib.reload(persist)
+        persist.save_result(result, "dep", directory=tmp_path)
+        assert persist.load_result(result.workload, result.protocol,
+                                   "dep", directory=tmp_path) is not None
 
 
 class TestConfigKey:

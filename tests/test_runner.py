@@ -56,17 +56,17 @@ class TestJobSpec:
 
     def test_store_key_is_pinned(self):
         """Cache keys must never change *silently*.  Pinned literals:
-        the GRID_VERSION-5 keys (the machine shape became a sweep axis:
-        traces are built per tile count and store keys carry a ``-tN``
-        shape tag, deliberately retiring the v4 keys).  If this fails,
-        the hash payload or serialization changed and every stored
-        result silently became unreachable; bump GRID_VERSION
-        deliberately and re-pin instead."""
+        the GRID_VERSION-6 keys (the energy subsystem landed: results
+        grew the ``energy_counters`` payload, deliberately retiring the
+        v5 keys, which predate the counters).  If this fails, the hash
+        payload or serialization changed and every stored result
+        silently became unreachable; bump GRID_VERSION deliberately and
+        re-pin instead."""
         from repro.common.config import DEFAULT_SCALE, scaled_system
         assert config_key(
             DEFAULT_SCALE,
-            scaled_system(DEFAULT_SCALE)) == "62850e6ad6f3862b"
-        assert spec().store_key() == "6a048a0d3ccf79f2-t16"
+            scaled_system(DEFAULT_SCALE)) == "baf20455ffd2cfd7"
+        assert spec().store_key() == "5eaab8783a6f8f53-t16"
 
     def test_store_key_includes_non_default_seed(self):
         assert spec(seed=7).store_key() != spec().store_key()
