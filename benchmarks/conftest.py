@@ -23,7 +23,16 @@ from repro.runner import sweep_grid
 def grid():
     """The full result grid at the default (small) scale."""
     jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
-    return sweep_grid(jobs=jobs)
+    results = sweep_grid(jobs=jobs)
+    # Engine sanity gate: every cell's ``events`` mirrors the event
+    # queue's ``events_run`` at collection time; a cell reporting zero
+    # events means the scheduler never drove the machine and whatever
+    # figures follow would be regenerated from a hollow simulation.
+    for workload, cells in results.items():
+        for protocol, result in cells.items():
+            assert result.events > 0, (
+                f"{workload} x {protocol}: queue.events_run was 0")
+    return results
 
 
 def emit(text: str) -> None:

@@ -1,25 +1,13 @@
 #!/usr/bin/env python3
 """Perf smoke: time a tiny-scale radix x {MESI, DeNovo} sweep.
 
-Runs the cells in-process, serially and cache-free (so the numbers are
-pure simulation speed, not store hits), and writes a small JSON record —
-``BENCH_sweep.json`` by default — that CI uploads as a workflow
-artifact.  Comparing the artifact across commits gives the perf
-trajectory of the simulator hot path without a full benchmark session.
-
-The record carries four trend metrics:
-
-* per-cell seconds and events/second (simulator hot path);
-* ``cells_per_second`` over the whole smoke, including one
-  non-default-shape cell (4-tile 2x2 machine) so the machine-shape
-  layer stays on the trajectory;
-* ``trace_memo`` — the speedup the pool workers' built-trace memo
-  delivers per cell (a memoized cell skips the trace rebuild, so its
-  cost is simulation only);
-* ``energy_derivation`` — wall time to derive the post-hoc energy
-  breakdown of every cell under every registered technology preset,
-  asserted to stay below 5% of the sweep's simulation time (energy is
-  supposed to be free relative to simulating).
+Thin script wrapper around :mod:`repro.bench` (also reachable as
+``python -m repro bench``).  Runs the smoke cells in-process, serially
+and cache-free (so the numbers are pure simulation speed, not store
+hits) and writes a ``BENCH_new.json`` record carrying
+``schema_version`` and a ``git_describe`` stamp.  CI compares the fresh
+record against the committed repo-root baseline with
+``tools/bench_compare.py`` and uploads it as a workflow artifact.
 
 Run:  PYTHONPATH=src python benchmarks/perf_smoke.py [--out FILE]
 """
@@ -28,131 +16,23 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
-import time
+from pathlib import Path
 
-from repro.common.config import (
-    ScaleConfig, registered_energy_models, scaled_system)
-from repro.core.simulator import simulate
-from repro.energy import compute_energy
-from repro.workloads import build_workload
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-WORKLOAD = "radix"
-PROTOCOLS = ("MESI", "DeNovo")
-SCALE = "tiny"
-#: The extra machine shape exercised each run (the paper's is 16).
-EXTRA_TILES = 4
-
-#: Post-hoc energy derivation must stay below this fraction of the
-#: sweep's simulation wall time (it is pure arithmetic over counters).
-ENERGY_OVERHEAD_BUDGET = 0.05
-
-
-def run() -> dict:
-    scale = ScaleConfig.tiny()
-    config = scaled_system(scale)
-    t_build = time.perf_counter()
-    workload = build_workload(WORKLOAD, scale)
-    build_s = time.perf_counter() - t_build
-
-    cells = []
-    results = []
-    for proto in PROTOCOLS:
-        t0 = time.perf_counter()
-        result = simulate(workload, proto, config)
-        elapsed = time.perf_counter() - t0
-        results.append((result, config))
-        cells.append({
-            "workload": WORKLOAD,
-            "protocol": proto,
-            "num_tiles": config.num_tiles,
-            "seconds": round(elapsed, 4),
-            "events": result.events,
-            "events_per_second": round(result.events / elapsed, 1),
-            "exec_cycles": result.exec_cycles,
-        })
-
-    # One non-default-shape cell, timed like the others (prebuilt
-    # trace, simulate() only) so its events/second stays comparable
-    # across the cells and across commits.
-    shape_config = scaled_system(scale, num_tiles=EXTRA_TILES)
-    shape_workload = build_workload(WORKLOAD, scale,
-                                    num_cores=EXTRA_TILES)
-    t0 = time.perf_counter()
-    shape_result = simulate(shape_workload, PROTOCOLS[0], shape_config)
-    shape_s = time.perf_counter() - t0
-    cells.append({
-        "workload": WORKLOAD,
-        "protocol": PROTOCOLS[0],
-        "num_tiles": EXTRA_TILES,
-        "seconds": round(shape_s, 4),
-        "events": shape_result.events,
-        "events_per_second": round(shape_result.events / shape_s, 1),
-        "exec_cycles": shape_result.exec_cycles,
-    })
-
-    # Energy-derivation cell: price every simulated cell under every
-    # registered preset, post hoc.  This must be cheap — it is the whole
-    # point of a counter-driven model — so assert the budget here, where
-    # CI runs it on every commit.
-    results.append((shape_result, shape_config))
-    presets = registered_energy_models()
-    t0 = time.perf_counter()
-    derivations = 0
-    for cell_result, cell_config in results:
-        for preset in presets:
-            compute_energy(cell_result, preset, cell_config)
-            derivations += 1
-    energy_s = time.perf_counter() - t0
-
-    total_s = sum(c["seconds"] for c in cells)
-    overhead = energy_s / total_s if total_s else 0.0
-    assert overhead < ENERGY_OVERHEAD_BUDGET, (
-        f"post-hoc energy derivation took {energy_s:.4f}s = "
-        f"{overhead:.1%} of the {total_s:.4f}s sweep (budget "
-        f"{ENERGY_OVERHEAD_BUDGET:.0%})")
-    mean_sim = sum(c["seconds"] for c in cells[:len(PROTOCOLS)]) / len(
-        PROTOCOLS)
-    return {
-        "bench": f"sweep_{WORKLOAD}_{SCALE}",
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "trace_build_seconds": round(build_s, 4),
-        "total_seconds": round(total_s, 4),
-        "cells_per_second": round(len(cells) / total_s, 3),
-        # The pool workers memoize built traces per (workload, scale,
-        # num_cores, seed): every cell after the first of a (workload,
-        # shape) run costs sim-only instead of build+sim.
-        "trace_memo": {
-            "build_seconds": round(build_s, 4),
-            "mean_sim_seconds": round(mean_sim, 4),
-            "speedup_per_memoized_cell":
-                round((build_s + mean_sim) / mean_sim, 2) if mean_sim else 0.0,
-        },
-        # Post-hoc energy model: pure arithmetic over stored counters,
-        # so derivation cost must stay a rounding error next to
-        # simulation (asserted above against ENERGY_OVERHEAD_BUDGET).
-        "energy_derivation": {
-            "derivations": derivations,
-            "presets": list(presets),
-            "seconds": round(energy_s, 4),
-            "fraction_of_sweep": round(overhead, 5),
-            "budget": ENERGY_OVERHEAD_BUDGET,
-        },
-        "cells": cells,
-    }
+from repro.bench import run_smoke, write_record
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out", default="BENCH_sweep.json",
-                        help="output JSON path (default: BENCH_sweep.json)")
+    # The default differs from the committed repo-root BENCH_sweep.json
+    # baseline so a bare run cannot clobber it.
+    parser.add_argument("--out", default="BENCH_new.json",
+                        help="output JSON path (default: BENCH_new.json)")
     ns = parser.parse_args(argv)
-    record = run()
-    with open(ns.out, "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
+    record = run_smoke()
+    write_record(record, ns.out)
     print(json.dumps(record, indent=2))
     print(f"wrote {ns.out}", file=sys.stderr)
     return 0

@@ -20,6 +20,10 @@ class H3Hash:
 
     ``h(x) = XOR of rows[i] for every set bit i of x``, reduced modulo the
     table size.  Deterministic per seed so simulations are reproducible.
+
+    Evaluation is table-driven: the per-bit XOR is precomputed into one
+    256-entry table per key byte, so a hash costs six table lookups
+    instead of up to 48 bit tests (bit-for-bit identical results).
     """
 
     KEY_BITS = 48
@@ -30,15 +34,29 @@ class H3Hash:
         self._table_size = table_size
         rng = random.Random(seed)
         self._rows = [rng.getrandbits(32) for _ in range(self.KEY_BITS)]
+        # Byte-sliced lookup tables: _byte_tables[b][v] is the XOR of
+        # rows for the set bits of value v at byte position b.
+        self._byte_tables = []
+        for b in range(self.KEY_BITS // 8):
+            rows = self._rows[b * 8:(b + 1) * 8]
+            table = []
+            for value in range(256):
+                acc = 0
+                for i in range(8):
+                    if value >> i & 1:
+                        acc ^= rows[i]
+                table.append(acc)
+            self._byte_tables.append(tuple(table))
 
     def __call__(self, key: int) -> int:
-        acc = 0
-        bit = 0
-        while key and bit < self.KEY_BITS:
-            if key & 1:
-                acc ^= self._rows[bit]
-            key >>= 1
-            bit += 1
+        t = self._byte_tables
+        acc = t[0][key & 255]
+        key >>= 8
+        b = 1
+        while key and b < 6:
+            acc ^= t[b][key & 255]
+            key >>= 8
+            b += 1
         return acc % self._table_size
 
 

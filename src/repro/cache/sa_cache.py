@@ -12,6 +12,11 @@ from typing import Callable, Dict, Generic, List, Optional, Tuple, TypeVar
 
 from repro.common.addressing import WORDS_PER_LINE
 
+#: Shared templates for one-slice-assignment word resets.
+_ZERO_WORDS = (0,) * WORDS_PER_LINE
+_CLEAN_WORDS = (False,) * WORDS_PER_LINE
+_NO_INSTS = (None,) * WORDS_PER_LINE
+
 
 class CacheLine:
     """One cache line: tag plus per-word metadata.
@@ -31,10 +36,9 @@ class CacheLine:
         self.mem_inst: List[Optional[object]] = [None] * WORDS_PER_LINE
 
     def reset_words(self) -> None:
-        for i in range(WORDS_PER_LINE):
-            self.word_state[i] = 0
-            self.word_dirty[i] = False
-            self.mem_inst[i] = None
+        self.word_state[:] = _ZERO_WORDS
+        self.word_dirty[:] = _CLEAN_WORDS
+        self.mem_inst[:] = _NO_INSTS
 
     def any_dirty(self) -> bool:
         return any(self.word_dirty)
@@ -48,6 +52,10 @@ LineT = TypeVar("LineT", bound=CacheLine)
 
 class SetAssocCache(Generic[LineT]):
     """LRU set-associative cache indexed by line address."""
+
+    __slots__ = ("_num_sets", "_assoc", "_index_shift", "_line_factory",
+                 "_tags", "_lru", "_lines", "stat_probes", "stat_installs",
+                 "stat_evictions")
 
     def __init__(self, num_sets: int, assoc: int,
                  line_factory: Callable[[int], LineT] = CacheLine,
@@ -69,9 +77,19 @@ class SetAssocCache(Generic[LineT]):
         # Per set: line_addr -> line, plus LRU order (front = MRU).
         self._tags: List[Dict[int, LineT]] = [dict() for _ in range(num_sets)]
         self._lru: List[List[int]] = [[] for _ in range(num_sets)]
+        # Flat line_addr -> line mirror of every per-set dict, so the
+        # hot lookup path resolves residency with one dict get and only
+        # computes the set index when it must touch the LRU order.
+        self._lines: Dict[int, LineT] = {}
         # Energy-model event counters (purely observational: they feed
         # ``repro.energy`` per-event cost tables and never influence
         # timing or replacement decisions).
+        #
+        # ``stat_probes`` counts one tag probe per word examined.  Hot
+        # word-granular loops that reuse a prior ``lookup`` result for
+        # further words of the same line bump the counter directly
+        # (``cache.stat_probes += n``) so the accounting stays identical
+        # to one ``lookup`` call per word.
         self.stat_probes = 0        # tag-array probes (lookup calls)
         self.stat_installs = 0      # new lines written into the array
         self.stat_evictions = 0     # lines removed (evictions + recalls)
@@ -94,12 +112,15 @@ class SetAssocCache(Generic[LineT]):
     def lookup(self, line_addr: int, touch: bool = True) -> Optional[LineT]:
         """Return the resident line or None; by default refresh LRU."""
         self.stat_probes += 1
-        idx = self.set_index(line_addr)
-        line = self._tags[idx].get(line_addr)
+        line = self._lines.get(line_addr)
         if line is not None and touch:
+            idx = (line_addr >> self._index_shift) % self._num_sets
             order = self._lru[idx]
-            order.remove(line_addr)
-            order.insert(0, line_addr)
+            # Hot case: the line is already most-recently-used, so the
+            # remove/insert pair would be a no-op list rebuild.
+            if order[0] != line_addr:
+                order.remove(line_addr)
+                order.insert(0, line_addr)
         return line
 
     def victim_for(self, line_addr: int) -> Optional[LineT]:
@@ -108,7 +129,7 @@ class SetAssocCache(Generic[LineT]):
         Returns None when the set has a free way or the line is already
         resident.
         """
-        idx = self.set_index(line_addr)
+        idx = (line_addr >> self._index_shift) % self._num_sets
         tags = self._tags[idx]
         if line_addr in tags or len(tags) < self._assoc:
             return None
@@ -122,30 +143,34 @@ class SetAssocCache(Generic[LineT]):
         line is already resident it is refreshed and returned with no
         victim.
         """
-        idx = self.set_index(line_addr)
+        idx = (line_addr >> self._index_shift) % self._num_sets
         tags = self._tags[idx]
         order = self._lru[idx]
         existing = tags.get(line_addr)
         if existing is not None:
-            order.remove(line_addr)
-            order.insert(0, line_addr)
+            if order[0] != line_addr:
+                order.remove(line_addr)
+                order.insert(0, line_addr)
             return existing, None
         victim: Optional[LineT] = None
         if len(tags) >= self._assoc:
             victim_addr = order.pop()
             victim = tags.pop(victim_addr)
+            del self._lines[victim_addr]
             self.stat_evictions += 1
         line = self._line_factory(line_addr)
         tags[line_addr] = line
+        self._lines[line_addr] = line
         order.insert(0, line_addr)
         self.stat_installs += 1
         return line, victim
 
     def remove(self, line_addr: int) -> Optional[LineT]:
         """Remove a line without replacement (invalidation/recall)."""
-        idx = self.set_index(line_addr)
+        idx = (line_addr >> self._index_shift) % self._num_sets
         line = self._tags[idx].pop(line_addr, None)
         if line is not None:
+            del self._lines[line_addr]
             self._lru[idx].remove(line_addr)
             self.stat_evictions += 1
         return line

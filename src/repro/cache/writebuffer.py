@@ -11,10 +11,10 @@ expires, a release/barrier is issued, or the line is evicted from the L1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
-from repro.common.addressing import WORDS_PER_LINE, offset_of, line_of
+from repro.common.addressing import OFFSET_MASK, WORDS_PER_LINE
 
 
 class StoreBuffer:
@@ -109,15 +109,19 @@ class WriteCombineTable:
 
         Raises if a new entry is needed while full: callers must first
         flush (oldest-entry policy is theirs to choose).
+
+        This sits on the DeNovo store fast path, so line/offset
+        arithmetic and the mask update are inlined.
         """
-        line_addr = line_of(word_addr)
-        entry = self._entries.get(line_addr)
+        line_addr = word_addr >> 4
+        entries = self._entries
+        entry = entries.get(line_addr)
         if entry is None:
-            if self.is_full():
+            if len(entries) >= self._capacity:
                 raise RuntimeError("write-combine table overflow; flush first")
             entry = WriteCombineEntry(line_addr=line_addr, created_at=now)
-            self._entries[line_addr] = entry
-        entry.add_word(offset_of(word_addr))
+            entries[line_addr] = entry
+        entry.word_mask |= 1 << (word_addr & OFFSET_MASK)
         return entry
 
     def pop(self, line_addr: int) -> Optional[WriteCombineEntry]:

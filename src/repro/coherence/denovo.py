@@ -35,11 +35,16 @@ Optimizations (paper Section 3.1) and the policies they resolve to:
   :class:`BypassPolicy` — annotated regions' memory responses skip the
   L2 entirely; Bloom-filter-guarded requests go straight from the L1 to
   the memory controller.
+
+Message continuations use the closure-free scheduling convention
+(``handler, *args`` with the arrival time appended as the last
+argument); the hot load/store/registration/fill paths allocate no
+lambdas.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.bloom.filters import L1FilterShadow, SliceFilterBank
 from repro.cache.sa_cache import CacheLine
@@ -47,9 +52,11 @@ from repro.cache.writebuffer import WriteCombineEntry, WriteCombineTable
 from repro.coherence.kernel import CoherenceKernel
 from repro.common.addressing import (
     WORDS_PER_LINE, base_word, line_of, offset_of, words_of_line)
-from repro.core.context import (
-    NACK_RETRY_DELAY, LoadRequest, SimContext, StoreRequest)
+from repro.core.context import NACK_RETRY_DELAY, LoadRequest, SimContext
 from repro.network import traffic as T
+
+# Hot paths inline line_of/offset_of as ``addr >> 4`` / ``addr & 15``
+# (64-byte lines of 4-byte words; pinned in repro.common.addressing).
 
 # L1 per-word states.
 W_INVALID = 0
@@ -110,6 +117,12 @@ class DenovoSystem(CoherenceKernel):
         self.stat_bypass_queries = 0
         self.stat_bloom_copies = 0
         self.stat_self_invalidated_words = 0
+        self._bypass_response = self.policies.bypass.response_enabled
+        # Non-Flex rungs move whole lines: every response payload sits
+        # on the requested line, which unlocks the line-granular fast
+        # paths below (identical events, one line resolution per call).
+        self._line_granular = not (self.policies.transfer.flex_l1
+                                   or self.policies.transfer.flex_l2)
         if self.policies.bypass.request_enabled:
             self.slice_blooms = [
                 SliceFilterBank(cfg.bloom_filters_per_slice,
@@ -161,11 +174,15 @@ class DenovoSystem(CoherenceKernel):
 
     def load(self, core: int, addr: int, at: int,
              on_done: Callable[[int, LoadRequest], None]) -> Optional[int]:
-        line_addr = line_of(addr)
-        off = offset_of(addr)
+        line_addr = addr >> 4
         line = self.l1[core].lookup(line_addr)
-        if line is not None and line.word_state[off] != W_INVALID:
-            self._profile_load_hit(core, line, addr)
+        if line is not None and line.word_state[addr & 15] != W_INVALID:
+            # Hottest path in the protocol: _profile_load_hit inlined.
+            ctx = self.ctx
+            ctx.l1_prof.on_use(core, addr)
+            inst = line.mem_inst[addr & 15]
+            if inst is not None:
+                ctx.mem_prof.on_load(inst)
             return at + 1
         waiters = self._inflight_fills[core].get(line_addr)
         if waiters is not None:
@@ -182,24 +199,26 @@ class DenovoSystem(CoherenceKernel):
                               on_done=on_done)
         if line is None:
             self._protected[core].add(line_addr)
-        region = self.ctx.regions.find(addr)
-        bypassed = self.policies.bypass.bypasses(region)
+        # bypasses() is False for every region when the response bypass
+        # is off, so only bypass rungs pay the region-table walk here.
+        bypassed = (self._bypass_response
+                    and self.policies.bypass.bypasses(
+                        self.ctx.regions.find(addr)))
         if bypassed and self.policies.bypass.request_enabled:
             self._bypass_request_path(request, at)
         else:
             self._send_req_ctl(
-                T.LD, core, self.ctx.home_tile(line_addr), at,
-                lambda t: self._l2_gets(request, t))
+                T.LD, core, self._home_tile(line_addr), at,
+                self._l2_gets, request)
         return None
 
     def store(self, core: int, addr: int, at: int) -> bool:
-        line_addr = line_of(addr)
-        off = offset_of(addr)
+        line_addr = addr >> 4
         line = self.l1[core].lookup(line_addr)
         if line is None:
             # Write-validate: allocate without fetching.
             line = self._allocate_l1(core, line_addr)
-        already_owned = line.word_state[off] == W_REG
+        already_owned = line.word_state[addr & 15] == W_REG
         self._apply_store_word(core, line, addr)
         if already_owned:
             return True
@@ -270,13 +289,14 @@ class DenovoSystem(CoherenceKernel):
 
     def _apply_store_word(self, core: int, line: DenovoL1Line,
                           addr: int) -> None:
-        off = offset_of(addr)
-        self.ctx.l1_prof.on_write(core, addr)
-        self.ctx.mem_prof.on_store_addr(addr)
+        off = addr & 15
+        ctx = self.ctx
+        ctx.l1_prof.on_write(core, addr)
+        ctx.mem_prof.on_store_addr(addr)
         inst = line.mem_inst[off]
         if inst is not None:
             # The local copy no longer derives from the memory instance.
-            self.ctx.mem_prof.drop_copy(inst, invalidated=False)
+            ctx.mem_prof.drop_copy(inst, invalidated=False)
             line.mem_inst[off] = None
         line.word_state[off] = W_REG
         line.word_dirty[off] = True
@@ -286,16 +306,13 @@ class DenovoSystem(CoherenceKernel):
         ctx = self.ctx
         at = ctx.queue.now
         line_addr = line.line_addr
-        for word in words_of_line(line_addr):
-            ctx.l1_prof.on_evict(core, word)
-        for inst in line.mem_inst:
-            if inst is not None:
-                ctx.mem_prof.drop_copy(inst, invalidated=False)
+        ctx.l1_prof.on_evict_line(core, base_word(line_addr))
+        ctx.mem_prof.drop_copies(line.mem_inst, invalidated=False)
         pending = self.wct[core].pop(line_addr)
         dirty_offsets = line.dirty_offsets()
         if not dirty_offsets:
             return
-        home = ctx.home_tile(line_addr)
+        home = self._home_tile(line_addr)
         pending_mask = pending.word_mask if pending is not None else 0
         # Paper: eviction with pending registrations sends two messages —
         # a plain writeback for already-registered words and a combined
@@ -305,10 +322,9 @@ class DenovoSystem(CoherenceKernel):
         for offsets in (plain, combined):
             if not offsets:
                 continue
-            ctx.send_wb(
+            self._send_wb(
                 core, home, at, [True] * len(offsets), T.DEST_L2,
-                lambda t, offs=tuple(offsets):
-                self._l2_accept_wb(core, line_addr, offs, t))
+                self._l2_accept_wb, core, line_addr, tuple(offsets))
         if self.l1_blooms:
             self.l1_blooms[core].note_writeback(home, line_addr)
 
@@ -323,15 +339,16 @@ class DenovoSystem(CoherenceKernel):
         if deadline is None:
             return
         self._wct_timer_armed[core] = True
+        now = self._queue.now
+        self._schedule_call(deadline if deadline >= now else now,
+                            self._wct_timer_fire, core)
 
-        def check() -> None:
-            self._wct_timer_armed[core] = False
-            now = self.ctx.queue.now
-            for entry in self.wct[core].expired(now):
-                self._send_registration(core, entry, now)
-            self._arm_wct_timer(core)
-
-        self.ctx.queue.schedule(max(deadline, self.ctx.queue.now), check)
+    def _wct_timer_fire(self, core: int) -> None:
+        self._wct_timer_armed[core] = False
+        now = self.ctx.queue.now
+        for entry in self.wct[core].expired(now):
+            self._send_registration(core, entry, now)
+        self._arm_wct_timer(core)
 
     def _send_registration(self, core: int, entry: WriteCombineEntry,
                            at: int) -> None:
@@ -339,16 +356,16 @@ class DenovoSystem(CoherenceKernel):
         self._outstanding_regs[core] += 1
         self.stat_registrations += 1
         line_addr = entry.line_addr
-        home = self.ctx.home_tile(line_addr)
-        mask = entry.word_mask
+        home = self._home_tile(line_addr)
+        now = self._queue.now
         self._send_req_ctl(
-            T.ST, core, home, max(at, self.ctx.queue.now),
-            lambda t: self._l2_register(core, line_addr, mask, t))
+            T.ST, core, home, at if at >= now else now,
+            self._l2_register, core, line_addr, entry.word_mask)
 
     def _l2_register(self, core: int, line_addr: int, mask: int,
                      arrive: int) -> None:
         ctx = self.ctx
-        home = ctx.home_tile(line_addr)
+        home = self._home_tile(line_addr)
         t = ctx.l2_service_time(home, arrive)
         entry = self.l2[home].lookup(line_addr)
         if entry is None:
@@ -364,34 +381,41 @@ class DenovoSystem(CoherenceKernel):
         if held_line is None:
             mask = 0
         else:
-            for off in range(WORDS_PER_LINE):
-                if mask >> off & 1 and held_line.word_state[off] != W_REG:
-                    mask &= ~(1 << off)
+            held_state = held_line.word_state
+            pending = mask
+            while pending:
+                low = pending & -pending
+                if held_state[low.bit_length() - 1] != W_REG:
+                    mask &= ~low
+                pending &= pending - 1
         if mask == 0:
-            ctx.send_resp_ctl(T.ST, home, core, t,
-                              lambda tt: self._reg_ack(core, tt))
+            self._send_resp_ctl(T.ST, home, core, t, self._reg_ack, core)
             return
         base = base_word(line_addr)
-        for off in range(WORDS_PER_LINE):
-            if not mask >> off & 1:
-                continue
+        word_state = entry.word_state
+        owners = entry.owners
+        word_dirty = entry.word_dirty
+        l2_on_write = ctx.l2_prof.on_write
+        pending = mask
+        while pending:
+            off = (pending & -pending).bit_length() - 1
+            pending &= pending - 1
             word = base + off
-            old_owner = (entry.owners[off]
-                         if entry.word_state[off] == L2W_REG else None)
+            old_owner = (owners[off]
+                         if word_state[off] == L2W_REG else None)
             if old_owner is not None and old_owner != core:
                 self.stat_reg_invalidations += 1
                 self._invalidate_remote_word(home, old_owner, word, t)
-            if entry.word_state[off] == L2W_VALID:
+            if word_state[off] == L2W_VALID:
                 # The L2's copy is now stale; it dies as Write waste.
-                ctx.l2_prof.on_write(home, word)
-            entry.word_state[off] = L2W_REG
-            entry.owners[off] = core
-            entry.word_dirty[off] = False
+                l2_on_write(home, word)
+            word_state[off] = L2W_REG
+            owners[off] = core
+            word_dirty[off] = False
         if self.slice_blooms and not entry.in_bloom:
             self.slice_blooms[home].insert(line_addr)
             entry.in_bloom = True
-        ctx.send_resp_ctl(T.ST, home, core, t,
-                          lambda tt: self._reg_ack(core, tt))
+        self._send_resp_ctl(T.ST, home, core, t, self._reg_ack, core)
 
     def _reg_ack(self, core: int, t: int) -> None:
         self._outstanding_regs[core] -= 1
@@ -406,58 +430,70 @@ class DenovoSystem(CoherenceKernel):
         and Bloom traffic, per Section 5.1).
         """
         ctx = self.ctx
-
-        def handler(tt: int) -> None:
-            line = self.l1[owner].lookup(line_of(word), touch=False)
-            if line is None:
-                return
-            off = offset_of(word)
-            if line.word_state[off] != W_INVALID:
-                ctx.l1_prof.on_invalidate(owner, word)
-                inst = line.mem_inst[off]
-                if inst is not None:
-                    ctx.mem_prof.drop_copy(inst, invalidated=True)
-                    line.mem_inst[off] = None
-                line.word_state[off] = W_INVALID
-                line.word_dirty[off] = False
-
         hops = ctx.mesh.hops(home, owner)
         ctx.ledger.add_request_ctl(T.ST, hops)
         arrive = t + ctx.mesh.latency(home, owner, 1, t)
-        ctx.queue.schedule(arrive, lambda: handler(arrive))
+        ctx.queue.schedule_call(arrive, self._invalidate_word_at_owner,
+                                owner, word, arrive)
+
+    def _invalidate_word_at_owner(self, owner: int, word: int,
+                                  _tt: int) -> None:
+        ctx = self.ctx
+        line = self.l1[owner].lookup(line_of(word), touch=False)
+        if line is None:
+            return
+        off = word & 15
+        if line.word_state[off] != W_INVALID:
+            ctx.l1_prof.on_invalidate(owner, word)
+            inst = line.mem_inst[off]
+            if inst is not None:
+                ctx.mem_prof.drop_copy(inst, invalidated=True)
+                line.mem_inst[off] = None
+            line.word_state[off] = W_INVALID
+            line.word_dirty[off] = False
 
     def _fetch_line_for_write(self, entry: DenovoL2Line, home: int,
                               t: int) -> None:
         """Baseline L2 fetch-on-write: pull the whole line from memory."""
+        mc = self.ctx.mc_tile(entry.line_addr)
+        self._send_req_ctl(T.ST, home, mc, t,
+                           self._fetch_fw_at_mc, entry, home, mc)
+
+    def _fetch_fw_at_mc(self, entry: DenovoL2Line, home: int, mc: int,
+                        _arrive: int) -> None:
+        line_addr = entry.line_addr
+        self.ctx.dram_for(line_addr).read(
+            line_addr, self._fetch_fw_dram_done, entry, home, mc)
+
+    def _fetch_fw_dram_done(self, entry: DenovoL2Line, home: int, mc: int,
+                            tt: int) -> None:
         ctx = self.ctx
         line_addr = entry.line_addr
-        mc = ctx.mc_tile(line_addr)
+        word_state = entry.word_state
+        l2_on_arrival = ctx.l2_prof.on_arrival
+        fetch = ctx.mem_prof.fetch
+        insts = []
+        l2_entries = []
+        offsets = []
+        for off, word in enumerate(words_of_line(line_addr)):
+            already = word_state[off] != L2W_INVALID
+            l2_entries.append(l2_on_arrival(home, word, already))
+            insts.append(fetch(word, already))
+            offsets.append(off)
+        self._send_data(T.ST, T.DEST_L2, mc, home, tt, l2_entries,
+                        self._fetch_fw_at_l2, entry, offsets, insts)
 
-        def at_mc(arrive: int) -> None:
-            def dram_done(tt: int) -> None:
-                insts = []
-                l2_entries = []
-                offsets = []
-                for off, word in enumerate(words_of_line(line_addr)):
-                    already = entry.word_state[off] != L2W_INVALID
-                    l2_entries.append(
-                        ctx.l2_prof.on_arrival(home, word, already))
-                    insts.append(ctx.mem_prof.fetch(word, already))
-                    offsets.append(off)
-
-                def at_l2(t3: int) -> None:
-                    for off, inst in zip(offsets, insts):
-                        if entry.word_state[off] == L2W_INVALID:
-                            entry.word_state[off] = L2W_VALID
-                            entry.mem_inst[off] = inst
-                            ctx.mem_prof.install_copy(inst)
-
-                ctx.send_data(T.ST, T.DEST_L2, mc, home, tt, l2_entries,
-                              at_l2)
-
-            ctx.dram_for(line_addr).read(line_addr, dram_done)
-
-        ctx.send_req_ctl(T.ST, home, mc, t, at_mc)
+    def _fetch_fw_at_l2(self, entry: DenovoL2Line, offsets: List[int],
+                        insts: List, _t3: int) -> None:
+        ctx = self.ctx
+        word_state = entry.word_state
+        mem_inst = entry.mem_inst
+        install = ctx.mem_prof.install_copy
+        for off, inst in zip(offsets, insts):
+            if word_state[off] == L2W_INVALID:
+                word_state[off] = L2W_VALID
+                mem_inst[off] = inst
+                install(inst)
 
     # ------------------------------------------------------------------
     # Load path: L2 handling
@@ -466,28 +502,31 @@ class DenovoSystem(CoherenceKernel):
     def _l2_gets(self, req: LoadRequest, arrive: int) -> None:
         ctx = self.ctx
         addr = req.addr
-        line_addr = line_of(addr)
-        off = offset_of(addr)
-        home = ctx.home_tile(line_addr)
+        line_addr = addr >> 4
+        off = addr & 15
+        home = self._home_tile(line_addr)
         t = ctx.l2_service_time(home, arrive)
         entry = self.l2[home].lookup(line_addr)
 
-        if (entry is not None and entry.word_state[off] == L2W_REG
-                and entry.owners[off] not in (None, req.core)):
-            self._forward_to_owner(req, entry, home, t)
-            return
-        if (entry is not None and entry.word_state[off] == L2W_REG
-                and entry.owners[off] == req.core):
-            # The requestor itself was the registrant but lost the line;
-            # heal: the writeback (if any) made the L2 copy dirty-valid.
-            if entry.word_dirty[off]:
-                entry.word_state[off] = L2W_VALID
-            else:
-                entry.word_state[off] = L2W_INVALID
-            entry.owners[off] = None
-        if entry is not None and entry.word_state[off] == L2W_VALID:
-            self._respond_from_l2(req, entry, home, t)
-            return
+        if entry is not None:
+            state = entry.word_state[off]
+            if state == L2W_REG:
+                owner = entry.owners[off]
+                if owner is not None and owner != req.core:
+                    self._forward_to_owner(req, entry, home, t)
+                    return
+                if owner == req.core:
+                    # The requestor itself was the registrant but lost the
+                    # line; heal: the writeback (if any) made the L2 copy
+                    # dirty-valid.
+                    if entry.word_dirty[off]:
+                        entry.word_state[off] = L2W_VALID
+                    else:
+                        entry.word_state[off] = L2W_INVALID
+                    entry.owners[off] = None
+            if entry.word_state[off] == L2W_VALID:
+                self._respond_from_l2(req, entry, home, t)
+                return
         self._load_miss_to_memory(req, entry, home, t)
 
     def _respond_from_l2(self, req: LoadRequest, entry: DenovoL2Line,
@@ -495,103 +534,220 @@ class DenovoSystem(CoherenceKernel):
         """L2 hit: respond with the line's valid words (or Flex subset)."""
         ctx = self.ctx
         words = self._gather_l2_words(req.addr, home)
-        l1_entries = []
-        payload: List[Tuple[int, object, object]] = []
-        for word in words:
-            ctx.l2_prof.on_use(home, word)
-            wentry = ctx.l1_prof.on_arrival(
-                req.core, word, self._l1_has_word(req.core, word))
-            l1_entries.append(wentry)
-            src_line = self.l2[home].lookup(line_of(word), touch=False)
-            inst = (src_line.mem_inst[offset_of(word)]
-                    if src_line is not None else None)
-            payload.append((word, wentry, inst))
-        ctx.send_data(
-            T.LD, T.DEST_L1, home, req.core, t, l1_entries,
-            lambda tt: self._l1_load_fill(req, payload, tt))
+        core = req.core
+        l1 = self.l1[core]
+        l2 = self.l2[home]
+        n = len(words)
+        flags = []
+        insts = []
+        if not self.policies.transfer.flex_l1:
+            # Line-granular fast path: every word is on the requested
+            # line, the source line is ``entry`` itself, and the scalar
+            # path would re-probe both caches once per delivered word.
+            if n:
+                l1_line = l1.lookup(req.addr >> 4, False)
+                l1.stat_probes += n - 1
+                l2.stat_probes += n
+                if l1_line is None:
+                    flags = [False] * n
+                else:
+                    state = l1_line.word_state
+                    flags = [state[w & 15] != W_INVALID for w in words]
+                mem_inst = entry.mem_inst
+                insts = [mem_inst[w & 15] for w in words]
+        else:
+            # Flex gather may span lines: resolve each cache's line once
+            # per run of words and batch-charge the skipped probes (the
+            # counters stay identical to one lookup per word).
+            l1_addr = l2_addr = -1
+            l1_line = src_line = None
+            l1_probes = l2_probes = 0
+            for word in words:
+                wline = word >> 4
+                if wline == l1_addr:
+                    l1_probes += 1
+                else:
+                    l1_line = l1.lookup(wline, False)
+                    l1_addr = wline
+                flags.append(l1_line is not None
+                             and l1_line.word_state[word & 15]
+                             != W_INVALID)
+                if wline == l2_addr:
+                    l2_probes += 1
+                else:
+                    src_line = l2.lookup(wline, False)
+                    l2_addr = wline
+                insts.append(src_line.mem_inst[word & 15]
+                             if src_line is not None else None)
+            l1.stat_probes += l1_probes
+            l2.stat_probes += l2_probes
+        ctx.l2_prof.on_use_words(home, words)
+        l1_entries = ctx.l1_prof.arrivals_words(core, words, flags)
+        payload = list(zip(words, l1_entries, insts))
+        self._send_data(
+            T.LD, T.DEST_L1, home, core, t, l1_entries,
+            self._l1_load_fill, req, payload, True)
 
     def _gather_l2_words(self, addr: int, home: int) -> List[int]:
         """Words an L2 response carries: Flex subset or valid line words."""
-        ctx = self.ctx
+        l2 = self.l2[home]
+        if not self.policies.transfer.flex_l1:
+            # Line-granular fast path: all candidates are on addr's own
+            # line (whose slice is ``home``), one probe per word.
+            line_addr = addr >> 4
+            lentry = l2.lookup(line_addr, False)
+            l2.stat_probes += WORDS_PER_LINE - 1
+            if lentry is None:
+                return []
+            base = line_addr << 4
+            state = lentry.word_state
+            return [base + off for off in range(WORDS_PER_LINE)
+                    if state[off] == L2W_VALID]
+        home_tile = self._home_tile
         out = []
+        last_addr = -1
+        lentry = None
+        probes = 0
         for word in self.policies.transfer.cache_candidates(addr):
-            wline = line_of(word)
-            if ctx.home_tile(wline) != home:
+            wline = word >> 4
+            if home_tile(wline) != home:
                 continue   # the slice can only gather its own lines
-            lentry = self.l2[home].lookup(wline, touch=False)
+            if wline == last_addr:
+                probes += 1
+            else:
+                lentry = l2.lookup(wline, False)
+                last_addr = wline
             if lentry is None:
                 continue
-            if lentry.word_state[offset_of(word)] == L2W_VALID:
+            if lentry.word_state[word & 15] == L2W_VALID:
                 out.append(word)
+        l2.stat_probes += probes
         return out
 
     def _l1_has_word(self, core: int, word: int) -> bool:
-        line = self.l1[core].lookup(line_of(word), touch=False)
+        line = self.l1[core].lookup(word >> 4, touch=False)
         return (line is not None
-                and line.word_state[offset_of(word)] != W_INVALID)
+                and line.word_state[word & 15] != W_INVALID)
 
     def _forward_to_owner(self, req: LoadRequest, entry: DenovoL2Line,
                           home: int, t: int) -> None:
         """Requested word registered to another L1: forward the request."""
-        ctx = self.ctx
         owner = entry.owners[offset_of(req.addr)]
+        self._send_req_ctl(T.LD, home, owner, t,
+                           self._fwd_at_owner, req, owner, home)
+
+    def _fwd_at_owner(self, req: LoadRequest, owner: int, home: int,
+                      tt: int) -> None:
+        ctx = self.ctx
         line_addr = line_of(req.addr)
-
-        def at_owner(tt: int) -> None:
-            oline = self.l1[owner].lookup(line_addr, touch=False)
-            off = offset_of(req.addr)
-            if oline is None or oline.word_state[off] == W_INVALID:
-                # Stale registration: the owner's eviction writeback and a
-                # late in-flight registration raced at the home.  Heal the
-                # L2 state (the writeback data is the latest value) so the
-                # retry is served from the L2 instead of looping forever.
-                home_entry = self.l2[ctx.home_tile(line_addr)].lookup(
-                    line_addr, touch=False)
-                if (home_entry is not None
-                        and home_entry.word_state[off] == L2W_REG
-                        and home_entry.owners[off] == owner):
-                    home_entry.word_state[off] = L2W_VALID
-                    home_entry.word_dirty[off] = True
-                    home_entry.owners[off] = None
-                self.stat_nacks += 1
-                ctx.send_overhead(
-                    T.OVH_NACK, owner, req.core, tt,
-                    lambda t3: self._retry_gets(req, t3))
-                return
-            words = self._gather_owner_words(owner, req.addr)
-            l1_entries = []
-            payload = []
+        oline = self.l1[owner].lookup(line_addr, touch=False)
+        off = offset_of(req.addr)
+        if oline is None or oline.word_state[off] == W_INVALID:
+            # Stale registration: the owner's eviction writeback and a
+            # late in-flight registration raced at the home.  Heal the
+            # L2 state (the writeback data is the latest value) so the
+            # retry is served from the L2 instead of looping forever.
+            home_entry = self.l2[self._home_tile(line_addr)].lookup(
+                line_addr, touch=False)
+            if (home_entry is not None
+                    and home_entry.word_state[off] == L2W_REG
+                    and home_entry.owners[off] == owner):
+                home_entry.word_state[off] = L2W_VALID
+                home_entry.word_dirty[off] = True
+                home_entry.owners[off] = None
+            self.stat_nacks += 1
+            self._send_overhead(
+                T.OVH_NACK, owner, req.core, tt,
+                self._retry_gets, req)
+            return
+        words = self._gather_owner_words(owner, req.addr)
+        core = req.core
+        l1_req = self.l1[core]
+        l1_owner = self.l1[owner]
+        n = len(words)
+        flags = []
+        insts = []
+        if not self.policies.transfer.flex_l1:
+            # Line-granular fast path: every word is on the requested
+            # line, sourced from ``oline`` resolved above.
+            if n:
+                req_line = l1_req.lookup(req.addr >> 4, False)
+                l1_req.stat_probes += n - 1
+                l1_owner.stat_probes += n
+                if req_line is None:
+                    flags = [False] * n
+                else:
+                    state = req_line.word_state
+                    flags = [state[w & 15] != W_INVALID for w in words]
+                mem_inst = oline.mem_inst
+                insts = [mem_inst[w & 15] for w in words]
+        else:
+            req_addr = own_addr = -1
+            req_line = src = None
+            req_probes = own_probes = 0
             for word in words:
-                wentry = ctx.l1_prof.on_arrival(
-                    req.core, word, self._l1_has_word(req.core, word))
-                l1_entries.append(wentry)
-                src = self.l1[owner].lookup(line_of(word), touch=False)
-                inst = (src.mem_inst[offset_of(word)]
-                        if src is not None else None)
-                payload.append((word, wentry, inst))
-            ctx.send_data(
-                T.LD, T.DEST_L1, owner, req.core, tt, l1_entries,
-                lambda t3: self._l1_load_fill(req, payload, t3))
-
-        ctx.send_req_ctl(T.LD, home, owner, t, at_owner)
+                wline = word >> 4
+                if wline == req_addr:
+                    req_probes += 1
+                else:
+                    req_line = l1_req.lookup(wline, False)
+                    req_addr = wline
+                flags.append(req_line is not None
+                             and req_line.word_state[word & 15]
+                             != W_INVALID)
+                if wline == own_addr:
+                    own_probes += 1
+                else:
+                    src = l1_owner.lookup(wline, False)
+                    own_addr = wline
+                insts.append(src.mem_inst[word & 15]
+                             if src is not None else None)
+            l1_req.stat_probes += req_probes
+            l1_owner.stat_probes += own_probes
+        l1_entries = ctx.l1_prof.arrivals_words(core, words, flags)
+        payload = list(zip(words, l1_entries, insts))
+        self._send_data(
+            T.LD, T.DEST_L1, owner, core, tt, l1_entries,
+            self._l1_load_fill, req, payload, True)
 
     def _gather_owner_words(self, owner: int, addr: int) -> List[int]:
         """Words a cache-to-cache response carries from the owner L1."""
+        l1_owner = self.l1[owner]
+        if not self.policies.transfer.flex_l1:
+            # Line-granular fast path: all candidates on addr's line.
+            line_addr = addr >> 4
+            line = l1_owner.lookup(line_addr, False)
+            l1_owner.stat_probes += WORDS_PER_LINE - 1
+            if line is None:
+                return []
+            base = line_addr << 4
+            state = line.word_state
+            return [base + off for off in range(WORDS_PER_LINE)
+                    if state[off] != W_INVALID]
         out = []
+        last_addr = -1
+        line = None
+        probes = 0
         for word in self.policies.transfer.cache_candidates(addr):
-            line = self.l1[owner].lookup(line_of(word), touch=False)
+            wline = word >> 4
+            if wline == last_addr:
+                probes += 1
+            else:
+                line = l1_owner.lookup(wline, False)
+                last_addr = wline
             if line is None:
                 continue
-            if line.word_state[offset_of(word)] != W_INVALID:
+            if line.word_state[word & 15] != W_INVALID:
                 out.append(word)
+        l1_owner.stat_probes += probes
         return out
 
     def _retry_gets(self, req: LoadRequest, at: int) -> None:
         req.retries += 1
         line_addr = line_of(req.addr)
         self._send_req_ctl(
-            T.LD, req.core, self.ctx.home_tile(line_addr),
-            at + NACK_RETRY_DELAY, lambda t: self._l2_gets(req, t))
+            T.LD, req.core, self._home_tile(line_addr),
+            at + NACK_RETRY_DELAY, self._l2_gets, req)
 
     # ------------------------------------------------------------------
     # Load path: memory
@@ -603,8 +759,9 @@ class DenovoSystem(CoherenceKernel):
         ctx = self.ctx
         addr = req.addr
         line_addr = line_of(addr)
-        region = ctx.regions.find(addr)
-        bypassed = self.policies.bypass.bypasses(region)
+        bypassed = (self._bypass_response
+                    and self.policies.bypass.bypasses(
+                        ctx.regions.find(addr)))
         req.went_to_memory = True
         mc = ctx.mc_tile(line_addr)
         dirty_offsets = (tuple(entry.dirty_mask_offsets())
@@ -613,17 +770,16 @@ class DenovoSystem(CoherenceKernel):
             entry = self._reserve_l2(home, line_addr)
         fill_l2 = not bypassed
 
-        ctx.send_req_ctl(
+        self._send_req_ctl(
             T.LD, home, mc, t,
-            lambda tt: self._mc_load(req, home, mc, dirty_offsets,
-                                     fill_l2, tt))
+            self._mc_load, req, home, mc, dirty_offsets, fill_l2)
 
     def _bypass_request_path(self, req: LoadRequest, at: int) -> None:
         """L2 Request Bypass: consult the L1 Bloom shadow, maybe go direct."""
         ctx = self.ctx
         core = req.core
         line_addr = line_of(req.addr)
-        home = ctx.home_tile(line_addr)
+        home = self._home_tile(line_addr)
         shadow = self.l1_blooms[core]
         self.stat_bypass_queries += 1
         if not shadow.has_copy(home, line_addr):
@@ -631,16 +787,16 @@ class DenovoSystem(CoherenceKernel):
             return
         if shadow.may_contain(home, line_addr):
             # Possibly dirty on-chip: take the normal path through the L2.
-            ctx.send_req_ctl(T.LD, core, home, at,
-                             lambda t: self._l2_gets(req, t))
+            self._send_req_ctl(T.LD, core, home, at,
+                               self._l2_gets, req)
             return
         # Provably clean: go straight to the memory controller.
         self.stat_direct_requests += 1
         req.went_to_memory = True
         mc = ctx.mc_tile(line_addr)
-        ctx.send_req_ctl(
+        self._send_req_ctl(
             T.LD, core, mc, at,
-            lambda t: self._mc_load(req, home, mc, (), False, t))
+            self._mc_load, req, home, mc, (), False)
 
     def _fetch_bloom_copy(self, req: LoadRequest, core: int, home: int,
                           line_addr: int, at: int) -> None:
@@ -651,18 +807,22 @@ class DenovoSystem(CoherenceKernel):
         # The 1-bit projection of one filter: entries/8 bytes of payload.
         payload_bytes = ctx.config.bloom_entries // 8
         copy_flits = 1 + -(-payload_bytes // ctx.config.link_bytes)
+        self._send_overhead(T.OVH_BLOOM, core, home, at,
+                            self._bloom_at_l2, req, core, home,
+                            filter_index, copy_flits)
 
-        def at_l2(t: int) -> None:
-            ctx.send_overhead(
-                T.OVH_BLOOM, home, core, t,
-                lambda tt: install(tt), flits=copy_flits)
+    def _bloom_at_l2(self, req: LoadRequest, core: int, home: int,
+                     filter_index: int, copy_flits: int, t: int) -> None:
+        self._send_overhead(
+            T.OVH_BLOOM, home, core, t,
+            self._bloom_install, req, core, home, filter_index,
+            flits=copy_flits)
 
-        def install(t: int) -> None:
-            bits = self.slice_blooms[home].bit_projection(filter_index)
-            self.l1_blooms[core].install(home, filter_index, bits)
-            self._bypass_request_path(req, t)
-
-        ctx.send_overhead(T.OVH_BLOOM, core, home, at, at_l2)
+    def _bloom_install(self, req: LoadRequest, core: int, home: int,
+                       filter_index: int, tt: int) -> None:
+        bits = self.slice_blooms[home].bit_projection(filter_index)
+        self.l1_blooms[core].install(home, filter_index, bits)
+        self._bypass_request_path(req, tt)
 
     def _mc_load(self, req: LoadRequest, home: int, mc: int,
                  dirty_offsets: Tuple[int, ...], fill_l2: bool,
@@ -703,25 +863,32 @@ class DenovoSystem(CoherenceKernel):
         # whole multi-line Flex gather would penalize the critical load).
         # The critical line's response carries the requested word and
         # completes the load; prefetch-line responses just install.
-        def respond_line(fetched_line: int, t: int) -> None:
-            send_words: List[int] = []
-            for word in words_of_line(fetched_line):
-                if word in masked:
-                    continue
-                if word in wanted_set:
-                    send_words.append(word)
-                elif flex_region is not None:
-                    # Read out of DRAM, dropped at the controller.
-                    ctx.mem_prof.fetch_excess(word)
-            completes = fetched_line == line_addr
-            if completes:
-                req.t_leave_mc = t
-            self._mc_respond(req, home, mc, send_words, fill_l2, t,
-                             completes=completes)
-
+        is_flex = flex_region is not None
         for fetched_line in lines:
-            dram.read(fetched_line,
-                      lambda t, fl=fetched_line: respond_line(fl, t))
+            dram.read(fetched_line, self._mc_respond_line, req, home, mc,
+                      fill_l2, is_flex, wanted_set, masked, line_addr,
+                      fetched_line)
+
+    def _mc_respond_line(self, req: LoadRequest, home: int, mc: int,
+                         fill_l2: bool, is_flex: bool, wanted_set: Set[int],
+                         masked: Set[int], line_addr: int,
+                         fetched_line: int, t: int) -> None:
+        ctx = self.ctx
+        send_words: List[int] = []
+        fetch_excess = ctx.mem_prof.fetch_excess
+        for word in words_of_line(fetched_line):
+            if word in masked:
+                continue
+            if word in wanted_set:
+                send_words.append(word)
+            elif is_flex:
+                # Read out of DRAM, dropped at the controller.
+                fetch_excess(word)
+        completes = fetched_line == line_addr
+        if completes:
+            req.t_leave_mc = t
+        self._mc_respond(req, home, mc, send_words, fill_l2, t,
+                         completes=completes)
 
     @staticmethod
     def _region_fields_on_line(region, line_addr: int) -> List[int]:
@@ -740,86 +907,150 @@ class DenovoSystem(CoherenceKernel):
                     words: List[int], fill_l2: bool, t: int,
                     completes: bool = True) -> None:
         ctx = self.ctx
-        core = req.core
         if not words:
             if completes:
                 # Everything was masked (dirty on-chip): retry via L2.
                 self._retry_gets(req, t)
             return
+        fetch = ctx.mem_prof.fetch
+        home_tile = self._home_tile
         insts = {}
+        last_addr = -1
+        l2_cache = entry = None
         for word in words:
-            l2_has = self._l2_has_word(word)
-            insts[word] = ctx.mem_prof.fetch(word, l2_has)
-
-        # L1 leg (always; baseline routes through the L2 first).
-        def send_l1(src: int, at: int) -> None:
-            l1_entries = []
-            payload = []
-            fill_lines = set()
-            for word in words:
-                wentry = ctx.l1_prof.on_arrival(
-                    core, word, self._l1_has_word(core, word))
-                l1_entries.append(wentry)
-                payload.append((word, wentry, insts[word]))
-                fill_lines.add(line_of(word))
-            inflight = self._inflight_fills[core]
-            for fl in fill_lines:
-                inflight.setdefault(fl, [])
-
-            def on_fill(tt: int) -> None:
-                self._l1_load_fill(req, payload, tt, completes=completes)
-                for fl in fill_lines:
-                    for waiter in inflight.pop(fl, []):
-                        ctx.queue.schedule(
-                            max(tt, ctx.queue.now),
-                            lambda w=waiter, t3=tt: w(t3))
-
-            ctx.send_data(T.LD, T.DEST_L1, src, core, at, l1_entries,
-                          on_fill)
-
-        def send_l2(at: int, then=None) -> None:
-            l2_entries = []
-            for word in words:
-                already = self._l2_has_word(word)
-                l2_entries.append(ctx.l2_prof.on_arrival(
-                    ctx.home_tile(line_of(word)), word, already))
-
-            def at_l2(tt: int) -> None:
-                self._fill_l2_words(words, insts)
-                if then is not None:
-                    then(tt)
-
-            ctx.send_data(T.LD, T.DEST_L2, mc, home, at, l2_entries, at_l2)
+            wline = word >> 4
+            if wline == last_addr:
+                l2_cache.stat_probes += 1
+            else:
+                l2_cache = self.l2[home_tile(wline)]
+                entry = l2_cache.lookup(wline, False)
+                last_addr = wline
+            has = (entry is not None
+                   and entry.word_state[word & 15] != L2W_INVALID)
+            insts[word] = fetch(word, has)
 
         if not fill_l2:
-            send_l1(mc, t)
+            self._send_l1_leg(req, words, insts, completes, mc, t)
         elif self.policies.mem_transfer.direct_to_l1:
             # Parallel transfer to the L1 and the L2.
-            send_l1(mc, t)
-            send_l2(t)
+            self._send_l1_leg(req, words, insts, completes, mc, t)
+            self._send_l2_leg(req, words, insts, home, mc, completes,
+                              False, t)
         else:
             # Baseline: memory -> L2 -> L1.
-            send_l2(t, then=lambda tt: send_l1(home, tt))
+            self._send_l2_leg(req, words, insts, home, mc, completes,
+                              True, t)
+
+    def _send_l1_leg(self, req: LoadRequest, words: List[int], insts: Dict,
+                     completes: bool, src: int, at: int) -> None:
+        """The L1 leg of a memory response (registers inflight fills)."""
+        ctx = self.ctx
+        core = req.core
+        l1 = self.l1[core]
+        fill_lines = set()
+        last_addr = -1
+        line = None
+        probes = 0
+        flags = []
+        for word in words:
+            wline = word >> 4
+            if wline == last_addr:
+                probes += 1
+            else:
+                line = l1.lookup(wline, False)
+                last_addr = wline
+            flags.append(line is not None
+                         and line.word_state[word & 15] != W_INVALID)
+            fill_lines.add(wline)
+        l1.stat_probes += probes
+        l1_entries = ctx.l1_prof.arrivals_words(core, words, flags)
+        payload = [(word, wentry, insts[word])
+                   for word, wentry in zip(words, l1_entries)]
+        inflight = self._inflight_fills[core]
+        for fl in fill_lines:
+            inflight.setdefault(fl, [])
+        self._send_data(T.LD, T.DEST_L1, src, core, at, l1_entries,
+                        self._on_l1_fill, req, payload, completes,
+                        fill_lines)
+
+    def _on_l1_fill(self, req: LoadRequest, payload: List,
+                    completes: bool, fill_lines: Set[int],
+                    tt: int) -> None:
+        self._l1_load_fill(req, payload, completes, tt)
+        inflight = self._inflight_fills[req.core]
+        queue = self._queue
+        now = queue.now
+        when = tt if tt >= now else now
+        schedule_call = queue.schedule_call
+        for fl in fill_lines:
+            for waiter in inflight.pop(fl, ()):
+                schedule_call(when, waiter, tt)
+
+    def _send_l2_leg(self, req: LoadRequest, words: List[int], insts: Dict,
+                     home: int, mc: int, completes: bool,
+                     l1_after: bool, at: int) -> None:
+        """The L2 leg of a memory response (baseline chains the L1 leg)."""
+        ctx = self.ctx
+        l2_on_arrival = ctx.l2_prof.on_arrival
+        home_tile = self._home_tile
+        l2_entries = []
+        last_addr = -1
+        home_w = -1
+        l2_cache = entry = None
+        for word in words:
+            wline = word >> 4
+            if wline == last_addr:
+                l2_cache.stat_probes += 1
+            else:
+                home_w = home_tile(wline)
+                l2_cache = self.l2[home_w]
+                entry = l2_cache.lookup(wline, False)
+                last_addr = wline
+            already = (entry is not None
+                       and entry.word_state[word & 15] != L2W_INVALID)
+            l2_entries.append(l2_on_arrival(home_w, word, already))
+        self._send_data(T.LD, T.DEST_L2, mc, home, at, l2_entries,
+                        self._on_l2_fill, req, words, insts, home,
+                        completes, l1_after)
+
+    def _on_l2_fill(self, req: LoadRequest, words: List[int], insts: Dict,
+                    home: int, completes: bool, l1_after: bool,
+                    tt: int) -> None:
+        self._fill_l2_words(words, insts)
+        if l1_after:
+            self._send_l1_leg(req, words, insts, completes, home, tt)
 
     def _l2_has_word(self, word: int) -> bool:
-        home = self.ctx.home_tile(line_of(word))
-        entry = self.l2[home].lookup(line_of(word), touch=False)
+        home = self._home_tile(word >> 4)
+        entry = self.l2[home].lookup(word >> 4, touch=False)
         return (entry is not None
-                and entry.word_state[offset_of(word)] != L2W_INVALID)
+                and entry.word_state[word & 15] != L2W_INVALID)
 
     def _fill_l2_words(self, words: List[int], insts: Dict[int, object]) -> None:
         ctx = self.ctx
+        home_tile = self._home_tile
+        install = ctx.mem_prof.install_copy
+        last_addr = -1
+        home = -1
+        l2_cache = entry = None
         for word in words:
-            wline = line_of(word)
-            home = ctx.home_tile(wline)
-            entry = self.l2[home].lookup(wline)
+            wline = word >> 4
+            if wline == last_addr:
+                # Same line: already resolved and at MRU, so the touch
+                # the scalar path would do is a no-op; charge the probe.
+                l2_cache.stat_probes += 1
+            else:
+                home = home_tile(wline)
+                l2_cache = self.l2[home]
+                entry = l2_cache.lookup(wline)
+                last_addr = wline
             if entry is None:
                 entry = self._reserve_l2(home, wline)
-            off = offset_of(word)
+            off = word & 15
             if entry.word_state[off] == L2W_INVALID:
                 entry.word_state[off] = L2W_VALID
                 entry.mem_inst[off] = insts[word]
-                ctx.mem_prof.install_copy(insts[word])
+                install(insts[word])
 
     # ------------------------------------------------------------------
     # L1 fill and completion
@@ -827,33 +1058,58 @@ class DenovoSystem(CoherenceKernel):
 
     def _l1_load_fill(self, req: LoadRequest,
                       payload: List[Tuple[int, object, object]],
-                      t: int, completes: bool = True) -> None:
+                      completes: bool, t: int) -> None:
         """Install delivered words into the requestor's L1; when this is
         the response carrying the requested word, finish the load."""
         ctx = self.ctx
         core = req.core
-        for word, _entry, inst in payload:
-            wline = line_of(word)
-            line = self.l1[core].lookup(wline, touch=False)
+        l1 = self.l1[core]
+        req_line = req.addr >> 4
+        install = ctx.mem_prof.install_copy
+        if self._line_granular and payload:
+            # Fast path: the whole payload is on the requested line.
+            line = l1.lookup(req_line, False)
+            l1.stat_probes += len(payload) - 1
             if line is None:
-                if wline == line_of(req.addr):
-                    line = self._allocate_l1(core, wline)
-                elif self._can_reserve(core, wline):
-                    line = self._allocate_l1(core, wline)
+                line = self._allocate_l1(core, req_line)
+            word_state = line.word_state
+            mem_inst = line.mem_inst
+            for word, _entry, inst in payload:
+                off = word & 15
+                if word_state[off] == W_INVALID:
+                    word_state[off] = W_VALID
+                    mem_inst[off] = inst
+                    if inst is not None:
+                        install(inst)
+        else:
+            last_addr = -1
+            line = None
+            for word, _entry, inst in payload:
+                wline = word >> 4
+                if wline == last_addr:
+                    l1.stat_probes += 1
                 else:
-                    continue   # prefetched line has no room; drop it
-            off = offset_of(word)
-            if line.word_state[off] == W_INVALID:
-                line.word_state[off] = W_VALID
-                line.mem_inst[off] = inst
-                if inst is not None:
-                    ctx.mem_prof.install_copy(inst)
+                    line = l1.lookup(wline, False)
+                    last_addr = wline
+                if line is None:
+                    if wline == req_line:
+                        line = self._allocate_l1(core, wline)
+                    elif self._can_reserve(core, wline):
+                        line = self._allocate_l1(core, wline)
+                    else:
+                        continue   # prefetched line has no room; drop it
+                off = word & 15
+                if line.word_state[off] == W_INVALID:
+                    line.word_state[off] = W_VALID
+                    line.mem_inst[off] = inst
+                    if inst is not None:
+                        install(inst)
         if not completes:
             return
-        line_addr = line_of(req.addr)
+        line_addr = req_line
         self._protected[core].discard(line_addr)
-        line = self.l1[core].lookup(line_addr, touch=False)
-        if line is None or line.word_state[offset_of(req.addr)] == W_INVALID:
+        line = l1.lookup(line_addr, touch=False)
+        if line is None or line.word_state[req.addr & 15] == W_INVALID:
             # The needed word did not arrive (e.g. masked at the memory
             # controller because it was dirty on-chip): retry through L2.
             self._retry_gets(req, t)
@@ -883,25 +1139,30 @@ class DenovoSystem(CoherenceKernel):
                       offsets: Tuple[int, ...], t: int) -> None:
         """Dirty words from an L1 writeback arrive at the home slice."""
         ctx = self.ctx
-        home = ctx.home_tile(line_addr)
+        home = self._home_tile(line_addr)
         entry = self.l2[home].lookup(line_addr)
         if entry is None:
             entry = self._reserve_l2(home, line_addr)
             if self.policies.granularity.l2_fetch_on_write:
                 self._fetch_line_for_write(entry, home, t)
         base = base_word(line_addr)
+        word_state = entry.word_state
+        word_dirty = entry.word_dirty
+        owners = entry.owners
+        mem_inst = entry.mem_inst
+        l2_on_write = ctx.l2_prof.on_write
+        mem_drop = ctx.mem_prof.drop_copy
         for off in offsets:
             word = base + off
-            if (entry.word_state[off] == L2W_VALID
-                    and not entry.word_dirty[off]):
-                ctx.l2_prof.on_write(home, word)
-            entry.word_state[off] = L2W_VALID
-            entry.word_dirty[off] = True
-            entry.owners[off] = None
-            if entry.mem_inst[off] is not None:
-                ctx.mem_prof.drop_copy(entry.mem_inst[off],
-                                       invalidated=False)
-                entry.mem_inst[off] = None
+            if (word_state[off] == L2W_VALID
+                    and not word_dirty[off]):
+                l2_on_write(home, word)
+            word_state[off] = L2W_VALID
+            word_dirty[off] = True
+            owners[off] = None
+            if mem_inst[off] is not None:
+                mem_drop(mem_inst[off], invalidated=False)
+                mem_inst[off] = None
         if self.slice_blooms and not entry.in_bloom:
             self.slice_blooms[home].insert(line_addr)
             entry.in_bloom = True
@@ -918,7 +1179,7 @@ class DenovoSystem(CoherenceKernel):
                   if entry.word_state[off] == L2W_REG
                   and entry.owners[off] is not None}
         for owner in owners:
-            ctx.send_overhead(T.OVH_INVAL, home, owner, at)
+            self._send_overhead(T.OVH_INVAL, home, owner, at)
             oline = self.l1[owner].lookup(line_addr, touch=False)
             if oline is None:
                 continue
@@ -927,10 +1188,8 @@ class DenovoSystem(CoherenceKernel):
                         and oline.word_state[off] == W_REG]
             if recalled:
                 mc = ctx.mc_tile(line_addr)
-                ctx.send_wb(owner, mc, at, [True] * len(recalled),
-                            T.DEST_MEM,
-                            lambda t, la=line_addr:
-                            ctx.dram_for(la).write(la))
+                self._send_wb(owner, mc, at, [True] * len(recalled),
+                              T.DEST_MEM, self._wb_to_dram, line_addr)
             for off in range(WORDS_PER_LINE):
                 if oline.word_state[off] != W_INVALID:
                     word = base + off
@@ -943,19 +1202,16 @@ class DenovoSystem(CoherenceKernel):
                 oline.mem_inst[off] = None
             self.wct[owner].pop(line_addr)
         # Profile the L2 copies and write dirty words back.
-        for word in words_of_line(line_addr):
-            ctx.l2_prof.on_evict(home, word)
-        for inst in entry.mem_inst:
-            if inst is not None:
-                ctx.mem_prof.drop_copy(inst, invalidated=False)
+        ctx.l2_prof.on_evict_line(home, base)
+        ctx.mem_prof.drop_copies(entry.mem_inst, invalidated=False)
         if entry.any_dirty():
             mc = ctx.mc_tile(line_addr)
             # DValidateL2 rung: only the dirty words travel; baseline
             # ships the whole line and unmodified words die as Waste
             # (Figure 5.1d, Mem Waste).
             flags = self.policies.writeback.l2_flags(entry.word_dirty)
-            ctx.send_wb(home, mc, at, flags, T.DEST_MEM,
-                        lambda t, la=line_addr: ctx.dram_for(la).write(la))
+            self._send_wb(home, mc, at, flags, T.DEST_MEM,
+                          self._wb_to_dram, line_addr)
         if self.slice_blooms and entry.in_bloom:
             self.slice_blooms[home].remove(line_addr)
             entry.in_bloom = False

@@ -30,7 +30,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.cache.sa_cache import CacheLine, SetAssocCache
-from repro.common.addressing import offset_of
+from repro.common.addressing import OFFSET_MASK as _OFFSET_MASK
 from repro.coherence.policies import PolicySet, resolve_policies
 from repro.core.context import LoadRequest, SimContext
 
@@ -70,11 +70,18 @@ class CoherenceKernel:
             [] for _ in range(num_tiles)]
         # Lines with an in-flight request (protected from L1 eviction).
         self._protected: List[Set[int]] = [set() for _ in range(num_tiles)]
-        # Fast-path binding: the hot message entry point, bound once so
-        # per-access code skips the ctx attribute chain.  Profiler methods
-        # must NOT be bound here — ctx.reset_stats() swaps the profiler
-        # objects after warm-up.
+        # Fast-path bindings: the hot message entry points and scheduler,
+        # bound once so per-access code skips the ctx attribute chains.
+        # Profiler methods must NOT be bound here — ctx.reset_stats()
+        # swaps the profiler objects after warm-up.
         self._send_req_ctl = ctx.send_req_ctl
+        self._send_resp_ctl = ctx.send_resp_ctl
+        self._send_data = ctx.send_data
+        self._send_wb = ctx.send_wb
+        self._send_overhead = ctx.send_overhead
+        self._schedule_call = ctx.queue.schedule_call
+        self._home_tile = ctx.home_tile
+        self._queue = ctx.queue
 
     # ------------------------------------------------------------------
     # Core-facing interface (the contract ``core.Core`` drives)
@@ -136,10 +143,16 @@ class CoherenceKernel:
     # ------------------------------------------------------------------
 
     def _fire_retire_hooks(self, core: int, t: int) -> None:
-        hooks, self._retire_hooks[core] = self._retire_hooks[core], []
-        queue = self.ctx.queue
+        hooks = self._retire_hooks[core]
+        if not hooks:
+            return
+        self._retire_hooks[core] = []
+        queue = self._queue
+        now = queue.now
+        when = t if t >= now else now
+        schedule_call = queue.schedule_call
         for hook in hooks:
-            queue.schedule(max(t, queue.now), lambda h=hook, tt=t: h(tt))
+            schedule_call(when, hook, t)
 
     # ------------------------------------------------------------------
     # L1 reservation / allocation (shared transaction lifecycle)
@@ -150,11 +163,13 @@ class CoherenceKernel:
         cache = self.l1[core]
         if cache.lookup(line_addr, touch=False) is not None:
             return True
-        idx = cache.set_index(line_addr)
-        protected_in_set = sum(
-            1 for la in self._protected[core]
-            if cache.set_index(la) == idx
-            and cache.lookup(la, touch=False) is not None)
+        set_index = cache.set_index
+        lookup = cache.lookup
+        idx = set_index(line_addr)
+        protected_in_set = 0
+        for la in self._protected[core]:
+            if set_index(la) == idx and lookup(la, touch=False) is not None:
+                protected_in_set += 1
         return protected_in_set < cache.assoc
 
     def _allocate_l1(self, core: int, line_addr: int):
@@ -193,13 +208,13 @@ class CoherenceKernel:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
-    # Shared fast-path profiling / retry helpers
+    # Shared fast-path profiling / retry / message helpers
     # ------------------------------------------------------------------
 
     def _profile_load_hit(self, core: int, line, addr: int) -> None:
         ctx = self.ctx
         ctx.l1_prof.on_use(core, addr)
-        inst = line.mem_inst[offset_of(addr)]
+        inst = line.mem_inst[addr & _OFFSET_MASK]
         if inst is not None:
             ctx.mem_prof.on_load(inst)
 
@@ -210,3 +225,11 @@ class CoherenceKernel:
             dummy = LoadRequest(core=core, addr=addr, t_issue=at,
                                 on_done=on_done)
             on_done(done, dummy)
+
+    def _wb_to_dram(self, line_addr: int, _t: int) -> None:
+        """Terminal handler of a writeback travelling to memory."""
+        self.ctx.dram_for(line_addr).write(line_addr)
+
+    @staticmethod
+    def _ignore(*_args) -> None:
+        """No-op message handler (fire-and-forget data messages)."""

@@ -21,6 +21,11 @@ policy objects that distinguish the MESI-side ladder rungs:
 
 The protocol is line-granular; per-word dirty bits are tracked only for
 the waste profiler and the writeback Used/Waste split of Figure 5.1d.
+
+Message continuations use the closure-free scheduling convention
+(``handler, *args`` with the arrival time appended as the last
+argument), so the hot request/fill paths allocate no lambdas; the only
+remaining closures sit on rare blocked/waiter paths.
 """
 
 from __future__ import annotations
@@ -30,11 +35,13 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.cache.sa_cache import CacheLine
 from repro.cache.writebuffer import StoreBuffer
 from repro.coherence.kernel import CoherenceKernel
-from repro.common.addressing import (
-    base_word, line_of, offset_of, words_of_line)
+from repro.common.addressing import base_word, line_of, offset_of
 from repro.core.context import (
     NACK_RETRY_DELAY, LoadRequest, SimContext, StoreRequest)
 from repro.network import traffic as T
+
+# The inlined load-hit path uses ``addr & 15`` for offset_of (16-word
+# lines, pinned in repro.common.addressing).
 
 # L1 line states.
 L1_PENDING = 0   # way reserved, fill in flight
@@ -115,7 +122,7 @@ class MesiSystem(CoherenceKernel):
              on_done: Callable[[int, LoadRequest], None]) -> Optional[int]:
         """Issue a load; return completion time on an L1 hit, else None
         and ``on_done(time, request)`` fires later."""
-        line_addr = line_of(addr)
+        line_addr = addr >> 4
         line = self.l1[core].lookup(line_addr)
         if line is not None and line.state != L1_PENDING:
             if self.sbuf[core].has(line_addr):
@@ -123,7 +130,12 @@ class MesiSystem(CoherenceKernel):
                 # value it reads is the retired store's.
                 self._wait_on_line(core, line_addr, addr, at, on_done)
                 return None
-            self._profile_load_hit(core, line, addr)
+            # Hottest path in the protocol: _profile_load_hit inlined.
+            ctx = self.ctx
+            ctx.l1_prof.on_use(core, addr)
+            inst = line.mem_inst[addr & 15]
+            if inst is not None:
+                ctx.mem_prof.on_load(inst)
             return at + 1
         if line is not None and line.state == L1_PENDING:
             self._wait_on_line(core, line_addr, addr, at, on_done)
@@ -137,18 +149,18 @@ class MesiSystem(CoherenceKernel):
                               on_done=on_done)
         self._reserve_line(core, line_addr)
         self._send_req_ctl(
-            T.LD, core, self.ctx.home_tile(line_addr), at,
-            lambda t: self._dir_gets(request, t))
+            T.LD, core, self._home_tile(line_addr), at,
+            self._dir_gets, request)
         return None
 
     def store(self, core: int, addr: int, at: int) -> bool:
         """Issue a store; True if accepted (hit or buffered), False if the
         store buffer is full and the core must stall."""
-        line_addr = line_of(addr)
+        line_addr = addr >> 4
         sbuf = self.sbuf[core]
         line = self.l1[core].lookup(line_addr)
         if sbuf.has(line_addr):
-            self._pending_words[core][line_addr].add(offset_of(addr))
+            self._pending_words[core][line_addr].add(addr & 15)
             return True
         if line is not None and line.state in (L1_E, L1_M):
             line.state = L1_M   # silent E->M upgrade
@@ -160,7 +172,7 @@ class MesiSystem(CoherenceKernel):
             return False
         is_upgrade = line is not None and line.state == L1_S
         sbuf.insert(line_addr)
-        self._pending_words[core][line_addr] = {offset_of(addr)}
+        self._pending_words[core][line_addr] = {addr & 15}
         request = StoreRequest(core=core, line_addr=line_addr, t_issue=at)
         self._store_reqs[core][line_addr] = request
         if line is None:
@@ -170,8 +182,8 @@ class MesiSystem(CoherenceKernel):
         if is_upgrade:
             self.stat_upgrades += 1
         self._send_req_ctl(
-            T.ST, core, self.ctx.home_tile(line_addr), at,
-            lambda t: self._dir_getx(request, t, upgrade=is_upgrade))
+            T.ST, core, self._home_tile(line_addr), at,
+            self._dir_getx, request, is_upgrade)
         return True
 
     def pending_store_count(self, core: int) -> int:
@@ -207,10 +219,10 @@ class MesiSystem(CoherenceKernel):
 
     def _apply_store_word(self, core: int, line: MesiL1Line,
                           addr: int) -> None:
-        off = offset_of(addr)
-        self.ctx.l1_prof.on_write(core, addr)
-        self.ctx.mem_prof.on_store_addr(addr)
-        line.word_dirty[off] = True
+        ctx = self.ctx
+        ctx.l1_prof.on_write(core, addr)
+        ctx.mem_prof.on_store_addr(addr)
+        line.word_dirty[addr & 15] = True
 
     def _reserve_line(self, core: int, line_addr: int) -> MesiL1Line:
         self._protected[core].add(line_addr)
@@ -222,24 +234,19 @@ class MesiSystem(CoherenceKernel):
         """Handle an L1 victim: profile + writeback messages."""
         ctx = self.ctx
         at = ctx.queue.now
-        for word in words_of_line(line.line_addr):
-            ctx.l1_prof.on_evict(core, word)
-        for inst in line.mem_inst:
-            if inst is not None:
-                ctx.mem_prof.drop_copy(inst, invalidated=False)
-        home = ctx.home_tile(line.line_addr)
+        ctx.l1_prof.on_evict_line(core, base_word(line.line_addr))
+        ctx.mem_prof.drop_copies(line.mem_inst, invalidated=False)
+        home = self._home_tile(line.line_addr)
         if line.state == L1_M:
-            written = [i for i, d in enumerate(line.word_dirty) if d]
-            ctx.send_wb(core, home, at, self._wb_l1_flags(line.word_dirty),
-                        T.DEST_L2,
-                        lambda t, la=line.line_addr, c=core, w=tuple(written):
-                        self._dir_dirty_wb(la, c, w, t))
+            written = tuple(i for i, d in enumerate(line.word_dirty) if d)
+            self._send_wb(core, home, at, self._wb_l1_flags(line.word_dirty),
+                          T.DEST_L2,
+                          self._dir_dirty_wb, line.line_addr, core, written)
         elif line.state == L1_E:
             # Clean writeback: control-only PUTX, counted as overhead.
-            ctx.send_overhead(
+            self._send_overhead(
                 T.OVH_WB_CTL, core, home, at,
-                lambda t, la=line.line_addr, c=core:
-                self._dir_clean_wb(la, c, t))
+                self._dir_clean_wb, line.line_addr, core)
         # Shared lines are dropped silently; the directory keeps a stale
         # sharer and may later send a spurious invalidation (acked anyway).
 
@@ -250,7 +257,7 @@ class MesiSystem(CoherenceKernel):
     def _dir_gets(self, req: LoadRequest, arrive: int) -> None:
         ctx = self.ctx
         line_addr = line_of(req.addr)
-        home = ctx.home_tile(line_addr)
+        home = self._home_tile(line_addr)
         t = ctx.l2_service_time(home, arrive)
         entry = self.l2[home].lookup(line_addr)
         if entry is not None and entry.busy:
@@ -268,8 +275,8 @@ class MesiSystem(CoherenceKernel):
         req.retries += 1
         line_addr = line_of(req.addr)
         self._send_req_ctl(
-            T.LD, req.core, self.ctx.home_tile(line_addr),
-            at + NACK_RETRY_DELAY, lambda t: self._dir_gets(req, t))
+            T.LD, req.core, self._home_tile(line_addr),
+            at + NACK_RETRY_DELAY, self._dir_gets, req)
 
     def _dir_gets_hit(self, req: LoadRequest, entry: MesiL2Line, home: int,
                       t: int) -> None:
@@ -282,65 +289,65 @@ class MesiSystem(CoherenceKernel):
             self.stat_e_grants += 1
         entry.sharers.add(req.core)
         entry.busy = True
-        for word in words_of_line(line_addr):
-            ctx.l2_prof.on_use(home, word)
-        l1_entries = [ctx.l1_prof.on_arrival(req.core, w, False)
-                      for w in words_of_line(line_addr)]
+        base = base_word(line_addr)
+        ctx.l2_prof.on_use_line(home, base)
+        core = req.core
+        l1_entries = ctx.l1_prof.arrivals_line(core, base)
         insts = list(entry.mem_inst)
         state = L1_E if grant_e else L1_S
-        ctx.send_data(
-            T.LD, T.DEST_L1, home, req.core, t, l1_entries,
-            lambda tt: self._l1_load_fill(req, state, insts, home, tt,
-                                          from_memory=False))
+        self._send_data(
+            T.LD, T.DEST_L1, home, core, t, l1_entries,
+            self._l1_load_fill, req, state, insts, home, False)
 
     def _dir_gets_fwd(self, req: LoadRequest, entry: MesiL2Line, home: int,
                       t: int) -> None:
         """Line exclusively owned: forward the request to the owner."""
-        ctx = self.ctx
-        owner = entry.owner
         entry.busy = True
+        self._send_req_ctl(T.LD, home, entry.owner, t,
+                           self._gets_at_owner, req, entry, entry.owner,
+                           home)
+
+    def _gets_at_owner(self, req: LoadRequest, entry: MesiL2Line,
+                       owner: int, home: int, tt: int) -> None:
+        ctx = self.ctx
         line_addr = entry.line_addr
-
-        def at_owner(tt: int) -> None:
-            oline = self.l1[owner].lookup(line_addr)
-            if oline is None or oline.state not in (L1_E, L1_M):
-                # Owner raced an eviction; its writeback will settle the
-                # directory.  NACK the requestor to retry.
-                self._nack(T.LD, owner, req.core, tt,
-                           lambda t3: self._retry_gets(req, t3))
-                self._clear_busy(entry)
-                return
-            was_m = oline.state == L1_M
-            oline.state = L1_S
-            l1_entries = [ctx.l1_prof.on_arrival(req.core, w, False)
-                          for w in words_of_line(line_addr)]
-            insts = list(oline.mem_inst)
-            ctx.send_data(
-                T.LD, T.DEST_L1, owner, req.core, tt, l1_entries,
-                lambda t3: self._l1_load_fill(req, L1_S, insts, home, t3,
-                                              from_memory=False))
-            if was_m:
-                written = tuple(i for i, d in enumerate(oline.word_dirty)
-                                if d)
-                ctx.send_wb(owner, home, tt,
-                            self._wb_l1_flags(oline.word_dirty), T.DEST_L2,
-                            lambda t3: self._dir_downgrade_data(
-                                entry, owner, req.core, written, t3))
-            else:
-                ctx.send_overhead(
-                    T.OVH_ACK, owner, home, tt,
-                    lambda t3: self._dir_downgrade_clean(
-                        entry, owner, req.core, t3))
-
-        ctx.send_req_ctl(T.LD, home, owner, t, at_owner)
+        oline = self.l1[owner].lookup(line_addr)
+        if oline is None or oline.state not in (L1_E, L1_M):
+            # Owner raced an eviction; its writeback will settle the
+            # directory.  NACK the requestor to retry.
+            self._nack(T.LD, owner, req.core, tt, self._retry_gets, req)
+            self._clear_busy(entry)
+            return
+        was_m = oline.state == L1_M
+        oline.state = L1_S
+        core = req.core
+        l1_entries = ctx.l1_prof.arrivals_line(core, base_word(line_addr))
+        insts = list(oline.mem_inst)
+        self._send_data(
+            T.LD, T.DEST_L1, owner, core, tt, l1_entries,
+            self._l1_load_fill, req, L1_S, insts, home, False)
+        if was_m:
+            written = tuple(i for i, d in enumerate(oline.word_dirty) if d)
+            self._send_wb(owner, home, tt,
+                          self._wb_l1_flags(oline.word_dirty), T.DEST_L2,
+                          self._dir_downgrade_data, entry, owner, core,
+                          written)
+        else:
+            self._send_overhead(
+                T.OVH_ACK, owner, home, tt,
+                self._dir_downgrade_clean, entry, owner, core)
 
     def _dir_downgrade_data(self, entry: MesiL2Line, owner: int,
                             requestor: int, written: Tuple[int, ...],
                             t: int) -> None:
+        ctx = self.ctx
+        home = self._home_tile(entry.line_addr)
+        base = base_word(entry.line_addr)
+        l2_on_write = ctx.l2_prof.on_write
+        word_dirty = entry.word_dirty
         for off in written:
-            entry.word_dirty[off] = True
-            self.ctx.l2_prof.on_write(self.ctx.home_tile(entry.line_addr),
-                                      base_word(entry.line_addr) + off)
+            word_dirty[off] = True
+            l2_on_write(home, base + off)
         entry.l2_dirty = True
         self._dir_downgrade_clean(entry, owner, requestor, t)
 
@@ -355,16 +362,16 @@ class MesiSystem(CoherenceKernel):
     # Directory: GETX / Upgrade (stores)
     # ------------------------------------------------------------------
 
-    def _dir_getx(self, req: StoreRequest, arrive: int,
-                  upgrade: bool) -> None:
+    def _dir_getx(self, req: StoreRequest, upgrade: bool,
+                  arrive: int) -> None:
         ctx = self.ctx
         line_addr = req.line_addr
-        home = ctx.home_tile(line_addr)
+        home = self._home_tile(line_addr)
         t = ctx.l2_service_time(home, arrive)
         entry = self.l2[home].lookup(line_addr)
         if entry is not None and entry.busy:
             entry.waiters.append(
-                lambda tt: self._dir_getx(req, tt, upgrade))
+                lambda tt: self._dir_getx(req, upgrade, tt))
             return
         if entry is None or not entry.has_data and entry.owner is None:
             self._dir_miss_to_memory_store(req, line_addr, home, t)
@@ -385,24 +392,23 @@ class MesiSystem(CoherenceKernel):
 
         if upgrade and still_sharer:
             # Data-less grant; requestor already has the line in S.
-            ctx.send_resp_ctl(
+            self._send_resp_ctl(
                 T.ST, home, req.core, t,
-                lambda tt: self._l1_store_grant(req, home, tt, acks_needed,
-                                                data_entries=None,
-                                                insts=None))
+                self._l1_store_grant, req, home, acks_needed, None, None,
+                False)
         else:
-            for word in words_of_line(line_addr):
-                ctx.l2_prof.on_use(home, word)
-            l1_entries = [ctx.l1_prof.on_arrival(req.core, w, False)
-                          for w in words_of_line(line_addr)]
+            base = base_word(line_addr)
+            ctx.l2_prof.on_use_line(home, base)
+            core = req.core
+            l1_entries = ctx.l1_prof.arrivals_line(core, base)
             insts = list(entry.mem_inst)
-            ctx.send_data(
-                T.ST, T.DEST_L1, home, req.core, t, l1_entries,
-                lambda tt: self._l1_store_grant(req, home, tt, acks_needed,
-                                                data_entries=l1_entries,
-                                                insts=insts))
+            self._send_data(
+                T.ST, T.DEST_L1, home, core, t, l1_entries,
+                self._l1_store_grant, req, home, acks_needed, l1_entries,
+                insts, False)
 
-    def _retry_getx(self, req: StoreRequest, at: int, upgrade: bool) -> None:
+    def _retry_getx(self, req: StoreRequest, upgrade: bool,
+                    at: int) -> None:
         req.retries += 1
         # Re-evaluate upgrade vs full GETX: the line may have been
         # invalidated under us while we were NACKed.
@@ -410,59 +416,57 @@ class MesiSystem(CoherenceKernel):
         still_upgrade = (upgrade and line is not None
                          and line.state == L1_S)
         self._send_req_ctl(
-            T.ST, req.core, self.ctx.home_tile(req.line_addr),
+            T.ST, req.core, self._home_tile(req.line_addr),
             at + NACK_RETRY_DELAY,
-            lambda t: self._dir_getx(req, t, still_upgrade))
+            self._dir_getx, req, still_upgrade)
 
     def _dir_getx_fwd(self, req: StoreRequest, entry: MesiL2Line, home: int,
                       t: int) -> None:
-        ctx = self.ctx
-        owner = entry.owner
-        line_addr = entry.line_addr
         entry.busy = True
+        self._send_req_ctl(T.ST, home, entry.owner, t,
+                           self._getx_at_owner, req, entry, entry.owner,
+                           home)
 
-        def at_owner(tt: int) -> None:
-            oline = self.l1[owner].lookup(line_addr, touch=False)
-            if oline is None or oline.state not in (L1_E, L1_M):
-                self._nack(T.ST, owner, req.core, tt,
-                           lambda t3: self._retry_getx(req, t3, False))
-                self._clear_busy(entry)
-                return
-            l1_entries = [ctx.l1_prof.on_arrival(req.core, w, False)
-                          for w in words_of_line(line_addr)]
-            insts = list(oline.mem_inst)
-            self._invalidate_l1_copy(owner, oline)
-            self.l1[owner].remove(line_addr)
-            entry.owner = req.core
-            entry.sharers = {req.core}
-            entry.dir_state = DIR_EXCL
-            ctx.send_data(
-                T.ST, T.DEST_L1, owner, req.core, tt, l1_entries,
-                lambda t3: self._l1_store_grant(req, home, t3, 0,
-                                                data_entries=l1_entries,
-                                                insts=insts))
-
-        ctx.send_req_ctl(T.ST, home, owner, t, at_owner)
+    def _getx_at_owner(self, req: StoreRequest, entry: MesiL2Line,
+                       owner: int, home: int, tt: int) -> None:
+        ctx = self.ctx
+        line_addr = entry.line_addr
+        oline = self.l1[owner].lookup(line_addr, touch=False)
+        if oline is None or oline.state not in (L1_E, L1_M):
+            self._nack(T.ST, owner, req.core, tt,
+                       self._retry_getx, req, False)
+            self._clear_busy(entry)
+            return
+        core = req.core
+        l1_entries = ctx.l1_prof.arrivals_line(core, base_word(line_addr))
+        insts = list(oline.mem_inst)
+        self._invalidate_l1_copy(owner, oline)
+        self.l1[owner].remove(line_addr)
+        entry.owner = core
+        entry.sharers = {core}
+        entry.dir_state = DIR_EXCL
+        self._send_data(
+            T.ST, T.DEST_L1, owner, core, tt, l1_entries,
+            self._l1_store_grant, req, home, 0, l1_entries, insts, False)
 
     def _send_invalidation_for(self, line_addr: int, home: int, sharer: int,
                                requestor: int, t: int) -> None:
-        ctx = self.ctx
+        self._send_overhead(T.OVH_INVAL, home, sharer, t,
+                            self._invalidate_at_sharer, line_addr, sharer,
+                            requestor)
 
-        def handler(tt: int) -> None:
-            line = self.l1[sharer].lookup(line_addr, touch=False)
-            if line is not None and line.state != L1_PENDING:
-                self._invalidate_l1_copy(sharer, line)
-                self.l1[sharer].remove(line_addr)
-            ctx.send_overhead(T.OVH_ACK, sharer, requestor, tt)
-
-        ctx.send_overhead(T.OVH_INVAL, home, sharer, t, handler)
+    def _invalidate_at_sharer(self, line_addr: int, sharer: int,
+                              requestor: int, tt: int) -> None:
+        line = self.l1[sharer].lookup(line_addr, touch=False)
+        if line is not None and line.state != L1_PENDING:
+            self._invalidate_l1_copy(sharer, line)
+            self.l1[sharer].remove(line_addr)
+        self._send_overhead(T.OVH_ACK, sharer, requestor, tt)
 
     def _invalidate_l1_copy(self, core: int, line: MesiL1Line) -> None:
-        for word in words_of_line(line.line_addr):
-            self.ctx.l1_prof.on_invalidate(core, word)
-        for inst in line.mem_inst:
-            if inst is not None:
-                self.ctx.mem_prof.drop_copy(inst, invalidated=True)
+        ctx = self.ctx
+        ctx.l1_prof.on_invalidate_line(core, base_word(line.line_addr))
+        ctx.mem_prof.drop_copies(line.mem_inst, invalidated=True)
 
     # ------------------------------------------------------------------
     # Memory path
@@ -476,51 +480,52 @@ class MesiSystem(CoherenceKernel):
         entry.busy = True
         req.went_to_memory = True
         mc = ctx.mc_tile(line_addr)
-        ctx.send_req_ctl(major, home, mc, t,
-                         lambda tt: self._mc_read(req, entry, home, mc, tt))
+        self._send_req_ctl(major, home, mc, t,
+                           self._mc_read, req, entry, home, mc)
 
     def _mc_read(self, req: LoadRequest, entry: MesiL2Line, home: int,
                  mc: int, arrive: int) -> None:
-        ctx = self.ctx
         req.t_arrive_mc = arrive
         line_addr = entry.line_addr
+        self.ctx.dram_for(line_addr).read(
+            line_addr, self._load_dram_done, req, entry, home, mc)
 
-        def dram_done(t: int) -> None:
-            req.t_leave_mc = t
-            insts = [ctx.mem_prof.fetch(w, l2_has_addr=False)
-                     for w in words_of_line(line_addr)]
-            if self.mem_to_l1:
-                self._mc_respond_direct_l1(req, entry, home, mc, t, insts)
-            else:
-                self._mc_respond_via_l2(req, entry, home, mc, t, insts)
-
-        ctx.dram_for(line_addr).read(line_addr, dram_done)
+    def _load_dram_done(self, req: LoadRequest, entry: MesiL2Line,
+                        home: int, mc: int, t: int) -> None:
+        req.t_leave_mc = t
+        insts = self.ctx.mem_prof.fetch_line(base_word(entry.line_addr))
+        if self.mem_to_l1:
+            self._mc_respond_direct_l1(req, entry, home, mc, t, insts)
+        else:
+            self._mc_respond_via_l2(req, entry, home, mc, t, insts)
 
     def _mc_respond_via_l2(self, req: LoadRequest, entry: MesiL2Line,
                            home: int, mc: int, t: int, insts: List) -> None:
         """Baseline MESI: memory -> L2 -> L1."""
         ctx = self.ctx
         line_addr = entry.line_addr
-        l2_entries = [ctx.l2_prof.on_arrival(home, w, False)
-                      for w in words_of_line(line_addr)]
+        l2_entries = ctx.l2_prof.arrivals_line(home, base_word(line_addr))
+        self._send_data(T.LD, T.DEST_L2, mc, home, t, l2_entries,
+                        self._load_at_l2, req, entry, home, insts)
 
-        def at_l2(tt: int) -> None:
-            self._fill_l2_data(entry, home, insts)
-            l1_entries = [ctx.l1_prof.on_arrival(req.core, w, False)
-                          for w in words_of_line(line_addr)]
-            grant_e = not entry.sharers
-            if grant_e:
-                entry.dir_state = DIR_EXCL
-                entry.owner = req.core
-                self.stat_e_grants += 1
-            entry.sharers.add(req.core)
-            state = L1_E if grant_e else L1_S
-            ctx.send_data(
-                T.LD, T.DEST_L1, home, req.core, tt, l1_entries,
-                lambda t3: self._l1_load_fill(req, state, list(entry.mem_inst),
-                                              home, t3, from_memory=True))
-
-        ctx.send_data(T.LD, T.DEST_L2, mc, home, t, l2_entries, at_l2)
+    def _load_at_l2(self, req: LoadRequest, entry: MesiL2Line, home: int,
+                    insts: List, tt: int) -> None:
+        ctx = self.ctx
+        line_addr = entry.line_addr
+        self._fill_l2_data(entry, home, insts)
+        core = req.core
+        l1_entries = ctx.l1_prof.arrivals_line(core, base_word(line_addr))
+        grant_e = not entry.sharers
+        if grant_e:
+            entry.dir_state = DIR_EXCL
+            entry.owner = core
+            self.stat_e_grants += 1
+        entry.sharers.add(core)
+        state = L1_E if grant_e else L1_S
+        self._send_data(
+            T.LD, T.DEST_L1, home, core, tt, l1_entries,
+            self._l1_load_fill, req, state, list(entry.mem_inst), home,
+            True)
 
     def _mc_respond_direct_l1(self, req: LoadRequest, entry: MesiL2Line,
                               home: int, mc: int, t: int,
@@ -528,32 +533,36 @@ class MesiSystem(CoherenceKernel):
         """MMemL1: memory -> L1, then unblock+data L1 -> L2."""
         ctx = self.ctx
         line_addr = entry.line_addr
-        l1_entries = [ctx.l1_prof.on_arrival(req.core, w, False)
-                      for w in words_of_line(line_addr)]
+        core = req.core
+        l1_entries = ctx.l1_prof.arrivals_line(core, base_word(line_addr))
         grant_e = not entry.sharers
         if grant_e:
             entry.dir_state = DIR_EXCL
-            entry.owner = req.core
+            entry.owner = core
             self.stat_e_grants += 1
-        entry.sharers.add(req.core)
+        entry.sharers.add(core)
         state = L1_E if grant_e else L1_S
+        self._send_data(T.LD, T.DEST_L1, mc, core, t, l1_entries,
+                        self._load_direct_at_l1, req, entry, home, state,
+                        insts)
 
-        def at_l1(tt: int) -> None:
-            self._install_l1_fill(req.core, line_addr, state, insts)
-            self._complete_load(req, tt)
-            # Combined unblock+data carries the line to the inclusive L2;
-            # profiled as load traffic (paper Section 3.3).
-            l2_entries = [ctx.l2_prof.on_arrival(home, w, False)
-                          for w in words_of_line(line_addr)]
+    def _load_direct_at_l1(self, req: LoadRequest, entry: MesiL2Line,
+                           home: int, state: int, insts: List,
+                           tt: int) -> None:
+        ctx = self.ctx
+        line_addr = entry.line_addr
+        self._install_l1_fill(req.core, line_addr, state, insts)
+        self._complete_load(req, tt)
+        # Combined unblock+data carries the line to the inclusive L2;
+        # profiled as load traffic (paper Section 3.3).
+        l2_entries = ctx.l2_prof.arrivals_line(home, base_word(line_addr))
+        self._send_data(T.LD, T.DEST_L2, req.core, home, tt, l2_entries,
+                        self._direct_fill_at_l2, entry, home, insts)
 
-            def at_l2(t3: int) -> None:
-                self._fill_l2_data(entry, home, insts)
-                self._clear_busy(entry)
-
-            ctx.send_data(T.LD, T.DEST_L2, req.core, home, tt, l2_entries,
-                          at_l2)
-
-        ctx.send_data(T.LD, T.DEST_L1, mc, req.core, t, l1_entries, at_l1)
+    def _direct_fill_at_l2(self, entry: MesiL2Line, home: int, insts: List,
+                           _t: int) -> None:
+        self._fill_l2_data(entry, home, insts)
+        self._clear_busy(entry)
 
     def _dir_miss_to_memory_store(self, req: StoreRequest, line_addr: int,
                                   home: int, t: int) -> None:
@@ -562,49 +571,53 @@ class MesiSystem(CoherenceKernel):
         entry.busy = True
         req.went_to_memory = True
         mc = ctx.mc_tile(line_addr)
+        self._send_req_ctl(T.ST, home, mc, t,
+                           self._store_at_mc, req, entry, home, mc)
 
-        def at_mc(arrive: int) -> None:
-            def dram_done(tt: int) -> None:
-                insts = [ctx.mem_prof.fetch(w, l2_has_addr=False)
-                         for w in words_of_line(line_addr)]
-                if self.mem_to_l1:
-                    # Write fill skips the L2 entirely: the writeback will
-                    # overwrite it (Section 3.3).
-                    l1_entries = [ctx.l1_prof.on_arrival(req.core, w, False)
-                                  for w in words_of_line(line_addr)]
-                    entry.dir_state = DIR_EXCL
-                    entry.owner = req.core
-                    entry.sharers = {req.core}
-                    entry.has_data = False
-                    ctx.send_data(
-                        T.ST, T.DEST_L1, mc, req.core, tt, l1_entries,
-                        lambda t3: self._l1_store_grant(
-                            req, home, t3, 0, data_entries=l1_entries,
-                            insts=insts, unblock_ctl_only=True))
-                else:
-                    l2_entries = [ctx.l2_prof.on_arrival(home, w, False)
-                                  for w in words_of_line(line_addr)]
+    def _store_at_mc(self, req: StoreRequest, entry: MesiL2Line, home: int,
+                     mc: int, arrive: int) -> None:
+        line_addr = entry.line_addr
+        self.ctx.dram_for(line_addr).read(
+            line_addr, self._store_dram_done, req, entry, home, mc)
 
-                    def at_l2(t3: int) -> None:
-                        self._fill_l2_data(entry, home, insts)
-                        entry.dir_state = DIR_EXCL
-                        entry.owner = req.core
-                        entry.sharers = {req.core}
-                        l1_entries = [
-                            ctx.l1_prof.on_arrival(req.core, w, False)
-                            for w in words_of_line(line_addr)]
-                        ctx.send_data(
-                            T.ST, T.DEST_L1, home, req.core, t3, l1_entries,
-                            lambda t4: self._l1_store_grant(
-                                req, home, t4, 0, data_entries=l1_entries,
-                                insts=list(entry.mem_inst)))
+    def _store_dram_done(self, req: StoreRequest, entry: MesiL2Line,
+                         home: int, mc: int, tt: int) -> None:
+        ctx = self.ctx
+        line_addr = entry.line_addr
+        base = base_word(line_addr)
+        insts = ctx.mem_prof.fetch_line(base)
+        if self.mem_to_l1:
+            # Write fill skips the L2 entirely: the writeback will
+            # overwrite it (Section 3.3).
+            core = req.core
+            l1_entries = ctx.l1_prof.arrivals_line(core, base)
+            entry.dir_state = DIR_EXCL
+            entry.owner = core
+            entry.sharers = {core}
+            entry.has_data = False
+            self._send_data(
+                T.ST, T.DEST_L1, mc, core, tt, l1_entries,
+                self._l1_store_grant, req, home, 0, l1_entries, insts,
+                True)
+        else:
+            l2_entries = ctx.l2_prof.arrivals_line(home, base)
+            self._send_data(T.ST, T.DEST_L2, mc, home, tt, l2_entries,
+                            self._store_at_l2, req, entry, home, insts)
 
-                    ctx.send_data(T.ST, T.DEST_L2, mc, home, tt, l2_entries,
-                                  at_l2)
-
-            ctx.dram_for(line_addr).read(line_addr, dram_done)
-
-        ctx.send_req_ctl(T.ST, home, mc, t, at_mc)
+    def _store_at_l2(self, req: StoreRequest, entry: MesiL2Line, home: int,
+                     insts: List, t3: int) -> None:
+        ctx = self.ctx
+        line_addr = entry.line_addr
+        self._fill_l2_data(entry, home, insts)
+        core = req.core
+        entry.dir_state = DIR_EXCL
+        entry.owner = core
+        entry.sharers = {core}
+        l1_entries = ctx.l1_prof.arrivals_line(core, base_word(line_addr))
+        self._send_data(
+            T.ST, T.DEST_L1, home, core, t3, l1_entries,
+            self._l1_store_grant, req, home, 0, l1_entries,
+            list(entry.mem_inst), False)
 
     # ------------------------------------------------------------------
     # L1 fill / completion
@@ -615,30 +628,28 @@ class MesiSystem(CoherenceKernel):
         line = self._allocate_l1(core, line_addr)
         line.reset_words()
         line.state = state
-        for off, inst in enumerate(insts):
-            line.mem_inst[off] = inst
-            if inst is not None:
-                self.ctx.mem_prof.install_copy(inst)
+        line.mem_inst[:] = insts
+        self.ctx.mem_prof.install_copies(insts)
 
     def _l1_load_fill(self, req: LoadRequest, state: int, insts: List,
-                      home: int, t: int, from_memory: bool) -> None:
+                      home: int, from_memory: bool, t: int) -> None:
         line_addr = line_of(req.addr)
         self._install_l1_fill(req.core, line_addr, state, insts)
         self._complete_load(req, t)
         # Directory unblock (overhead traffic).
-        self.ctx.send_overhead(
+        self._send_overhead(
             T.OVH_UNBLOCK, req.core, home, t,
-            lambda tt: self._dir_unblock(home, line_addr))
+            self._dir_unblock, home, line_addr)
 
     def _clear_busy(self, entry: MesiL2Line) -> None:
         """End a transition: release the line and replay one held request."""
         entry.busy = False
         if entry.waiters:
             waiter = entry.waiters.pop(0)
-            now = self.ctx.queue.now
-            self.ctx.queue.schedule(now + 1, lambda: waiter(now + 1))
+            now = self._queue.now
+            self._schedule_call(now + 1, waiter, now + 1)
 
-    def _dir_unblock(self, home: int, line_addr: int) -> None:
+    def _dir_unblock(self, home: int, line_addr: int, _t: int = 0) -> None:
         entry = self.l2[home].lookup(line_addr, touch=False)
         if entry is not None:
             self._clear_busy(entry)
@@ -653,9 +664,9 @@ class MesiSystem(CoherenceKernel):
         req.on_done(t + 1, req)
         self._wake_line_waiters(core, line_addr, t + 1)
 
-    def _l1_store_grant(self, req: StoreRequest, home: int, t: int,
+    def _l1_store_grant(self, req: StoreRequest, home: int,
                         acks_needed: int, data_entries, insts,
-                        unblock_ctl_only: bool = False) -> None:
+                        unblock_ctl_only: bool, t: int) -> None:
         """Data/grant arrived at the L1; finish the store transaction."""
         core = req.core
         line_addr = req.line_addr
@@ -679,18 +690,21 @@ class MesiSystem(CoherenceKernel):
         self.sbuf[core].retire(line_addr)
         self._protected[core].discard(line_addr)
         # Unblock the directory.
-        self.ctx.send_overhead(
+        self._send_overhead(
             T.OVH_UNBLOCK, core, home, t,
-            lambda tt: self._dir_unblock(home, line_addr))
+            self._dir_unblock, home, line_addr)
         self._wake_line_waiters(core, line_addr, t + 1)
         self._fire_retire_hooks(core, t + 1)
 
     def _wake_line_waiters(self, core: int, line_addr: int, t: int) -> None:
         waiters = self._load_waiters[core].pop(line_addr, None)
         if waiters:
+            queue = self._queue
+            now = queue.now
+            when = t if t >= now else now
+            schedule_call = queue.schedule_call
             for resume in waiters:
-                self.ctx.queue.schedule(max(t, self.ctx.queue.now),
-                                        lambda r=resume, tt=t: r(tt))
+                schedule_call(when, resume, t)
 
     # ------------------------------------------------------------------
     # L2 allocation / eviction / writebacks
@@ -737,8 +751,9 @@ class MesiSystem(CoherenceKernel):
         # re-dispatch against the (now absent) line and miss to memory.
         if entry.waiters:
             waiters, entry.waiters = entry.waiters, []
+            schedule_call = self._schedule_call
             for waiter in waiters:
-                ctx.queue.schedule(at + 1, lambda w=waiter: w(at + 1))
+                schedule_call(at + 1, waiter, at + 1)
         # Recall every L1 copy (invalidation + ack overhead); M data comes
         # back as writeback traffic.
         holders = set(entry.sharers)
@@ -746,52 +761,49 @@ class MesiSystem(CoherenceKernel):
             holders.add(entry.owner)
         for holder in holders:
             line = self.l1[holder].lookup(line_addr, touch=False)
-            ctx.send_overhead(T.OVH_INVAL, home, holder, at)
+            self._send_overhead(T.OVH_INVAL, home, holder, at)
             if line is not None and line.state != L1_PENDING:
                 if line.state == L1_M:
                     for off, d in enumerate(line.word_dirty):
                         if d:
                             entry.word_dirty[off] = True
                     entry.l2_dirty = True
-                    ctx.send_wb(holder, home, at,
-                                self._wb_l1_flags(line.word_dirty),
-                                T.DEST_L2, lambda t: None)
+                    self._send_wb(holder, home, at,
+                                  self._wb_l1_flags(line.word_dirty),
+                                  T.DEST_L2, self._ignore)
                 else:
-                    ctx.send_overhead(T.OVH_ACK, holder, home, at)
+                    self._send_overhead(T.OVH_ACK, holder, home, at)
                 self._invalidate_l1_copy(holder, line)
                 self.l1[holder].remove(line_addr)
             else:
-                ctx.send_overhead(T.OVH_ACK, holder, home, at)
+                self._send_overhead(T.OVH_ACK, holder, home, at)
         # Profile L2 eviction.
-        for word in words_of_line(line_addr):
-            ctx.l2_prof.on_evict(home, word)
-        for inst in entry.mem_inst:
-            if inst is not None:
-                ctx.mem_prof.drop_copy(inst, invalidated=False)
+        ctx.l2_prof.on_evict_line(home, base_word(line_addr))
+        ctx.mem_prof.drop_copies(entry.mem_inst, invalidated=False)
         if entry.l2_dirty and entry.has_data:
             mc = ctx.mc_tile(line_addr)
             flags = self.policies.writeback.l2_flags(entry.word_dirty)
-            ctx.send_wb(home, mc, at, flags, T.DEST_MEM,
-                        lambda t, la=line_addr: ctx.dram_for(la).write(la))
+            self._send_wb(home, mc, at, flags, T.DEST_MEM,
+                          self._wb_to_dram, line_addr)
 
     def _fill_l2_data(self, entry: MesiL2Line, home: int,
                       insts: List) -> None:
         entry.has_data = True
-        for off, inst in enumerate(insts):
-            entry.mem_inst[off] = inst
-            if inst is not None:
-                self.ctx.mem_prof.install_copy(inst)
+        entry.mem_inst[:] = insts
+        self.ctx.mem_prof.install_copies(insts)
 
     def _dir_dirty_wb(self, line_addr: int, core: int,
                       written: Tuple[int, ...], t: int) -> None:
         """A PUTX with data arrived at the directory."""
         ctx = self.ctx
-        home = ctx.home_tile(line_addr)
+        home = self._home_tile(line_addr)
         entry = self.l2[home].lookup(line_addr, touch=False)
         if entry is not None:
+            base = base_word(line_addr)
+            l2_on_write = ctx.l2_prof.on_write
             for off in written:
                 entry.word_dirty[off] = True
-                ctx.l2_prof.on_write(home, base_word(line_addr) + off)
+                l2_on_write(home, base + off)
             entry.l2_dirty = True
             entry.has_data = True
             if entry.owner == core:
@@ -806,20 +818,19 @@ class MesiSystem(CoherenceKernel):
         ctx.mesh.count_packet(hops)
 
     def _dir_clean_wb(self, line_addr: int, core: int, t: int) -> None:
-        ctx = self.ctx
-        home = ctx.home_tile(line_addr)
+        home = self._home_tile(line_addr)
         entry = self.l2[home].lookup(line_addr, touch=False)
         if entry is not None:
             if entry.owner == core:
                 entry.owner = None
                 entry.dir_state = DIR_IDLE
             entry.sharers.discard(core)
-        ctx.send_overhead(T.OVH_WB_CTL, home, core, t)
+        self._send_overhead(T.OVH_WB_CTL, home, core, t)
 
     def _nack(self, major: str, src: int, dst: int, t: int,
-              retry: Callable[[int], None]) -> None:
+              retry: Callable, *args) -> None:
         self.stat_nacks += 1
-        self.ctx.send_overhead(T.OVH_NACK, src, dst, t, retry)
+        self._send_overhead(T.OVH_NACK, src, dst, t, retry, *args)
 
     # ------------------------------------------------------------------
     # Barrier hook (MESI has no barrier-time protocol work)

@@ -7,18 +7,24 @@ helpers so flit-hop accounting and latency stay consistent with the
 paper's methodology (Section 5.2): control flits are one flit; data
 payloads are charged per word with unfilled tail-flit slack credited to
 response control.
+
+The helpers are closure-free: each takes ``handler, *args`` and hands
+them straight to :meth:`EventQueue.schedule_call`, which invokes
+``handler(*args, arrive_time)`` — the arrival time is always the last
+argument.  Callers pass bound methods plus their state instead of
+allocating a lambda per message, which keeps the per-event cost flat on
+the hottest loop in the simulator.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.common.config import ProtocolConfig, SystemConfig
 from repro.common.regions import RegionTable
-from repro.dram.model import DramChannel
+from repro.dram.model import LINES_PER_ROW, DramChannel
 from repro.engine.events import Barrier, EventQueue
-from repro.network import traffic as T
 from repro.network.mesh import Mesh
 from repro.network.traffic import TrafficLedger
 from repro.waste.profiler import CacheLevelProfiler, MemoryProfiler
@@ -77,13 +83,40 @@ class SimContext:
         self.mc_tiles = config.mc_placement()
         self.drams: Dict[int, DramChannel] = {
             tile: DramChannel(config, self.queue) for tile in self.mc_tiles}
-        self._l2_free: Dict[int, int] = {t: 0 for t in range(config.num_tiles)}
+        self._l2_free: List[int] = [0] * config.num_tiles
         self.barrier: Optional[Barrier] = None   # wired by System
+        # -- precomputed placement tables -------------------------------
+        # home_tile is line_addr % num_tiles; mc_tile is periodic in the
+        # line address with period LINES_PER_ROW * num_controllers, so
+        # both collapse to one modulo plus (for mc) one table index.
+        self._num_tiles = config.num_tiles
+        self._mc_period = LINES_PER_ROW * len(self.mc_tiles)
+        self._mc_table = [
+            self.mc_tiles[(i // LINES_PER_ROW) % len(self.mc_tiles)]
+            for i in range(self._mc_period)]
+        self._dram_table = [self.drams[t] for t in self._mc_table]
+        # -- hot-path bindings ------------------------------------------
+        # The mesh, queue and their methods live for the whole run; the
+        # ledger is swapped by reset_stats(), which rebinds.
+        self._hops = self.mesh.hops
+        self._latency = self.mesh.latency
+        self._traverse = self.mesh.traverse
+        self._schedule_call = self.queue.schedule_call
+        self._bind_ledger()
+
+    def _bind_ledger(self) -> None:
+        ledger = self.ledger
+        self._add_request_ctl = ledger.add_request_ctl
+        self._add_response_ctl = ledger.add_response_ctl
+        self._add_data_words = ledger.add_data_words
+        self._add_wb_control = ledger.add_wb_control
+        self._add_wb_data_words = ledger.add_wb_data_words
+        self._add_overhead = ledger.add_overhead
 
     # -- placement ------------------------------------------------------
     def home_tile(self, line_addr: int) -> int:
         """L2 slice owning ``line_addr`` (line-interleaved)."""
-        return line_addr % self.config.num_tiles
+        return line_addr % self._num_tiles
 
     def mc_tile(self, line_addr: int) -> int:
         """Memory controller owning ``line_addr``.
@@ -92,80 +125,79 @@ class SimContext:
         behind one controller — the L2-Flex optimization prefetches only
         same-row lines, which must share a controller.
         """
-        from repro.dram.model import LINES_PER_ROW
-        return self.mc_tiles[(line_addr // LINES_PER_ROW)
-                             % len(self.mc_tiles)]
+        return self._mc_table[line_addr % self._mc_period]
 
     def dram_for(self, line_addr: int) -> DramChannel:
-        return self.drams[self.mc_tile(line_addr)]
+        return self._dram_table[line_addr % self._mc_period]
 
     # -- L2 slice serialization --------------------------------------------
     def l2_service_time(self, tile: int, arrival: int) -> int:
         """When the slice can start handling a request arriving at ``arrival``."""
-        start = max(arrival, self._l2_free[tile])
-        self._l2_free[tile] = start + L2_OCCUPANCY
+        l2_free = self._l2_free
+        free = l2_free[tile]
+        start = arrival if arrival >= free else free
+        l2_free[tile] = start + L2_OCCUPANCY
         return start + L2_ACCESS_LATENCY
 
     # -- message helpers ----------------------------------------------------
-    # Each returns the arrival time of the message at its destination.
+    # Each returns the arrival time of the message at its destination
+    # and schedules ``handler(*args, arrive)``.
 
     def send_req_ctl(self, major: str, src: int, dst: int, at: int,
-                     handler: Callable[[int], None]) -> int:
+                     handler: Callable, *args) -> int:
         """One-control-flit request (GETS/GETX/registration/memory req)."""
-        hops = self.mesh.hops(src, dst)
-        self.ledger.add_request_ctl(major, hops)
-        arrive = at + self.mesh.latency(src, dst, 1, at)
-        self.queue.schedule(arrive, lambda: handler(arrive))
+        hops, delay = self._traverse(src, dst, 1, at)
+        self._add_request_ctl(major, hops)
+        arrive = at + delay
+        self._schedule_call(arrive, handler, *args, arrive)
         return arrive
 
     def send_resp_ctl(self, major: str, src: int, dst: int, at: int,
-                      handler: Callable[[int], None]) -> int:
+                      handler: Callable, *args) -> int:
         """One-control-flit response (ack/grant)."""
-        hops = self.mesh.hops(src, dst)
-        self.ledger.add_response_ctl(major, hops)
-        arrive = at + self.mesh.latency(src, dst, 1, at)
-        self.queue.schedule(arrive, lambda: handler(arrive))
+        hops, delay = self._traverse(src, dst, 1, at)
+        self._add_response_ctl(major, hops)
+        arrive = at + delay
+        self._schedule_call(arrive, handler, *args, arrive)
         return arrive
 
     def send_data(self, major: str, dest_level: str, src: int, dst: int,
                   at: int, entries: List[object],
-                  handler: Callable[[int], None]) -> int:
+                  handler: Callable, *args) -> int:
         """Response carrying ``len(entries)`` data words plus a header flit.
 
         ``entries`` are waste-profiler entries for the delivered words (at
         the destination level); their verdicts decide Used vs Waste at
         finalize time.
         """
-        hops = self.mesh.hops(src, dst)
-        self.ledger.add_response_ctl(major, hops)  # header flit
-        data_flits = self.ledger.add_data_words(major, dest_level, hops,
-                                                entries)
+        hops = self._hops(src, dst)
+        self._add_response_ctl(major, hops)  # header flit
+        data_flits = self._add_data_words(major, dest_level, hops, entries)
         total_flits = 1 + int(data_flits)
-        arrive = at + self.mesh.latency(src, dst, total_flits, at)
-        self.queue.schedule(arrive, lambda: handler(arrive))
+        arrive = at + self._latency(src, dst, total_flits, at)
+        self._schedule_call(arrive, handler, *args, arrive)
         return arrive
 
     def send_wb(self, src: int, dst: int, at: int, dirty_flags: List[bool],
-                dest_level: str, handler: Callable[[int], None]) -> int:
+                dest_level: str, handler: Callable, *args) -> int:
         """Writeback message: control flit + data words flagged dirty/clean."""
-        hops = self.mesh.hops(src, dst)
-        self.ledger.add_wb_control(hops)  # header flit
-        data_flits = self.ledger.add_wb_data_words(dest_level, hops,
-                                                   dirty_flags)
+        hops = self._hops(src, dst)
+        self._add_wb_control(hops)  # header flit
+        data_flits = self._add_wb_data_words(dest_level, hops, dirty_flags)
         total_flits = 1 + int(data_flits)
-        arrive = at + self.mesh.latency(src, dst, total_flits, at)
-        self.queue.schedule(arrive, lambda: handler(arrive))
+        arrive = at + self._latency(src, dst, total_flits, at)
+        self._schedule_call(arrive, handler, *args, arrive)
         return arrive
 
     def send_overhead(self, subtype: str, src: int, dst: int, at: int,
-                      handler: Optional[Callable[[int], None]] = None,
+                      handler: Optional[Callable] = None, *args,
                       flits: int = 1) -> int:
         """Coherence-overhead message (inv/ack/unblock/NACK/bloom)."""
-        hops = self.mesh.hops(src, dst)
-        self.ledger.add_overhead(subtype, hops, flits)
-        arrive = at + self.mesh.latency(src, dst, flits, at)
+        hops, delay = self._traverse(src, dst, flits, at)
+        self._add_overhead(subtype, hops, flits)
+        arrive = at + delay
         if handler is not None:
-            self.queue.schedule(arrive, lambda: handler(arrive))
+            self._schedule_call(arrive, handler, *args, arrive)
         return arrive
 
     # -- statistics reset (warm-up support) -------------------------------
@@ -178,6 +210,7 @@ class SimContext:
         the paper's measurement methodology intends.
         """
         self.ledger = TrafficLedger(self.config.words_per_flit)
+        self._bind_ledger()
         self.l1_prof = CacheLevelProfiler("L1")
         self.l2_prof = CacheLevelProfiler("L2")
         self.mem_prof = MemoryProfiler()

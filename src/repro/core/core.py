@@ -44,16 +44,20 @@ class Core:
         self._wait_start = 0
 
     def start(self, at: int = 0) -> None:
-        self.ctx.queue.schedule(at, lambda: self._run(at))
+        self.ctx.queue.schedule_call(at, self._run, at)
 
     # ------------------------------------------------------------------
 
     def _run(self, at: int) -> None:
         # The hottest loop in the simulator: bind the per-op lookups
-        # (trace, time stats, protocol entry points, trace length) to
-        # locals so each op skips repeated attribute chains.
+        # (trace, program counter, time stats, protocol entry points,
+        # trace length) to locals so each op skips repeated attribute
+        # chains; re-entry and continuations go through the closure-free
+        # scheduler (bound method + args, no lambda per yield).
         queue = self.ctx.queue
-        t = max(at, queue.now)
+        schedule_call = queue.schedule_call
+        now = queue.now
+        t = at if at >= now else now
         batch = 0
         trace = self.trace
         trace_len = len(trace)
@@ -61,55 +65,60 @@ class Core:
         core_id = self.core_id
         proto_load = self.proto.load
         proto_store = self.proto.store
-        while self.pc < trace_len:
-            kind, arg = trace[self.pc]
+        pc = self.pc
+        while pc < trace_len:
+            kind, arg = trace[pc]
             if kind == OP_COMPUTE:
                 time.busy += arg
                 t += arg
-                self.pc += 1
+                pc += 1
                 batch += 1
                 if arg > BATCH_LIMIT:
-                    queue.schedule(t, lambda tt=t: self._run(tt))
+                    self.pc = pc
+                    schedule_call(t, self._run, t)
                     return
             elif kind == OP_LOAD:
                 time.busy += 1
+                self.pc = pc
                 done = proto_load(core_id, arg, t, self._load_done)
                 if done is None:
                     self._wait_start = t
                     return
                 t = done
-                self.pc += 1
+                pc = self.pc = pc + 1
                 batch += 1
             elif kind == OP_STORE:
                 accepted = proto_store(core_id, arg, t)
                 if not accepted:
+                    self.pc = pc
                     self._wait_start = t
-                    self.proto.on_retire(
-                        core_id,
-                        lambda tt: self._store_stall_resume(tt))
+                    self.proto.on_retire(core_id, self._store_stall_resume)
                     return
                 time.busy += 1
                 t += 1
-                self.pc += 1
+                pc += 1
                 batch += 1
             elif kind == OP_BARRIER:
-                self.pc += 1
+                self.pc = pc + 1
                 self._wait_start = t
-                self.proto.drain_barrier(
-                    self.core_id, t,
-                    lambda td: self.barrier.arrive(self.core_id,
-                                                   self._barrier_release))
+                self.proto.drain_barrier(self.core_id, t, self._drain_done)
                 return
             else:
                 raise ValueError(f"unknown op kind {kind}")
             if batch >= BATCH_LIMIT:
-                queue.schedule(t, lambda tt=t: self._run(tt))
+                self.pc = pc
+                schedule_call(t, self._run, t)
                 return
+        self.pc = pc
         self.finished = True
         self.finish_time = t
         self.on_finish(self.core_id, t)
 
     # ------------------------------------------------------------------
+
+    def _drain_done(self, _t: int) -> None:
+        """Store drain finished: join the barrier."""
+        self.barrier.arrive(self.core_id, self._barrier_release)
 
     def _load_done(self, t: int, req: LoadRequest) -> None:
         stall = max(0, t - self._wait_start - 1)

@@ -13,8 +13,8 @@ memory controller after the read.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.config import SystemConfig
 from repro.engine.events import EventQueue
@@ -23,18 +23,19 @@ from repro.engine.events import EventQueue
 LINES_PER_ROW = 128
 
 
-@dataclass
+@dataclass(slots=True)
 class _Bank:
     open_row: Optional[int] = None
     busy_until: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Request:
     line_addr: int
     is_write: bool
     arrival: int
-    callback: Optional[Callable[[int], None]]
+    callback: Optional[Callable[..., None]]
+    args: Tuple
     seq: int
 
 
@@ -84,15 +85,20 @@ class DramChannel:
                 and self.row_of(line_a) == self.row_of(line_b))
 
     # -- public interface ----------------------------------------------------
-    def read(self, line_addr: int, callback: Callable[[int], None]) -> None:
-        """Read a line; ``callback(completion_time)`` fires when data is out."""
+    def read(self, line_addr: int, callback: Callable[..., None],
+             *args) -> None:
+        """Read a line; ``callback(*args, completion_time)`` fires when
+        the data is out (closure-free: pass a bound method plus its
+        state instead of capturing it in a lambda)."""
         self._enqueue(_Request(line_addr, False, self._queue.now, callback,
-                               self._next_seq()))
+                               args, self._next_seq()))
 
-    def write(self, line_addr: int, callback: Optional[Callable[[int], None]] = None) -> None:
+    def write(self, line_addr: int,
+              callback: Optional[Callable[..., None]] = None,
+              *args) -> None:
         """Write a (possibly word-masked) line; fire-and-forget by default."""
         self._enqueue(_Request(line_addr, True, self._queue.now, callback,
-                               self._next_seq()))
+                               args, self._next_seq()))
 
     @property
     def queue_depth(self) -> int:
@@ -124,26 +130,32 @@ class DramChannel:
         if self._dispatch_scheduled:
             return
         self._dispatch_scheduled = True
-        self._queue.schedule(max(when, self._queue.now), self._dispatch)
+        now = self._queue.now
+        self._queue.schedule_call(when if when >= now else now,
+                                  self._dispatch)
 
     def _dispatch(self) -> None:
         self._dispatch_scheduled = False
-        if not self._pending:
+        pending = self._pending
+        if not pending:
             return
         now = self._queue.now
         request = self._select(now)
         if request is None:
             # All needed banks busy; retry when the earliest one frees up.
-            wake = min(self._banks[self.bank_of(r.line_addr)].busy_until
-                       for r in self._pending)
+            banks = self._banks
+            num_banks = self._num_banks
+            wake = min(
+                banks[(r.line_addr // LINES_PER_ROW) % num_banks].busy_until
+                for r in pending)
             self._schedule_dispatch(max(wake, now + 1))
             return
-        self._pending.remove(request)
+        pending.remove(request)
         done = self._service(request, now)
         if request.callback is not None:
-            callback = request.callback
-            self._queue.schedule(done, lambda t=done: callback(t))
-        if self._pending:
+            self._queue.schedule_call(done, request.callback,
+                                      *request.args, done)
+        if pending:
             # The next request cannot start before the shared data bus
             # frees; polling sooner only burns events.
             self._schedule_dispatch(max(now + 1, self._bus_free))
@@ -157,16 +169,21 @@ class DramChannel:
         """FR-FCFS: oldest row-buffer hit on a ready bank, else oldest ready."""
         oldest_ready = None
         scanned = 0
+        banks = self._banks
+        num_banks = self._num_banks
+        window = self.SCHED_WINDOW
+        row_span = LINES_PER_ROW * num_banks
         for request in self._pending:   # queue order == age order
-            bank = self._banks[self.bank_of(request.line_addr)]
+            line_addr = request.line_addr
+            bank = banks[(line_addr // LINES_PER_ROW) % num_banks]
             if bank.busy_until > now:
                 continue
-            if bank.open_row == self.row_of(request.line_addr):
+            if bank.open_row == line_addr // row_span:
                 return request
             if oldest_ready is None:
                 oldest_ready = request
             scanned += 1
-            if scanned >= self.SCHED_WINDOW:
+            if scanned >= window:
                 break
         return oldest_ready
 

@@ -1,8 +1,20 @@
 """Discrete-event simulation core.
 
-A single :class:`EventQueue` drives the whole simulated machine.  Components
-schedule callbacks at absolute cycle times; ties are broken by insertion
-order so the simulation is fully deterministic.
+A single :class:`EventQueue` drives the whole simulated machine.
+Components schedule callbacks at absolute cycle times; ties are broken
+by insertion order so the simulation is fully deterministic.
+
+The scheduler is allocation-light: the fast path is
+:meth:`EventQueue.schedule_call`, which takes a callable plus its
+arguments and stores them directly in the heap entry, so hot callers
+pass bound methods instead of allocating a closure per event.  The
+legacy :meth:`EventQueue.schedule` (zero-argument callback) is the same
+entry point with an empty argument tuple.
+
+Determinism contract: events fire in ``(when, seq)`` order, where
+``seq`` is the global schedule-call counter — identical streams of
+schedule calls produce identical execution orders, whichever of the two
+entry points each caller used.
 """
 
 from __future__ import annotations
@@ -10,22 +22,41 @@ from __future__ import annotations
 import heapq
 from typing import Callable, List, Optional, Tuple
 
+#: Shared empty argument tuple for legacy zero-argument callbacks.
+_NO_ARGS: Tuple = ()
+
 
 class EventQueue:
     """Deterministic discrete-event scheduler keyed by cycle time."""
 
+    __slots__ = ("_heap", "_seq", "now", "_events_run")
+
     def __init__(self) -> None:
-        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        # Heap entries are (when, seq, fn, args); comparisons never
+        # reach fn/args because seq is unique.
+        self._heap: List[tuple] = []
         self._seq = 0
         self.now = 0
         self._events_run = 0
 
-    def schedule(self, when: int, callback: Callable[[], None]) -> None:
-        """Run ``callback`` at absolute cycle ``when`` (>= now)."""
+    def schedule_call(self, when: int, fn: Callable, *args) -> None:
+        """Run ``fn(*args)`` at absolute cycle ``when`` (>= now).
+
+        The allocation-light fast path: no closure per event, just the
+        bound method and its arguments in the heap entry.
+        """
         if when < self.now:
             raise ValueError(f"cannot schedule event in the past "
                              f"({when} < {self.now})")
-        heapq.heappush(self._heap, (when, self._seq, callback))
+        heapq.heappush(self._heap, (when, self._seq, fn, args))
+        self._seq += 1
+
+    def schedule(self, when: int, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` at absolute cycle ``when`` (>= now)."""
+        if when < self.now:
+            raise ValueError(f"cannot schedule event in the past "
+                             f"({when} < {self.now})")
+        heapq.heappush(self._heap, (when, self._seq, callback, _NO_ARGS))
         self._seq += 1
 
     def after(self, delay: int, callback: Callable[[], None]) -> None:
@@ -37,18 +68,47 @@ class EventQueue:
     def run(self, max_events: Optional[int] = None) -> int:
         """Drain the queue; return the final simulation time.
 
-        ``max_events`` bounds the number of callbacks executed and exists
-        purely as a safety net against protocol livelock bugs.
+        ``max_events`` bounds the *total* number of callbacks executed
+        across all ``run`` calls on this queue and exists purely as a
+        safety net against protocol livelock bugs.  The unbounded path
+        carries no budget comparison at all; the bounded path counts a
+        plain integer down instead of comparing against infinity.
         """
-        budget = max_events if max_events is not None else float("inf")
-        while self._heap and self._events_run < budget:
-            when, _seq, callback = heapq.heappop(self._heap)
-            self.now = when
-            self._events_run += 1
-            callback()
-        if self._heap:
+        heap = self._heap
+        pop = heapq.heappop
+        events_run = self._events_run
+        try:
+            if max_events is None:
+                # Unbounded: no budget check on the hot loop.
+                while heap:
+                    when, _seq, fn, args = pop(heap)
+                    self.now = when
+                    events_run += 1
+                    fn(*args)
+                    # Same-cycle batch drain: events landing on the
+                    # current cycle skip the clock update.
+                    while heap and heap[0][0] == when:
+                        _w, _seq, fn, args = pop(heap)
+                        events_run += 1
+                        fn(*args)
+                return self.now
+            remaining = max_events - events_run
+            while heap and remaining > 0:
+                when, _seq, fn, args = pop(heap)
+                self.now = when
+                events_run += 1
+                remaining -= 1
+                fn(*args)
+                while remaining > 0 and heap and heap[0][0] == when:
+                    _w, _seq, fn, args = pop(heap)
+                    events_run += 1
+                    remaining -= 1
+                    fn(*args)
+        finally:
+            self._events_run = events_run
+        if heap:
             raise RuntimeError(
-                f"event budget exhausted after {self._events_run} events "
+                f"event budget exhausted after {events_run} events "
                 f"at cycle {self.now}; likely a protocol livelock")
         return self.now
 
@@ -96,14 +156,15 @@ class Barrier:
         waiting, self._waiting = self._waiting, []
         self.barriers_passed += 1
         release_time = self._queue.now + self._release_cost
+        self._queue.schedule_call(release_time, self._release, waiting,
+                                  release_time)
 
-        def release() -> None:
-            for hook in self._on_release:
-                hook()
-            for _cid, resume_fn in waiting:
-                resume_fn(release_time)
-
-        self._queue.schedule(release_time, release)
+    def _release(self, waiting: List[Tuple[int, Callable[[int], None]]],
+                 release_time: int) -> None:
+        for hook in self._on_release:
+            hook()
+        for _cid, resume_fn in waiting:
+            resume_fn(release_time)
 
     @property
     def waiting_count(self) -> int:

@@ -17,8 +17,7 @@ flit-hops are recorded against profile entries and resolved by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 #: Major traffic categories.
 LD = "LD"
@@ -91,9 +90,11 @@ def split_flit_hops(breakdown: Dict[str, Dict[str, float]]):
 
 
 # Deferred data-word deliveries awaiting a used/waste verdict are stored
-# as (entry, flit_hops, major, dest) tuples — this list holds one element
-# per data word moved, so it is the hottest allocation site in the
-# simulator.
+# as (entries, per_word_flit_hops, major, dest) tuples — one element per
+# data *message*, referencing the payload's profile entries, so the
+# hot path allocates nothing per word.  finalize() still resolves and
+# accumulates word by word, in arrival order, so the floating-point
+# bucket totals are bit-identical to the old one-tuple-per-word scheme.
 
 
 class TrafficLedger:
@@ -113,12 +114,14 @@ class TrafficLedger:
     # -- control traffic ------------------------------------------------
     def add_request_ctl(self, major: str, hops: int) -> None:
         """One request control flit crossing ``hops`` links."""
-        self._check(major, (LD, ST))
+        if major is not LD and major is not ST:
+            self._check(major, (LD, ST))
         self._buckets[major][REQ_CTL] += hops
 
     def add_response_ctl(self, major: str, flit_hops: float) -> None:
         """Response header flit-hops (plus unfilled data-flit remainders)."""
-        self._check(major, (LD, ST))
+        if major is not LD and major is not ST:
+            self._check(major, (LD, ST))
         self._buckets[major][RESP_CTL] += flit_hops
 
     def add_wb_control(self, flit_hops: float) -> None:
@@ -139,18 +142,20 @@ class TrafficLedger:
         charged to response control (per paper Section 5.2).  Returns the
         number of data flits in the payload (for latency computation).
         """
-        self._check(major, (LD, ST))
+        if major is not LD and major is not ST:
+            self._check(major, (LD, ST))
         if dest not in (DEST_L1, DEST_L2):
             raise ValueError(f"data destination must be l1/l2, got {dest!r}")
         n_words = len(entries)
         if n_words == 0:
             return 0
-        data_flits = -(-n_words // self.words_per_flit)
-        per_word = hops / self.words_per_flit
-        deferred = self._deferred
-        for entry in entries:
-            deferred.append((entry, per_word, major, dest))
-        slack_words = data_flits * self.words_per_flit - n_words
+        words_per_flit = self.words_per_flit
+        data_flits = -(-n_words // words_per_flit)
+        per_word = hops / words_per_flit
+        # One deferred record per message; the entries list is freshly
+        # built by every caller and never mutated afterwards.
+        self._deferred.append((entries, per_word, major, dest))
+        slack_words = data_flits * words_per_flit - n_words
         if slack_words:
             self._buckets[major][RESP_CTL] += slack_words * per_word
         return data_flits
@@ -163,27 +168,37 @@ class TrafficLedger:
         n_words = len(dirty_flags)
         if n_words == 0:
             return 0
-        data_flits = -(-n_words // self.words_per_flit)
-        per_word = hops / self.words_per_flit
+        words_per_flit = self.words_per_flit
+        data_flits = -(-n_words // words_per_flit)
+        per_word = hops / words_per_flit
         used_key = WB_L2_USED if dest == DEST_L2 else WB_MEM_USED
         waste_key = WB_L2_WASTE if dest == DEST_L2 else WB_MEM_WASTE
+        wb_bucket = self._buckets[WB]
         for dirty in dirty_flags:
-            self._buckets[WB][used_key if dirty else waste_key] += per_word
-        slack_words = data_flits * self.words_per_flit - n_words
+            wb_bucket[used_key if dirty else waste_key] += per_word
+        slack_words = data_flits * words_per_flit - n_words
         if slack_words:
-            self._buckets[WB][WB_CONTROL] += slack_words * per_word
+            wb_bucket[WB_CONTROL] += slack_words * per_word
         return data_flits
 
     # -- resolution ------------------------------------------------------
     def finalize(self) -> None:
         """Resolve deferred data verdicts from the waste profiler entries."""
-        for entry, flit_hops, major, dest in self._deferred:
-            used = entry.is_used
+        from repro.waste.profiler import Category
+        used_cat = Category.USED
+        buckets = self._buckets
+        for entries, flit_hops, major, dest in self._deferred:
+            major_bucket = buckets[major]
             if dest == DEST_L1:
-                key = RESP_L1_USED if used else RESP_L1_WASTE
+                used_key, waste_key = RESP_L1_USED, RESP_L1_WASTE
             else:
-                key = RESP_L2_USED if used else RESP_L2_WASTE
-            self._buckets[major][key] += flit_hops
+                used_key, waste_key = RESP_L2_USED, RESP_L2_WASTE
+            for entry in entries:
+                # entry.category is the storage behind ProfileEntry.is_used;
+                # the direct check skips a property call per data word.
+                key = (used_key if entry.category is used_cat
+                       else waste_key)
+                major_bucket[key] += flit_hops
         self._deferred.clear()
         self._finalized = True
 

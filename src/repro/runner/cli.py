@@ -9,6 +9,7 @@ Subcommands::
     python -m repro report
     python -m repro scaling --tiles 4,16,64 --workloads radix
     python -m repro energy  --preset 22nm --workloads radix
+    python -m repro bench   --out BENCH_new.json --compare BENCH_sweep.json
     python -m repro clean-cache
 
 ``list`` prints every registered workload and protocol (including
@@ -25,7 +26,10 @@ breakdown and EDP table post hoc from stored results (cells already in
 the result store are never re-simulated) under one technology preset
 (``--preset``; default: every registered preset).  Protocol and preset
 names resolve through their registries; a misspelled ``--protocols`` or
-``--preset`` entry reports near-miss suggestions.
+``--preset`` entry reports near-miss suggestions.  ``bench`` runs the
+perf-smoke suite (the hot-path trend record CI gates on) and, with
+``--compare``, diffs the fresh record against a baseline with the same
+gate as ``tools/bench_compare.py``.
 """
 
 from __future__ import annotations
@@ -222,6 +226,36 @@ def cmd_list(ns: argparse.Namespace, out=None) -> int:
     return 0
 
 
+def cmd_bench(ns: argparse.Namespace, out=None) -> int:
+    """Run the perf-smoke suite; optionally gate against a baseline."""
+    out = out if out is not None else sys.stdout
+    from repro.bench import (
+        RecordMismatch, compare_records, load_record, run_smoke,
+        write_record)
+    record = run_smoke()
+    write_record(record, ns.out)
+    for cell in record["cells"]:
+        print(f"{cell['workload']:<10s} {cell['protocol']:<8s} "
+              f"{cell['num_tiles']:3d}t  {cell['seconds']:8.3f}s  "
+              f"{cell['events_per_second']:12,.0f} ev/s", file=out)
+    print(f"wrote {ns.out} ({record['git_describe']})", file=out)
+    if not ns.compare:
+        return 0
+    try:
+        outcome = compare_records(load_record(ns.compare), record,
+                                  threshold=ns.threshold)
+    except RecordMismatch as exc:
+        print(f"bench: refusing to compare: {exc}", file=sys.stderr)
+        return 2
+    for line in outcome["lines"]:
+        print(line, file=out)
+    if not outcome["ok"]:
+        print(f"bench: events_per_second regressed by more than "
+              f"{ns.threshold:.0%} vs {ns.compare}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_clean_cache(ns: argparse.Namespace, out=None) -> int:
     out = out if out is not None else sys.stdout
     store = _make_store(ns)
@@ -307,6 +341,24 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"technology preset (default: all; known: "
              f"{', '.join(registered_energy_models())})")
     p.set_defaults(func=cmd_energy)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the perf-smoke suite and write a BENCH_sweep.json "
+             "record; --compare gates it against a baseline record")
+    from repro.bench import REGRESSION_THRESHOLD
+    # The default deliberately differs from the committed repo-root
+    # BENCH_sweep.json baseline so a bare `bench` run cannot clobber it.
+    p.add_argument("--out", default="BENCH_new.json", metavar="FILE",
+                   help="output record path (default: BENCH_new.json)")
+    p.add_argument("--compare", metavar="BASELINE",
+                   help="baseline record to diff against (fails on a "
+                        ">threshold events/second regression)")
+    p.add_argument("--threshold", type=float,
+                   default=REGRESSION_THRESHOLD, metavar="FRAC",
+                   help="hard-fail regression fraction (default: "
+                        f"{REGRESSION_THRESHOLD})")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("list",
                        help="print registered workloads and protocols")

@@ -23,8 +23,9 @@ entries and reads :attr:`ProfileEntry.is_used` after finalization.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
+
+from repro.common.addressing import WORDS_PER_LINE
 
 
 class Category(enum.Enum):
@@ -47,10 +48,25 @@ CATEGORY_ORDER = (
 _CATEGORIES = tuple(Category)
 _CAT_INDEX = {cat: i for i, cat in enumerate(_CATEGORIES)}
 _USED_INDEX = _CAT_INDEX[Category.USED]
+# Per-category index constants so the hot FSM transitions do a plain
+# list increment instead of an enum-keyed dict lookup.
+_USED_I = _CAT_INDEX[Category.USED]
+_WRITE_I = _CAT_INDEX[Category.WRITE]
+_FETCH_I = _CAT_INDEX[Category.FETCH]
+_INVALIDATE_I = _CAT_INDEX[Category.INVALIDATE]
+_EVICT_I = _CAT_INDEX[Category.EVICT]
+_UNEVICTED_I = _CAT_INDEX[Category.UNEVICTED]
+_EXCESS_I = _CAT_INDEX[Category.EXCESS]
 
 
 class ProfileEntry:
-    """One word-instance at one level, awaiting or holding its verdict."""
+    """One word-instance at one level, awaiting or holding its verdict.
+
+    One entry is allocated per delivered data word and lives until
+    ``finalize``, so the class stays fully slotted; the bulk creation
+    sites below construct via ``__new__`` + an explicit ``category``
+    store to skip the initializer call.
+    """
 
     __slots__ = ("category",)
 
@@ -82,10 +98,22 @@ class CacheLevelProfiler:
         if level not in ("L1", "L2"):
             raise ValueError("level must be 'L1' or 'L2'")
         self.level = level
-        self._active: Dict[Tuple[int, int], ProfileEntry] = {}
+        # Active entries are stored per cache *line*: the key is
+        # ``(line << 6) | unit`` (unit ids fit in 6 bits, <= 64 tiles)
+        # and the value a 16-slot row of per-word entries.  Line-granular
+        # protocol events then cost one dict operation per line instead
+        # of 16, and an int key hashes for free where a tuple would be
+        # allocated and hashed on every FSM event.
+        self._active: Dict[int, List[Optional[ProfileEntry]]] = {}
         self._counts: List[int] = [0] * len(_CATEGORIES)
         self._total = 0
         self._finalized = False
+
+    def _row_for(self, line_key: int) -> List[Optional[ProfileEntry]]:
+        row = self._active.get(line_key)
+        if row is None:
+            row = self._active[line_key] = [None] * WORDS_PER_LINE
+        return row
 
     # -- FSM events --------------------------------------------------------
     def on_arrival(self, unit: int, word: int, already_present: bool) -> ProfileEntry:
@@ -98,38 +126,195 @@ class CacheLevelProfiler:
         entry = ProfileEntry()
         self._total += 1
         if already_present:
-            self._settle(entry, Category.FETCH)
+            entry.category = Category.FETCH
+            self._counts[_FETCH_I] += 1
             return entry
-        key = (unit, word)
-        old = self._active.get(key)
-        if old is not None and old.is_pending:
+        row = self._row_for(((word >> 4) << 6) | unit)
+        slot = word & 15
+        old = row[slot]
+        if old is not None and old.category is None:
             # Defensive: an unclassified copy being silently replaced by a
             # new fill counts as Fetch waste for the old copy.
-            self._settle(old, Category.FETCH)
-        self._active[key] = entry
+            old.category = Category.FETCH
+            self._counts[_FETCH_I] += 1
+        row[slot] = entry
         return entry
 
     def on_use(self, unit: int, word: int) -> None:
         """The word was read (L1) or returned in a response (L2)."""
-        self._resolve(unit, word, Category.USED)
+        row = self._active.get(((word >> 4) << 6) | unit)
+        if row is None:
+            return
+        entry = row[word & 15]
+        if entry is not None and entry.category is None:
+            entry.category = Category.USED
+            self._counts[_USED_I] += 1
 
     def on_write(self, unit: int, word: int) -> None:
         """The word was overwritten before being used."""
-        self._resolve(unit, word, Category.WRITE)
+        row = self._active.get(((word >> 4) << 6) | unit)
+        if row is None:
+            return
+        entry = row[word & 15]
+        if entry is not None and entry.category is None:
+            entry.category = Category.WRITE
+            self._counts[_WRITE_I] += 1
 
     def on_evict(self, unit: int, word: int) -> None:
-        self._resolve(unit, word, Category.EVICT, remove=True)
+        row = self._active.get(((word >> 4) << 6) | unit)
+        if row is None:
+            return
+        slot = word & 15
+        entry = row[slot]
+        if entry is None:
+            return
+        if entry.category is None:
+            entry.category = Category.EVICT
+            self._counts[_EVICT_I] += 1
+        row[slot] = None
 
     def on_invalidate(self, unit: int, word: int) -> None:
         if self.level == "L2":
             raise RuntimeError("the L2 FSM has no invalidate transition")
-        self._resolve(unit, word, Category.INVALIDATE, remove=True)
+        row = self._active.get(((word >> 4) << 6) | unit)
+        if row is None:
+            return
+        slot = word & 15
+        entry = row[slot]
+        if entry is None:
+            return
+        if entry.category is None:
+            entry.category = Category.INVALIDATE
+            self._counts[_INVALIDATE_I] += 1
+        row[slot] = None
+
+    # -- bulk line-granular events --------------------------------------
+    # One call and one active-dict operation per 16-word line instead of
+    # 16; event-for-event identical to looping the scalar methods over
+    # ``words_of_line`` (the line protocols do exactly that on every
+    # fill/eviction/invalidation, so this was the hottest profiler cost).
+
+    def arrivals_line(self, unit: int, base: int) -> List[ProfileEntry]:
+        """``on_arrival(unit, word, False)`` for one full line's words."""
+        counts = self._counts
+        cat_fetch = Category.FETCH
+        # __new__ + explicit category store: same slotted object, no
+        # initializer call per word.
+        new = ProfileEntry.__new__
+        cls = ProfileEntry
+        self._total += WORDS_PER_LINE
+        line_key = (base << 2) | unit
+        old_row = self._active.get(line_key)
+        entries = []
+        for _ in range(WORDS_PER_LINE):
+            entry = new(cls)
+            entry.category = None
+            entries.append(entry)
+        if old_row is not None:
+            for old in old_row:
+                if old is not None and old.category is None:
+                    old.category = cat_fetch
+                    counts[_FETCH_I] += 1
+        self._active[line_key] = list(entries)
+        return entries
+
+    def arrivals_words(self, unit: int, words, present_flags) -> List[ProfileEntry]:
+        """``on_arrival(unit, w, flag)`` over parallel word/flag lists."""
+        counts = self._counts
+        cat_fetch = Category.FETCH
+        new = ProfileEntry.__new__
+        cls = ProfileEntry
+        active = self._active
+        entries = []
+        append = entries.append
+        self._total += len(words)
+        last_key = -1
+        row = None
+        for word, present in zip(words, present_flags):
+            entry = new(cls)
+            entry.category = None
+            if present:
+                entry.category = cat_fetch
+                counts[_FETCH_I] += 1
+            else:
+                line_key = ((word >> 4) << 6) | unit
+                if line_key != last_key:
+                    row = active.get(line_key)
+                    if row is None:
+                        row = active[line_key] = [None] * WORDS_PER_LINE
+                    last_key = line_key
+                slot = word & 15
+                old = row[slot]
+                if old is not None and old.category is None:
+                    old.category = cat_fetch
+                    counts[_FETCH_I] += 1
+                row[slot] = entry
+            append(entry)
+        return entries
+
+    def on_use_words(self, unit: int, words) -> None:
+        """``on_use(unit, w)`` for every word in ``words``."""
+        active = self._active
+        counts = self._counts
+        cat_used = Category.USED
+        last_key = -1
+        row = None
+        for word in words:
+            line_key = ((word >> 4) << 6) | unit
+            if line_key != last_key:
+                row = active.get(line_key)
+                last_key = line_key
+            if row is None:
+                continue
+            entry = row[word & 15]
+            if entry is not None and entry.category is None:
+                entry.category = cat_used
+                counts[_USED_I] += 1
+
+    def on_use_line(self, unit: int, base: int) -> None:
+        """``on_use`` over one full line's words."""
+        row = self._active.get((base << 2) | unit)
+        if row is None:
+            return
+        counts = self._counts
+        cat_used = Category.USED
+        for entry in row:
+            if entry is not None and entry.category is None:
+                entry.category = cat_used
+                counts[_USED_I] += 1
+
+    def on_evict_line(self, unit: int, base: int) -> None:
+        """``on_evict`` over one full line's words."""
+        row = self._active.pop((base << 2) | unit, None)
+        if row is None:
+            return
+        counts = self._counts
+        cat_evict = Category.EVICT
+        for entry in row:
+            if entry is not None and entry.category is None:
+                entry.category = cat_evict
+                counts[_EVICT_I] += 1
+
+    def on_invalidate_line(self, unit: int, base: int) -> None:
+        """``on_invalidate`` over one full line's words."""
+        if self.level == "L2":
+            raise RuntimeError("the L2 FSM has no invalidate transition")
+        row = self._active.pop((base << 2) | unit, None)
+        if row is None:
+            return
+        counts = self._counts
+        cat_inval = Category.INVALIDATE
+        for entry in row:
+            if entry is not None and entry.category is None:
+                entry.category = cat_inval
+                counts[_INVALIDATE_I] += 1
 
     def finalize(self) -> None:
         """Classify all still-resident pending words as Unevicted."""
-        for entry in self._active.values():
-            if entry.is_pending:
-                self._settle(entry, Category.UNEVICTED)
+        for row in self._active.values():
+            for entry in row:
+                if entry is not None and entry.category is None:
+                    self._settle(entry, Category.UNEVICTED)
         self._active.clear()
         self._finalized = True
 
@@ -147,17 +332,6 @@ class CacheLevelProfiler:
         return self._total - self._counts[_USED_INDEX]
 
     # -- internals -------------------------------------------------------------
-    def _resolve(self, unit: int, word: int, category: Category,
-                 remove: bool = False) -> None:
-        key = (unit, word)
-        entry = self._active.get(key)
-        if entry is None:
-            return
-        if entry.is_pending:
-            self._settle(entry, category)
-        if remove:
-            del self._active[key]
-
     def _settle(self, entry: ProfileEntry, category: Category) -> None:
         if entry.category is None:
             entry.category = category
@@ -170,7 +344,7 @@ class MemInstance(ProfileEntry):
     __slots__ = ("addr", "refs")
 
     def __init__(self, addr: int) -> None:
-        super().__init__()
+        self.category = None
         self.addr = addr
         self.refs = 0
 
@@ -200,16 +374,22 @@ class MemoryProfiler:
         self._total += 1
         if l2_has_addr:
             # Figure 4.3: address already present in the L2 => Fetch waste.
-            self._settle(instance, Category.FETCH)
+            instance.category = Category.FETCH
+            self._counts[_FETCH_I] += 1
             return instance
-        self._pending_by_addr.setdefault(addr, set()).add(instance)
+        by_addr = self._pending_by_addr
+        pending = by_addr.get(addr)
+        if pending is None:
+            by_addr[addr] = pending = set()
+        pending.add(instance)
         return instance
 
     def fetch_excess(self, addr: int) -> MemInstance:
         """A word read out of DRAM but dropped at the memory controller."""
         instance = MemInstance(addr)
         self._total += 1
-        self._settle(instance, Category.EXCESS)
+        instance.category = Category.EXCESS
+        self._counts[_EXCESS_I] += 1
         return instance
 
     def install_copy(self, instance: MemInstance) -> None:
@@ -219,21 +399,65 @@ class MemoryProfiler:
     def drop_copy(self, instance: MemInstance, *, invalidated: bool) -> None:
         """A cache lost its copy (eviction or invalidation)."""
         instance.refs -= 1
-        if instance.refs <= 0 and instance.is_pending:
-            category = Category.INVALIDATE if invalidated else Category.EVICT
-            self._settle_pending(instance, category)
+        if instance.refs <= 0 and instance.category is None:
+            if invalidated:
+                self._settle_pending(instance, Category.INVALIDATE,
+                                     _INVALIDATE_I)
+            else:
+                self._settle_pending(instance, Category.EVICT, _EVICT_I)
 
     def on_load(self, instance: MemInstance) -> None:
-        if instance.is_pending:
-            self._settle_pending(instance, Category.USED)
+        if instance.category is None:
+            self._settle_pending(instance, Category.USED, _USED_I)
 
     def on_store_addr(self, addr: int) -> None:
         """Any L1 stored to ``addr``: all pending instances become Write."""
         pending = self._pending_by_addr.pop(addr, None)
         if not pending:
             return
+        counts = self._counts
         for instance in pending:
-            self._settle(instance, Category.WRITE)
+            if instance.category is None:
+                instance.category = Category.WRITE
+                counts[_WRITE_I] += 1
+
+    # -- bulk line-granular events --------------------------------------
+
+    def fetch_line(self, base: int) -> List[MemInstance]:
+        """``fetch(word, False)`` for one full line's words."""
+        by_addr = self._pending_by_addr
+        new_instance = MemInstance
+        out = []
+        append = out.append
+        self._total += WORDS_PER_LINE
+        for addr in range(base, base + WORDS_PER_LINE):
+            instance = new_instance(addr)
+            pending = by_addr.get(addr)
+            if pending is None:
+                by_addr[addr] = pending = set()
+            pending.add(instance)
+            append(instance)
+        return out
+
+    def install_copies(self, insts) -> None:
+        """``install_copy`` for every non-None instance in ``insts``."""
+        for inst in insts:
+            if inst is not None:
+                inst.refs += 1
+
+    def drop_copies(self, insts, *, invalidated: bool) -> None:
+        """``drop_copy`` for every non-None instance in ``insts``."""
+        if invalidated:
+            category, idx = Category.INVALIDATE, _INVALIDATE_I
+        else:
+            category, idx = Category.EVICT, _EVICT_I
+        settle = self._settle_pending
+        for inst in insts:
+            if inst is None:
+                continue
+            inst.refs -= 1
+            if inst.refs <= 0 and inst.category is None:
+                settle(inst, category, idx)
 
     def finalize(self) -> None:
         for pending in self._pending_by_addr.values():
@@ -253,13 +477,18 @@ class MemoryProfiler:
         return self._total
 
     # -- internals ------------------------------------------------------------
-    def _settle_pending(self, instance: MemInstance, category: Category) -> None:
-        pending = self._pending_by_addr.get(instance.addr)
+    def _settle_pending(self, instance: MemInstance, category: Category,
+                        cat_index: int) -> None:
+        """Classify a still-pending instance (callers check ``category
+        is None`` first, so the verdict always lands)."""
+        by_addr = self._pending_by_addr
+        pending = by_addr.get(instance.addr)
         if pending is not None:
             pending.discard(instance)
             if not pending:
-                del self._pending_by_addr[instance.addr]
-        self._settle(instance, category)
+                del by_addr[instance.addr]
+        instance.category = category
+        self._counts[cat_index] += 1
 
     def _settle(self, instance: MemInstance, category: Category) -> None:
         if instance.category is None:

@@ -1,0 +1,87 @@
+"""Unit tests for the perf-record compare gate (repro.bench)."""
+
+import pytest
+
+from repro.bench import (
+    REGRESSION_THRESHOLD, SCHEMA_VERSION, RecordMismatch, compare_records)
+
+
+def _record(eps_by_cell, schema_version=SCHEMA_VERSION, bench="sweep_radix_tiny"):
+    return {
+        "bench": bench,
+        "schema_version": schema_version,
+        "git_describe": "test",
+        "python": "3.x",
+        "cells": [
+            {"workload": w, "protocol": p, "num_tiles": t,
+             "seconds": 1.0, "events": int(eps),
+             "events_per_second": eps, "exec_cycles": 1}
+            for (w, p, t), eps in eps_by_cell.items()],
+    }
+
+
+CELLS = {("radix", "MESI", 16): 50_000.0,
+         ("radix", "DeNovo", 16): 30_000.0}
+
+
+class TestCompareRecords:
+    def test_identical_records_pass(self):
+        outcome = compare_records(_record(CELLS), _record(CELLS))
+        assert outcome["ok"]
+        assert len(outcome["cells"]) == len(CELLS)
+
+    def test_speedup_passes(self):
+        faster = {k: v * 2 for k, v in CELLS.items()}
+        outcome = compare_records(_record(CELLS), _record(faster))
+        assert outcome["ok"]
+        assert all(c["ratio"] == 2.0 for c in outcome["cells"])
+
+    def test_small_regression_warns_but_passes(self):
+        slower = {k: v * (1 - REGRESSION_THRESHOLD / 2)
+                  for k, v in CELLS.items()}
+        outcome = compare_records(_record(CELLS), _record(slower))
+        assert outcome["ok"]
+        assert any(line.startswith("warn") for line in outcome["lines"])
+
+    def test_large_regression_fails(self):
+        slower = dict(CELLS)
+        slower[("radix", "MESI", 16)] = CELLS[("radix", "MESI", 16)] * 0.5
+        outcome = compare_records(_record(CELLS), _record(slower))
+        assert not outcome["ok"]
+        assert any(line.startswith("FAIL") for line in outcome["lines"])
+
+    def test_missing_cell_fails(self):
+        partial = {("radix", "MESI", 16): 50_000.0}
+        outcome = compare_records(_record(CELLS), _record(partial))
+        assert not outcome["ok"]
+
+    def test_extra_cell_is_noted_not_failed(self):
+        extra = dict(CELLS)
+        extra[("radix", "MESI", 4)] = 60_000.0
+        outcome = compare_records(_record(CELLS), _record(extra))
+        assert outcome["ok"]
+        assert any(line.startswith("note") for line in outcome["lines"])
+
+    def test_refuses_missing_schema_version(self):
+        legacy = _record(CELLS)
+        del legacy["schema_version"]
+        with pytest.raises(RecordMismatch, match="schema_version"):
+            compare_records(legacy, _record(CELLS))
+
+    def test_refuses_mismatched_schema_version(self):
+        with pytest.raises(RecordMismatch, match="schema_version"):
+            compare_records(_record(CELLS, schema_version=SCHEMA_VERSION + 1),
+                            _record(CELLS))
+
+    def test_refuses_different_bench_suite(self):
+        with pytest.raises(RecordMismatch, match="different suites"):
+            compare_records(_record(CELLS, bench="other"), _record(CELLS))
+
+    def test_custom_threshold(self):
+        slower = {k: v * 0.9 for k, v in CELLS.items()}
+        strict = compare_records(_record(CELLS), _record(slower),
+                                 threshold=0.05)
+        assert not strict["ok"]
+        lax = compare_records(_record(CELLS), _record(slower),
+                              threshold=0.2)
+        assert lax["ok"]

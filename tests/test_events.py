@@ -75,6 +75,93 @@ class TestEventQueue:
         assert q.events_run == 2
 
 
+class TestScheduleCall:
+    """The allocation-light fast path: bound method + args, no lambda."""
+
+    def test_args_passed_through(self):
+        q = EventQueue()
+        seen = []
+        q.schedule_call(3, lambda a, b: seen.append((a, b, q.now)), 1, 2)
+        q.run()
+        assert seen == [(1, 2, 3)]
+
+    def test_interleaved_with_legacy_schedule_keeps_seq_order(self):
+        # Both entry points share one seq counter, so same-cycle events
+        # fire in overall scheduling order regardless of which API was
+        # used — the determinism contract of the engine rework.
+        q = EventQueue()
+        order = []
+        q.schedule(5, lambda: order.append("legacy0"))
+        q.schedule_call(5, order.append, "fast1")
+        q.schedule(5, lambda: order.append("legacy2"))
+        q.schedule_call(5, order.append, "fast3")
+        q.run()
+        assert order == ["legacy0", "fast1", "legacy2", "fast3"]
+
+    def test_same_cycle_fifo(self):
+        q = EventQueue()
+        order = []
+        for i in range(8):
+            q.schedule_call(2, order.append, i)
+        q.run()
+        assert order == list(range(8))
+
+    def test_events_scheduled_during_same_cycle_drain(self):
+        # The same-cycle batch drain must still honour events that a
+        # callback schedules for the *current* cycle.
+        q = EventQueue()
+        order = []
+
+        def first():
+            order.append("first")
+            q.schedule_call(q.now, order.append, "nested-same-cycle")
+
+        q.schedule_call(4, first)
+        q.schedule_call(4, order.append, "second")
+        q.run()
+        assert order == ["first", "second", "nested-same-cycle"]
+
+    def test_rejects_past(self):
+        q = EventQueue()
+        q.schedule_call(4, lambda: None)
+        q.run()
+        with pytest.raises(ValueError):
+            q.schedule_call(1, lambda: None)
+
+    def test_budget_exhaustion(self):
+        q = EventQueue()
+
+        def recur(t):
+            q.schedule_call(t + 1, recur, t + 1)
+
+        q.schedule_call(0, recur, 0)
+        with pytest.raises(RuntimeError, match="livelock"):
+            q.run(max_events=50)
+        assert q.events_run == 50
+
+    def test_budget_spans_multiple_runs(self):
+        # max_events bounds the *total* events executed on the queue,
+        # exactly as before the engine rework.
+        q = EventQueue()
+        q.schedule_call(0, lambda: None)
+        q.run(max_events=10)
+        assert q.events_run == 1
+        for i in range(12):
+            q.schedule_call(q.now + 1 + i, lambda: None)
+        with pytest.raises(RuntimeError, match="livelock"):
+            q.run(max_events=10)
+        assert q.events_run == 10
+
+    def test_unbounded_run_has_no_budget(self):
+        q = EventQueue()
+        hits = []
+        for i in range(100):
+            q.schedule_call(i, hits.append, i)
+        q.run()   # max_events=None: the unbounded path
+        assert len(hits) == 100
+        assert q.events_run == 100
+
+
 class TestBarrier:
     def test_releases_all_at_same_time(self):
         q = EventQueue()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Compare two ``BENCH_sweep.json`` records; gate perf regressions.
+
+Diffs per-cell ``events_per_second`` between a baseline record (the
+committed repo-root ``BENCH_sweep.json``) and a freshly measured one:
+
+* a cell regressing by more than ``--threshold`` (default 15%) fails
+  the gate (exit 1) — a real hot-path regression;
+* smaller regressions print a non-blocking warning (runner noise);
+* records with a missing or different ``schema_version``, or from a
+  different bench suite, are refused outright (exit 2).
+
+Run:  python tools/bench_compare.py BASELINE CURRENT [--threshold 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import (
+    REGRESSION_THRESHOLD, RecordMismatch, compare_records, load_record)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline BENCH_sweep.json")
+    parser.add_argument("current", help="freshly measured BENCH_sweep.json")
+    parser.add_argument("--threshold", type=float,
+                        default=REGRESSION_THRESHOLD,
+                        help="hard-fail events/second regression fraction "
+                             f"(default: {REGRESSION_THRESHOLD})")
+    ns = parser.parse_args(argv)
+    try:
+        outcome = compare_records(load_record(ns.baseline),
+                                  load_record(ns.current),
+                                  threshold=ns.threshold)
+    except RecordMismatch as exc:
+        print(f"bench_compare: refusing to compare: {exc}",
+              file=sys.stderr)
+        return 2
+    for line in outcome["lines"]:
+        print(line)
+    if not outcome["ok"]:
+        print(f"bench_compare: events_per_second regressed by more than "
+              f"{ns.threshold:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
