@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Observe one run: metrics hub, Chrome trace export, utilization timeline.
+
+Attaches an ``ObsSession`` to a single simulation, then shows the three
+faces of the observability subsystem:
+
+* the metrics hub's end-of-run totals (which reconcile exactly with the
+  ``RunResult`` energy counters),
+* the exported Chrome trace-event JSON (open it in
+  https://ui.perfetto.dev to see barrier phases and DRAM bank activity),
+* the per-tile link-utilization heat-strip timeline.
+
+Run:  python examples/trace_timeline.py [workload] [protocol] [out.json]
+"""
+
+import sys
+
+from repro import ScaleConfig, build_workload, simulate
+from repro.analysis.timeline import figure_timeline
+from repro.common.config import scaled_system
+from repro.obs import ObsSession
+
+
+def main() -> None:
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "FFT"
+    protocol = sys.argv[2] if len(sys.argv) > 2 else "DeNovo"
+    out_path = sys.argv[3] if len(sys.argv) > 3 else "trace.json"
+
+    scale = ScaleConfig.tiny()
+    config = scaled_system(scale)
+    workload = build_workload(workload_name, scale)
+
+    obs = ObsSession(sample_interval=2000)
+    result = simulate(workload, protocol, config, obs=obs)
+
+    print(f"observed run: {result.workload} / {result.protocol} — "
+          f"{result.exec_cycles:,} cycles, {result.events:,} events")
+
+    print("\nmetrics hub totals (reconcile with RunResult):")
+    for name in ("l1_probes", "l2_probes", "noc_packets", "noc_flit_hops",
+                 "dram_reads", "dram_writes", "engine_events"):
+        print(f"  {name:<16s} {obs.hub.total(name):>14,.0f}")
+    assert obs.hub.total("noc_flit_hops") == result.energy_counters[
+        "noc_flit_hops"], "hub must match the energy counters"
+
+    obs.export(out_path)
+    print(f"\nChrome trace: {len(obs.trace.events())} events, "
+          f"{len(obs.samples)} metric samples -> {out_path}")
+    print("(load it in https://ui.perfetto.dev or chrome://tracing)")
+
+    print()
+    print(figure_timeline(obs).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@ path, not store hits.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import subprocess
 import time
@@ -52,11 +53,20 @@ DEFAULT_REPEATS = 5
 
 
 def git_describe() -> str:
-    """``git describe`` of the working tree, or ``"unknown"``."""
+    """``git describe`` of the repo this package lives in, or "unknown".
+
+    Hardened for headless/odd environments: runs against the package's
+    own directory (not whatever cwd the caller happens to be in),
+    captures stderr so a missing-git or not-a-repo failure never leaks
+    noise to the terminal, and degrades to ``"unknown"`` on any error
+    (git absent, non-zero exit, empty output, timeout).
+    """
     try:
         out = subprocess.run(
             ["git", "describe", "--always", "--dirty"],
-            capture_output=True, text=True, timeout=10, check=False)
+            capture_output=True, text=True, timeout=10, check=False,
+            stdin=subprocess.DEVNULL,
+            cwd=os.path.dirname(os.path.abspath(__file__)))
     except (OSError, subprocess.SubprocessError):
         return "unknown"
     described = out.stdout.strip()

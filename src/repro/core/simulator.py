@@ -20,11 +20,17 @@ from repro.workloads.trace import Workload
 
 def simulate(workload: Workload,
              proto: Union[str, ProtocolConfig],
-             config: Optional[SystemConfig] = None) -> RunResult:
-    """Simulate ``workload`` under ``proto`` and return the run result."""
+             config: Optional[SystemConfig] = None,
+             obs=None) -> RunResult:
+    """Simulate ``workload`` under ``proto`` and return the run result.
+
+    Pass ``obs=repro.obs.ObsSession()`` to collect metrics and a
+    structured trace from the run; the default (``None``) simulates
+    with zero observability overhead.
+    """
     if isinstance(proto, str):
         proto = protocol_by_name(proto)
-    return System(workload, proto, config).run()
+    return System(workload, proto, config, obs=obs).run()
 
 
 def simulate_all_protocols(

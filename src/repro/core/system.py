@@ -33,10 +33,12 @@ class System:
     """
 
     def __init__(self, workload: Workload, proto: ProtocolConfig,
-                 config: Optional[SystemConfig] = None) -> None:
+                 config: Optional[SystemConfig] = None,
+                 obs=None) -> None:
         self.workload = workload
         self.proto = proto
         self.config = config if config is not None else SystemConfig()
+        self.obs = obs
         if workload.num_cores != self.config.num_tiles:
             raise ValueError(
                 f"workload has {workload.num_cores} cores but the system "
@@ -59,6 +61,11 @@ class System:
                  self.barrier, self._core_finished)
             for i in range(workload.num_cores)
         ]
+        # Observability attaches last so it can see the fully wired
+        # machine; with obs=None (the default) nothing here runs and the
+        # simulated machine is byte-identical to an unobserved one.
+        if obs is not None:
+            obs.attach(self)
 
     # ------------------------------------------------------------------
 
@@ -109,6 +116,8 @@ class System:
         self.proto_sys.finalize()
         self.ctx.queue.run(max_events=max_events)
         self.ctx.finalize()
+        if self.obs is not None:
+            self.obs.finish(self)
         return self._collect()
 
     def _collect(self) -> RunResult:
@@ -148,7 +157,11 @@ class System:
             mem_waste=self.ctx.mem_prof.counts(),
             time=time_total.as_dict(),
             exec_cycles=exec_cycles,
-            events=self.ctx.queue.events_run,
+            # Sampler ticks are pure reads scheduled alongside the real
+            # events; subtracting them keeps an observed run's result
+            # bit-identical to the unobserved run (golden-grid pinned).
+            events=self.ctx.queue.events_run
+            - (self.obs.overhead_events if self.obs is not None else 0),
             protocol_stats=proto_stats,
             dram_stats=dram_stats,
             energy_counters=energy_counters,

@@ -67,6 +67,12 @@ class DramChannel:
         # like every other component, so the warm-up reset snapshots the
         # counts and window_commands() reports the difference.
         self._window_base = (0, 0, 0, 0)
+        # Observability hook: when set (by repro.obs.ObsSession), fired
+        # once per serviced request as ``on_service(line_addr, is_write,
+        # bank, row_hit, start, done)``.  None by default — the only
+        # disabled-path cost is this attribute test per DRAM service,
+        # which is orders of magnitude rarer than scheduler events.
+        self.on_service: Optional[Callable[..., None]] = None
 
     # -- address mapping ---------------------------------------------------
     def bank_of(self, line_addr: int) -> int:
@@ -116,6 +122,27 @@ class DramChannel:
                 "writes": self.writes - writes,
                 "activates": self.activates - activates,
                 "precharges": self.precharges - precharges}
+
+    def register_metrics(self, hub, tile: int) -> None:
+        """Register this channel's counters into a ``repro.obs`` hub.
+
+        The command counters pull :meth:`window_commands` so the hub
+        reconciles with ``RunResult.energy_counters``' measurement
+        window; row hits/misses keep the whole-run ``dram_stats``
+        scope.  Pull-based — called only when observability is enabled.
+        """
+        for cmd in ("reads", "writes", "activates", "precharges"):
+            hub.add_pull(f"dram_{cmd}",
+                         lambda d=self, c=cmd: d.window_commands()[c],
+                         help=f"DRAM {cmd} in the measurement window",
+                         mc=tile)
+        hub.add_pull("dram_row_hits", lambda d=self: d.row_hits,
+                     help="row-buffer hits (whole run)", mc=tile)
+        hub.add_pull("dram_row_misses", lambda d=self: d.row_misses,
+                     help="row-buffer misses (whole run)", mc=tile)
+        hub.add_pull("dram_queue_depth", lambda d=self: d.queue_depth,
+                     kind="gauge", help="pending requests at the memory "
+                     "controller", mc=tile)
 
     # -- internals -----------------------------------------------------------
     def _next_seq(self) -> int:
@@ -189,10 +216,12 @@ class DramChannel:
 
     def _service(self, request: _Request, now: int) -> int:
         cfg = self._config
-        bank = self._banks[self.bank_of(request.line_addr)]
+        bank_index = self.bank_of(request.line_addr)
+        bank = self._banks[bank_index]
         row = self.row_of(request.line_addr)
         ready = max(now, bank.busy_until)
-        if bank.open_row == row:
+        row_hit = bank.open_row == row
+        if row_hit:
             self.row_hits += 1
             access = cfg.dram_t_cl
         elif bank.open_row is None:
@@ -215,4 +244,7 @@ class DramChannel:
             self.writes += 1
         else:
             self.reads += 1
+        if self.on_service is not None:
+            self.on_service(request.line_addr, request.is_write, bank_index,
+                            row_hit, now, done)
         return done

@@ -120,6 +120,14 @@ class EventQueue:
     def events_run(self) -> int:
         return self._events_run
 
+    def register_metrics(self, hub) -> None:
+        """Register scheduler counters into a ``repro.obs`` hub
+        (pull-based; called only when observability is enabled)."""
+        hub.add_pull("engine_events", lambda q=self: q._events_run,
+                     help="events executed by the scheduler")
+        hub.add_pull("engine_pending", lambda q=self: len(q._heap),
+                     kind="gauge", help="events waiting in the heap")
+
 
 class Barrier:
     """All-core barrier synchronization.

@@ -1,0 +1,238 @@
+"""One observed simulation: metrics + sampler + tracer, attached to a System.
+
+:class:`ObsSession` is the opt-in front door of the observability
+subsystem.  Pass one to :func:`repro.core.simulator.simulate` (or
+``System(..., obs=session)``) and it
+
+* has every instrumented layer register its observational counters
+  into a fresh :class:`~repro.obs.metrics.MetricsHub` (cache tag
+  arrays, Bloom banks, mesh, DRAM channels, protocol state machines,
+  waste profilers, the event engine);
+* arms a :class:`~repro.obs.sampler.PhaseSampler` that snapshots the
+  hub every ``sample_interval`` cycles into a time series;
+* installs tracing hooks — barrier-phase spans, per-bank DRAM activity
+  spans, per-tile link-flit attribution — into a
+  :class:`~repro.obs.trace.SimTrace` ring buffer, exported as Chrome
+  trace-event JSON via :meth:`export`.
+
+**Zero overhead when disabled** is structural: with ``obs=None`` (the
+default everywhere) none of this code runs, no hook is installed and
+no hot-path branch exists.  When enabled, the hooks are pull-based or
+ride existing extension points (``Barrier.on_release``, the DRAM
+``on_service`` callback, rebinding the context's bound mesh helpers),
+and sampling events are pure reads — so an observed run produces a
+``RunResult`` bit-identical to an unobserved one (the sampler's own
+scheduler events are subtracted from the event count by ``System``).
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsHub
+from repro.obs.sampler import PhaseSampler
+from repro.obs.trace import SimTrace
+from repro.waste.profiler import CATEGORY_ORDER
+
+
+class ObsSession:
+    """Metrics hub + phase sampler + tracer for one simulation run."""
+
+    def __init__(self, *, sample_interval: int = 5000,
+                 trace: bool = True, trace_capacity: int = 65536) -> None:
+        self.hub = MetricsHub()
+        self.trace: Optional[SimTrace] = (
+            SimTrace(trace_capacity) if trace else None)
+        self.sampler: Optional[PhaseSampler] = None
+        self.sample_interval = sample_interval
+        #: Flits forwarded per tile (link-source attribution), filled by
+        #: the mesh wrapper installed in :meth:`attach`.
+        self.tile_flits: List[int] = []
+        self.meta: Dict[str, object] = {}
+        self._phase_start = 0
+        self._phases = 0
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    @property
+    def overhead_events(self) -> int:
+        """Scheduler events consumed by observation (sampler ticks)."""
+        return self.sampler.ticks if self.sampler is not None else 0
+
+    @property
+    def samples(self) -> List[dict]:
+        return self.sampler.samples if self.sampler is not None else []
+
+    @property
+    def phases(self) -> int:
+        """Barrier phases closed so far (spans emitted to the trace)."""
+        return self._phases
+
+    # ------------------------------------------------------------------
+    def attach(self, system) -> None:
+        """Instrument a freshly built ``System`` (called by its ctor)."""
+        if self._attached:
+            raise RuntimeError("an ObsSession observes exactly one run; "
+                               "create a fresh session per simulation")
+        self._attached = True
+        ctx = system.ctx
+        self.meta.update(workload=system.workload.name,
+                         protocol=system.proto.name,
+                         num_tiles=ctx.config.num_tiles)
+
+        # -- metrics: every instrumented layer registers its counters --
+        hub = self.hub
+        system.proto_sys.register_metrics(hub)
+        ctx.mesh.register_metrics(hub)
+        for tile, dram in sorted(ctx.drams.items()):
+            dram.register_metrics(hub, tile)
+        ctx.queue.register_metrics(hub)
+        # Waste profilers are swapped by the warm-up reset, so the pulls
+        # must resolve through ctx at read time, not bind the instances.
+        for level, attr in (("l1", "l1_prof"), ("l2", "l2_prof"),
+                            ("mem", "mem_prof")):
+            for cat in CATEGORY_ORDER:
+                hub.add_pull(
+                    "waste_words",
+                    lambda c=ctx, a=attr, k=cat: getattr(c, a).count(k),
+                    kind="gauge",
+                    help="word-level waste taxonomy (live verdicts)",
+                    level=level, category=cat.value)
+
+        # -- per-tile link utilization: wrap the context's bound mesh
+        # helpers (send_* read them per call, so rebinding after
+        # construction is safe and costs nothing when no obs is given).
+        self._wrap_mesh(ctx)
+
+        # -- sampler ----------------------------------------------------
+        self.sampler = PhaseSampler(ctx.queue, hub, self.sample_interval)
+        self.sampler.start()
+
+        # -- tracing hooks ----------------------------------------------
+        if self.trace is not None:
+            system.barrier.on_release(partial(self._on_barrier, ctx.queue))
+            service_hist = hub.histogram(
+                "dram_service_cycles",
+                "DRAM request service latency (queue entry to data out)")
+            for tile, dram in sorted(ctx.drams.items()):
+                dram.on_service = partial(self._on_dram_service, tile,
+                                          service_hist)
+
+    def _wrap_mesh(self, ctx) -> None:
+        mesh = ctx.mesh
+        num_tiles = ctx.config.num_tiles
+        self.tile_flits = [0] * num_tiles
+        tile_flits = self.tile_flits
+        links_table = mesh._links
+        for tile in range(num_tiles):
+            self.hub.add_pull("tile_link_flits",
+                              lambda f=tile_flits, t=tile: f[t],
+                              help="flits forwarded by each tile's router "
+                                   "(link-source attribution)",
+                              tile=tile)
+
+        real_traverse = ctx._traverse
+
+        def traverse(src, dst, total_flits, now,
+                     _real=real_traverse, _links=links_table,
+                     _n=num_tiles, _flits=tile_flits):
+            if src != dst:
+                for link in _links[src * _n + dst]:
+                    _flits[link // _n] += total_flits
+            return _real(src, dst, total_flits, now)
+
+        real_latency = ctx._latency
+
+        def latency(src, dst, total_flits, now,
+                    _real=real_latency, _links=links_table,
+                    _n=num_tiles, _flits=tile_flits):
+            if src != dst:
+                for link in _links[src * _n + dst]:
+                    _flits[link // _n] += total_flits
+            return _real(src, dst, total_flits, now)
+
+        ctx._traverse = traverse
+        ctx._latency = latency
+
+    # -- trace hooks ----------------------------------------------------
+    def _on_barrier(self, queue) -> None:
+        now = queue.now
+        self.trace.complete(f"phase {self._phases}", "barrier",
+                            self._phase_start, now - self._phase_start,
+                            track="barrier phases")
+        self._phases += 1
+        self._phase_start = now
+
+    def _on_dram_service(self, tile, hist, line_addr, is_write, bank,
+                         row_hit, start, done) -> None:
+        hist.observe(done - start, mc=tile)
+        self.trace.complete(
+            "write" if is_write else "read", "dram", start, done - start,
+            track=f"mc{tile} bank{bank}",
+            args={"line": line_addr, "row_hit": row_hit})
+
+    # ------------------------------------------------------------------
+    def finish(self, system) -> None:
+        """End of run: close the trailing phase span, take a last sample."""
+        now = system.ctx.queue.now
+        if self.trace is not None and now > self._phase_start:
+            self.trace.complete(f"phase {self._phases}", "barrier",
+                                self._phase_start, now - self._phase_start,
+                                track="barrier phases")
+            self._phases += 1
+            self._phase_start = now
+        if self.sampler is not None:
+            self.sampler.sample_now()
+
+    # -- export ---------------------------------------------------------
+    def _sample_counters(self) -> List[dict]:
+        """Chrome counter events derived from the sampler time series."""
+        events: List[dict] = []
+        if self.sampler is None:
+            return events
+        prev_events = 0.0
+        prev_hops = 0.0
+        prev_tiles: Dict[str, float] = {}
+        for sample in self.sampler.samples:
+            cycle = sample["cycle"]
+            metrics = sample["metrics"]
+            engine = metrics.get("engine_events", {}).get("", 0.0)
+            events.append({"name": "events/interval", "ph": "C",
+                           "ts": cycle, "pid": 0,
+                           "args": {"events": engine - prev_events}})
+            prev_events = engine
+            hops = metrics.get("noc_flit_hops", {}).get("", 0.0)
+            events.append({"name": "noc flit-hops/interval", "ph": "C",
+                           "ts": cycle, "pid": 0,
+                           "args": {"flit_hops": hops - prev_hops}})
+            prev_hops = hops
+            tiles = metrics.get("tile_link_flits", {})
+            if tiles:
+                deltas = {
+                    f"t{label.split('=', 1)[1]}":
+                        value - prev_tiles.get(label, 0.0)
+                    for label, value in tiles.items()}
+                events.append({"name": "tile link flits/interval",
+                               "ph": "C", "ts": cycle, "pid": 0,
+                               "args": deltas})
+                prev_tiles = dict(tiles)
+        return events
+
+    def chrome_trace(self) -> dict:
+        """The run as a Chrome trace-event JSON object (spans + counters)."""
+        if self.trace is None:
+            raise RuntimeError("this session was created with trace=False")
+        data = self.trace.chrome(other_data=dict(self.meta))
+        counters = self._sample_counters()
+        data["traceEvents"] = sorted(
+            data["traceEvents"] + counters,
+            key=lambda e: (e.get("ts", -1),))
+        return data
+
+    def export(self, path) -> None:
+        """Write the Chrome trace JSON (loads in Perfetto) to ``path``."""
+        import json
+        with open(path, "w") as fh:
+            json.dump(self.chrome_trace(), fh, indent=1)
+            fh.write("\n")

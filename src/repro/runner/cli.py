@@ -92,6 +92,31 @@ def _progress_printer(out):
     return progress
 
 
+def _grid_progress(ns: argparse.Namespace, store: ResultStore, out):
+    """``(ProgressFn, finish)`` for one grid command.
+
+    Without ``--progress`` this is the legacy per-cell printer and a
+    no-op finish.  With ``--progress`` the callback routes through a
+    :class:`~repro.obs.telemetry.SweepTelemetry` collector — live lines
+    gain ETA estimates, and ``finish()`` persists the per-cell timing
+    sidecar (``telemetry.json``) next to the results.
+    """
+    if not getattr(ns, "progress", False):
+        return _progress_printer(out), lambda: None
+    from repro.obs import SweepTelemetry
+    telemetry = SweepTelemetry(command=ns.command)
+
+    def finish() -> None:
+        path = telemetry.write(store.sidecar_path())
+        print(f"telemetry: {telemetry.done}/{telemetry.total or 0} cells, "
+              f"{telemetry.cache_hits} cached, "
+              f"{telemetry.sim_seconds:.2f}s simulated in "
+              f"{telemetry.wall_seconds():.2f}s wall -> {path}",
+              file=out, flush=True)
+
+    return telemetry.printer(out), finish
+
+
 def _single_shape_config(ns: argparse.Namespace, scale: ScaleConfig):
     """System config for one-shape commands (figures/report)."""
     tiles = _parse_tiles(ns)
@@ -105,12 +130,12 @@ def _single_shape_config(ns: argparse.Namespace, scale: ScaleConfig):
     return scaled_system(scale, num_tiles=tiles[0])
 
 
-def _grid(ns: argparse.Namespace, progress=None):
+def _grid(ns: argparse.Namespace, store: ResultStore, progress=None):
     scale = SCALES[ns.scale]()
     return sweep_grid(
         workloads=ns.workloads, protocols=ns.protocols,
         scale=scale, config=_single_shape_config(ns, scale), seed=ns.seed,
-        jobs=_resolve_jobs(ns.jobs), store=_make_store(ns),
+        jobs=_resolve_jobs(ns.jobs), store=store,
         use_cache=not ns.fresh, progress=progress)
 
 
@@ -133,10 +158,12 @@ def cmd_sweep(ns: argparse.Namespace, out=None) -> int:
           f"{shapes} = {len(specs)} cells, scale={ns.scale}, jobs={jobs}",
           file=out, flush=True)
     store = _make_store(ns)
+    progress, finish = _grid_progress(ns, store, out)
     start = time.perf_counter()
     sweep(specs, jobs=jobs, store=store, use_cache=not ns.fresh,
-          progress=_progress_printer(out))
+          progress=progress)
     elapsed = time.perf_counter() - start
+    finish()
     print(f"sweep: {len(specs)} cells in {elapsed:.2f}s "
           f"(results in {store.directory})", file=out, flush=True)
     return 0
@@ -148,11 +175,14 @@ def cmd_scaling(ns: argparse.Namespace, out=None) -> int:
     from repro.analysis.scaling import DEFAULT_TILES, figure_scaling
     tiles = _parse_tiles(ns) or DEFAULT_TILES
     workloads = tuple(ns.workloads) if ns.workloads else ("radix",)
+    store = _make_store(ns)
+    progress, finish = _grid_progress(ns, store, sys.stderr)
     shapes = sweep_shapes(
         tiles, workloads=workloads, protocols=ns.protocols,
         scale=SCALES[ns.scale](), seed=ns.seed,
-        jobs=_resolve_jobs(ns.jobs), store=_make_store(ns),
-        use_cache=not ns.fresh, progress=_progress_printer(sys.stderr))
+        jobs=_resolve_jobs(ns.jobs), store=store,
+        use_cache=not ns.fresh, progress=progress)
+    finish()
     print(figure_scaling(shapes).render(), file=out)
     return 0
 
@@ -163,11 +193,14 @@ def cmd_energy(ns: argparse.Namespace, out=None) -> int:
     from repro.analysis.energy import edp_table, energy_grid, figure_energy
     scale = SCALES[ns.scale]()
     config = _single_shape_config(ns, scale) or scaled_system(scale)
+    store = _make_store(ns)
+    progress, finish = _grid_progress(ns, store, sys.stderr)
     grid = sweep_grid(
         workloads=ns.workloads, protocols=ns.protocols,
         scale=scale, config=config, seed=ns.seed,
-        jobs=_resolve_jobs(ns.jobs), store=_make_store(ns),
-        use_cache=not ns.fresh, progress=_progress_printer(sys.stderr))
+        jobs=_resolve_jobs(ns.jobs), store=store,
+        use_cache=not ns.fresh, progress=progress)
+    finish()
     presets = [ns.preset] if ns.preset else list(registered_energy_models())
     for preset in presets:
         stats = energy_grid(grid, preset, config)
@@ -183,12 +216,15 @@ def cmd_figures(ns: argparse.Namespace, out=None) -> int:
     out = out if out is not None else sys.stdout
     from repro.analysis.figures import figures_from_store
     scale = SCALES[ns.scale]()
+    store = _make_store(ns)
+    progress, finish = _grid_progress(ns, store, sys.stderr)
     figures = figures_from_store(
         ns.figures, jobs=_resolve_jobs(ns.jobs),
         workloads=ns.workloads, protocols=ns.protocols,
         scale=scale, config=_single_shape_config(ns, scale),
-        seed=ns.seed, store=_make_store(ns),
-        use_cache=not ns.fresh, progress=_progress_printer(sys.stderr))
+        seed=ns.seed, store=store,
+        use_cache=not ns.fresh, progress=progress)
+    finish()
     for figure in figures:
         print(figure.render(), file=out)
         print(file=out)
@@ -199,9 +235,62 @@ def cmd_report(ns: argparse.Namespace, out=None) -> int:
     out = out if out is not None else sys.stdout
     from repro.analysis import report
     scale = SCALES[ns.scale]()
-    grid = _grid(ns, progress=_progress_printer(sys.stderr))
+    store = _make_store(ns)
+    progress, finish = _grid_progress(ns, store, sys.stderr)
+    grid = _grid(ns, store, progress=progress)
+    finish()
     config = _single_shape_config(ns, scale) or scaled_system(scale)
     print(report.generate(grid, energy_config=config), file=out)
+    return 0
+
+
+def _canonical_protocol(name: str) -> str:
+    """Resolve a case-insensitive protocol name to its registry key.
+
+    ``--protocol denovo`` should work like ``--workload fft`` does;
+    exact-case lookups (and their near-miss suggestions) stay with the
+    registry itself.
+    """
+    canonical = {n.lower(): n for n in registered_protocols()}
+    key = canonical.get(name.lower())
+    if key is not None:
+        return key
+    protocol_by_name(name)     # raises KeyError with suggestions
+    return name
+
+
+def cmd_trace(ns: argparse.Namespace, out=None) -> int:
+    """Run one observed cell; export the Chrome trace JSON."""
+    out = out if out is not None else sys.stdout
+    from repro.core.simulator import simulate
+    from repro.obs import ObsSession
+    from repro.workloads import build_workload
+    scale = SCALES[ns.scale]()
+    tiles = _parse_tiles(ns)
+    config = (scaled_system(scale, num_tiles=tiles[0]) if tiles
+              else scaled_system(scale))
+    workload = build_workload(ns.workload, scale,
+                              num_cores=config.num_tiles, seed=ns.seed)
+    protocol = _canonical_protocol(ns.protocol)
+    obs = ObsSession(sample_interval=ns.sample_interval)
+    start = time.perf_counter()
+    result = simulate(workload, protocol, config, obs=obs)
+    elapsed = time.perf_counter() - start
+    obs.export(ns.out)
+    trace = obs.trace
+    print(f"trace: {workload.name} / {protocol} @ {config.num_tiles}t, "
+          f"{result.exec_cycles} cycles in {elapsed:.2f}s", file=out,
+          flush=True)
+    print(f"trace: {len(trace.events())} span/instant events "
+          f"({trace.dropped} dropped by the ring buffer), "
+          f"{len(obs.samples)} metric samples -> {ns.out}", file=out,
+          flush=True)
+    print("trace: load in https://ui.perfetto.dev or chrome://tracing",
+          file=out, flush=True)
+    if ns.timeline:
+        from repro.analysis.timeline import figure_timeline
+        print(file=out)
+        print(figure_timeline(obs).render(), file=out, flush=True)
     return 0
 
 
@@ -308,6 +397,11 @@ def build_parser() -> argparse.ArgumentParser:
     grid_flags.add_argument(
         "--fresh", action="store_true",
         help="ignore and do not update the on-disk result store")
+    grid_flags.add_argument(
+        "--progress", action="store_true",
+        help="live per-cell progress with ETA, plus a telemetry.json "
+             "sidecar (per-cell wall time, attempts, cache hits) in "
+             "the result-store directory")
 
     p = sub.add_parser("sweep", parents=[grid_flags],
                        help="simulate the grid and persist results")
@@ -360,6 +454,35 @@ def build_parser() -> argparse.ArgumentParser:
                         f"{REGRESSION_THRESHOLD})")
     p.set_defaults(func=cmd_bench)
 
+    p = sub.add_parser(
+        "trace",
+        help="run one observed cell and export a Chrome trace-event "
+             "JSON (loads in Perfetto / chrome://tracing)")
+    p.add_argument("--workload", default="FFT", metavar="W",
+                   help="workload to trace (case-insensitive; "
+                        "default: FFT)")
+    p.add_argument("--protocol", default="DeNovo", metavar="P",
+                   help="protocol rung (case-insensitive; "
+                        "default: DeNovo)")
+    p.add_argument("--scale", choices=sorted(SCALES), default="tiny",
+                   help="input-size scale (default: tiny — traces of "
+                        "bigger scales get large)")
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                   help=f"trace-generator seed (default: {DEFAULT_SEED})")
+    p.add_argument("--tiles", nargs="+", metavar="N",
+                   help="machine shape (one square tile count; "
+                        "default: the paper's 16)")
+    p.add_argument("--sample-interval", type=int, default=5000,
+                   metavar="CYCLES",
+                   help="metric-sampling period in simulated cycles "
+                        "(default: 5000)")
+    p.add_argument("-o", "--out", default="trace.json", metavar="FILE",
+                   help="output trace path (default: trace.json)")
+    p.add_argument("--timeline", action="store_true",
+                   help="also print the per-tile link-utilization "
+                        "heat-strip timeline")
+    p.set_defaults(func=cmd_trace)
+
     p = sub.add_parser("list",
                        help="print registered workloads and protocols")
     p.set_defaults(func=cmd_list)
@@ -410,6 +533,21 @@ def _validate(ns: argparse.Namespace) -> Optional[str]:
                 _single_shape_config(ns, scale)
             except ValueError as exc:
                 return str(exc)
+    # Trace runs a single cell: singular flags, one shape.
+    if ns.command == "trace":
+        try:
+            canonical_workload(ns.workload)
+        except KeyError as exc:
+            return str(exc.args[0])
+        try:
+            _canonical_protocol(ns.protocol)
+        except KeyError as exc:
+            return str(exc.args[0])
+        if ns.sample_interval <= 0:
+            return "--sample-interval must be a positive cycle count"
+        if tiles and len(tiles) != 1:
+            return ("trace runs one machine shape at a time; pass a "
+                    "single --tiles value")
     # Every figure and the report normalize to the MESI bar, so a grid
     # without MESI would only fail after the whole sweep ran.
     if ns.command in ("figures", "report", "energy"):

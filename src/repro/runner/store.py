@@ -101,6 +101,15 @@ class ResultStore:
     def path_for(self, workload: str, protocol: str, key: str) -> Path:
         return self.directory / f"{workload}_{protocol}_{key}.json"
 
+    def sidecar_path(self, name: str = "telemetry.json") -> Path:
+        """Path for a non-result sidecar file (e.g. sweep telemetry).
+
+        Sidecars live next to the cells but are not cells: they are
+        excluded from :meth:`entries`, so ``clear``/``__len__`` and any
+        cache accounting ignore them.
+        """
+        return self.directory / name
+
     def save(self, result: RunResult, key: str) -> Path:
         """Atomically persist one result; returns the cell's path."""
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -150,7 +159,8 @@ class ResultStore:
             return iter(())
         return iter(sorted(
             p for p in self.directory.iterdir()
-            if p.suffix == ".json" or p.name.endswith(".tmp")))
+            if (p.suffix == ".json" or p.name.endswith(".tmp"))
+            and p.name != "telemetry.json"))
 
     def clear(self) -> int:
         """Delete every stored cell; returns the number removed."""

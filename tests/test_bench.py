@@ -85,3 +85,66 @@ class TestCompareRecords:
         lax = compare_records(_record(CELLS), _record(slower),
                               threshold=0.2)
         assert lax["ok"]
+
+
+class TestGitDescribe:
+    """git_describe must degrade to "unknown" cleanly, never crash."""
+
+    def test_git_missing_returns_unknown(self, monkeypatch):
+        import subprocess
+        from repro import bench
+
+        def no_git(*args, **kwargs):
+            raise FileNotFoundError("git")
+
+        monkeypatch.setattr(subprocess, "run", no_git)
+        assert bench.git_describe() == "unknown"
+
+    def test_not_a_repo_returns_unknown(self, monkeypatch):
+        import subprocess
+        from repro import bench
+
+        def not_a_repo(*args, **kwargs):
+            return subprocess.CompletedProcess(
+                args[0], returncode=128, stdout="",
+                stderr="fatal: not a git repository")
+
+        monkeypatch.setattr(subprocess, "run", not_a_repo)
+        assert bench.git_describe() == "unknown"
+
+    def test_empty_output_returns_unknown(self, monkeypatch):
+        import subprocess
+        from repro import bench
+        monkeypatch.setattr(
+            subprocess, "run",
+            lambda *a, **k: subprocess.CompletedProcess(
+                a[0], returncode=0, stdout="\n", stderr=""))
+        assert bench.git_describe() == "unknown"
+
+    def test_success_passes_describe_through(self, monkeypatch):
+        import subprocess
+        from repro import bench
+        seen = {}
+
+        def ok(*args, **kwargs):
+            seen.update(kwargs)
+            return subprocess.CompletedProcess(
+                args[0], returncode=0, stdout="abc1234-dirty\n", stderr="")
+
+        monkeypatch.setattr(subprocess, "run", ok)
+        assert bench.git_describe() == "abc1234-dirty"
+        # Hardening: stderr captured (no terminal noise), cwd pinned to
+        # the package (not the caller's directory), stdin closed.
+        assert seen["capture_output"] is True
+        assert seen["cwd"]
+        assert seen["stdin"] is subprocess.DEVNULL
+
+    def test_timeout_returns_unknown(self, monkeypatch):
+        import subprocess
+        from repro import bench
+
+        def too_slow(*args, **kwargs):
+            raise subprocess.TimeoutExpired(args[0], 10)
+
+        monkeypatch.setattr(subprocess, "run", too_slow)
+        assert bench.git_describe() == "unknown"

@@ -45,6 +45,16 @@ class TestExamples:
         assert "DBypFull vs MESI [22nm]" in proc.stdout
         assert "EDP" in proc.stdout
 
+    def test_trace_timeline(self, tmp_path):
+        out = tmp_path / "trace.json"
+        proc = run_example("trace_timeline.py", "FFT", "DeNovo", str(out))
+        assert proc.returncode == 0, proc.stderr
+        assert "metrics hub totals" in proc.stdout
+        assert "timeline: FFT / DeNovo" in proc.stdout
+        assert out.exists()
+        import json
+        assert json.loads(out.read_text())["traceEvents"]
+
     def test_core_scaling(self):
         proc = run_example("core_scaling.py", "stream", "4", "16")
         assert proc.returncode == 0, proc.stderr
