@@ -4,8 +4,10 @@
 Thin script wrapper around :mod:`repro.bench` (also reachable as
 ``python -m repro bench``).  Runs the smoke cells in-process, serially
 and cache-free (so the numbers are pure simulation speed, not store
-hits) and writes a ``BENCH_new.json`` record carrying
-``schema_version`` and a ``git_describe`` stamp.  CI compares the fresh
+hits), timing each cell under both execution engines (reference and
+table-compiled, with per-cell bit-identity asserted), and writes a
+``BENCH_new.json`` record carrying ``schema_version`` and a
+``git_describe`` stamp.  CI compares the fresh
 record against the committed repo-root baseline with
 ``tools/bench_compare.py`` and uploads it as a workflow artifact.
 

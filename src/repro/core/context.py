@@ -74,10 +74,13 @@ class SimContext:
         self.regions = regions
         self.queue = EventQueue()
         self.mesh = Mesh(config)
-        self.ledger = TrafficLedger(config.words_per_flit)
-        self.l1_prof = CacheLevelProfiler("L1")
-        self.l2_prof = CacheLevelProfiler("L2")
-        self.mem_prof = MemoryProfiler()
+        # Accounting objects come from overridable factories so engine
+        # variants (repro.engine.compiled) can substitute array-backed
+        # implementations with identical observable behaviour.
+        self.ledger = self._make_ledger()
+        self.l1_prof = self._make_cache_profiler("L1")
+        self.l2_prof = self._make_cache_profiler("L2")
+        self.mem_prof = self._make_memory_profiler()
         # Memory-controller tiles: the paper's four corners by default,
         # generalized by the config for other shapes/controller counts.
         self.mc_tiles = config.mc_placement()
@@ -103,6 +106,16 @@ class SimContext:
         self._traverse = self.mesh.traverse
         self._schedule_call = self.queue.schedule_call
         self._bind_ledger()
+
+    # -- accounting factories (overridden by engine variants) -----------
+    def _make_ledger(self) -> TrafficLedger:
+        return TrafficLedger(self.config.words_per_flit)
+
+    def _make_cache_profiler(self, level: str) -> CacheLevelProfiler:
+        return CacheLevelProfiler(level)
+
+    def _make_memory_profiler(self) -> MemoryProfiler:
+        return MemoryProfiler()
 
     def _bind_ledger(self) -> None:
         ledger = self.ledger
@@ -209,11 +222,11 @@ class SimContext:
         later verdicts on them land in the discarded warm-up counters, as
         the paper's measurement methodology intends.
         """
-        self.ledger = TrafficLedger(self.config.words_per_flit)
+        self.ledger = self._make_ledger()
         self._bind_ledger()
-        self.l1_prof = CacheLevelProfiler("L1")
-        self.l2_prof = CacheLevelProfiler("L2")
-        self.mem_prof = MemoryProfiler()
+        self.l1_prof = self._make_cache_profiler("L1")
+        self.l2_prof = self._make_cache_profiler("L2")
+        self.mem_prof = self._make_memory_profiler()
         # Energy counters follow the same measurement window as the
         # ledger: NoC flit-hops must reconcile with the post-warm-up
         # traffic totals, and DRAM/MC energy events with the window's

@@ -1,0 +1,38 @@
+"""Table-compiled execution engine (``SystemConfig.engine = "compiled"``).
+
+Compiles each protocol's policy stack into flat transition tables at
+system-construction time and executes them with one generic
+array-driven interpreter over pooled (array-backed) accounting state.
+Bit-identical to the reference engine — the golden grid pins every
+timing, traffic, waste and energy counter under both — just faster.
+
+Layout:
+
+* :mod:`~repro.engine.compiled.tables` — policy-stack -> table compiler;
+* :mod:`~repro.engine.compiled.pools` — integer-handle waste profilers
+  and traffic ledger over run-lifetime pools;
+* :mod:`~repro.engine.compiled.interp` — the interpreter core and the
+  pooled simulation context;
+* :mod:`~repro.engine.compiled.protocols` — fused protocol cores that
+  inline the hot handler paths over the pooled state.
+"""
+
+from repro.engine.compiled.interp import (
+    CompiledCore, CompiledSimContext, core_class)
+from repro.engine.compiled.pools import (
+    PooledCacheLevelProfiler, PooledMemoryProfiler, PooledTrafficLedger,
+    WastePools)
+from repro.engine.compiled.protocols import (
+    COMPILED_PROTOCOL_CORES, CompiledDenovoSystem, CompiledMesiSystem,
+    build_compiled_protocol_system)
+from repro.engine.compiled.tables import (
+    ACTION_LISTS, CompiledProgram, compile_protocol, compile_status)
+
+__all__ = [
+    "ACTION_LISTS", "COMPILED_PROTOCOL_CORES", "CompiledCore",
+    "CompiledDenovoSystem", "CompiledMesiSystem", "CompiledProgram",
+    "CompiledSimContext", "PooledCacheLevelProfiler",
+    "PooledMemoryProfiler", "PooledTrafficLedger", "WastePools",
+    "build_compiled_protocol_system", "compile_protocol",
+    "compile_status", "core_class",
+]

@@ -1,0 +1,365 @@
+"""Generic array-driven interpreter for compiled protocol tables.
+
+:class:`CompiledCore` replaces the reference :class:`~repro.core.core.Core`
+run loop with a table dispatch: per memory op it reads the line's unified
+state index, fetches the action from the protocol's flat dispatch array,
+and executes the action's micro-op sequence inline — one tag probe, LRU
+refresh, pooled waste-profiler transitions and the retire, with zero
+Python calls on the hit path.  Any action it cannot complete locally
+(``A_SLOW``, or a guard like the store-buffer check failing) delegates
+the *entire* access to the reference protocol controller, which performs
+its own probe/touch — so every access charges exactly one L1 tag probe
+and one LRU refresh either way, and the scheduled event stream is
+bit-identical to the reference engine's.
+
+The interpreter requires the pooled accounting of
+:class:`CompiledSimContext` (profiler transitions are inlined against
+the integer pools); protocols whose family has no compiled tables fall
+back to the reference core on the same pooled context.
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.common.config import ProtocolConfig, SystemConfig
+from repro.common.regions import RegionTable
+from repro.core.context import SimContext
+from repro.core.core import BATCH_LIMIT, Core
+from repro.engine.compiled.pools import (
+    C_USED, C_WRITE, PooledCacheLevelProfiler, PooledMemoryProfiler,
+    PooledTrafficLedger, WastePools)
+from repro.engine.compiled.tables import (
+    A_LOAD_HIT, A_STORE_HIT, K_LINE, compile_protocol)
+from repro.network.traffic import (
+    DEST_L1, DEST_L2, LD, OVH, REQ_CTL, RESP_CTL, ST, WB, WB_CONTROL,
+    WB_L2_USED, WB_L2_WASTE, WB_MEM_USED, WB_MEM_WASTE)
+from repro.waste.profiler import _USED_I, _WRITE_I
+from repro.workloads.trace import OP_BARRIER, OP_COMPUTE, OP_LOAD, OP_STORE
+
+
+class CompiledSimContext(SimContext):
+    """Simulation context with array-backed (pooled) accounting.
+
+    The handle pools live here — one allocation per run — and survive
+    ``reset_stats()``, so handles created during warm-up remain
+    resolvable afterwards exactly like object references; the factory
+    overrides swap only the per-window profiler state.  ``program`` is
+    the protocol's compiled table set (None for protocol families
+    without a compiler, which run on the reference core).
+    """
+
+    def __init__(self, config: SystemConfig, proto: ProtocolConfig,
+                 regions: RegionTable) -> None:
+        self.pools = WastePools()
+        self.program = compile_protocol(proto)
+        super().__init__(config, proto, regions)
+
+    def _make_ledger(self) -> PooledTrafficLedger:
+        return PooledTrafficLedger(self.config.words_per_flit,
+                                   self.pools.cache_cat)
+
+    def _make_cache_profiler(self, level: str) -> PooledCacheLevelProfiler:
+        return PooledCacheLevelProfiler(level, self.pools.cache_cat)
+
+    def _make_memory_profiler(self) -> PooledMemoryProfiler:
+        return PooledMemoryProfiler(self.pools)
+
+    def _bind_ledger(self) -> None:
+        super()._bind_ledger()
+        # The fused send helpers below add straight into the live
+        # ledger's bucket dicts; rebinding here (called from __init__
+        # and from every reset_stats ledger swap) keeps them pointed at
+        # the measurement window's ledger.
+        self._lbuckets = self.ledger._buckets
+        self._ldeferred = self.ledger._deferred
+        self._wpf = self.config.words_per_flit
+
+    # -- fused message helpers ------------------------------------------
+    # Observable behaviour (traverse calls, bucket float-accumulation
+    # order, schedule order, return values) is identical to the
+    # reference SimContext helpers; the per-message ledger method calls
+    # are flattened to dict arithmetic against the prebound buckets.
+    # CoherenceKernel binds ctx.send_* at construction, so the reference
+    # protocol handlers pick these up automatically on this context.
+
+    def send_req_ctl(self, major, src, dst, at, handler, *args):
+        if major is not LD and major is not ST:
+            self.ledger._check(major, (LD, ST))
+        hops, delay = self._traverse(src, dst, 1, at)
+        self._lbuckets[major][REQ_CTL] += hops
+        arrive = at + delay
+        self._schedule_call(arrive, handler, *args, arrive)
+        return arrive
+
+    def send_resp_ctl(self, major, src, dst, at, handler, *args):
+        if major is not LD and major is not ST:
+            self.ledger._check(major, (LD, ST))
+        hops, delay = self._traverse(src, dst, 1, at)
+        self._lbuckets[major][RESP_CTL] += hops
+        arrive = at + delay
+        self._schedule_call(arrive, handler, *args, arrive)
+        return arrive
+
+    def send_data(self, major, dest_level, src, dst, at, entries,
+                  handler, *args):
+        if major is not LD and major is not ST:
+            self.ledger._check(major, (LD, ST))
+        if dest_level is not DEST_L1 and dest_level is not DEST_L2 \
+                and dest_level not in (DEST_L1, DEST_L2):
+            raise ValueError(
+                f"data destination must be l1/l2, got {dest_level!r}")
+        hops = self.mesh._hops[src * self._num_tiles + dst]
+        bucket = self._lbuckets[major]
+        bucket[RESP_CTL] += hops            # header flit
+        n_words = len(entries)
+        if n_words:
+            wpf = self._wpf
+            data_flits = -(-n_words // wpf)
+            per_word = hops / wpf
+            self._ldeferred.append((entries, per_word, major, dest_level))
+            slack = data_flits * wpf - n_words
+            if slack:
+                bucket[RESP_CTL] += slack * per_word
+        else:
+            data_flits = 0
+        _hops, delay = self._traverse(src, dst, 1 + data_flits, at)
+        arrive = at + delay
+        self._schedule_call(arrive, handler, *args, arrive)
+        return arrive
+
+    def send_wb(self, src, dst, at, dirty_flags, dest_level,
+                handler, *args):
+        hops = self.mesh._hops[src * self._num_tiles + dst]
+        wb_bucket = self._lbuckets[WB]
+        wb_bucket[WB_CONTROL] += hops       # header flit
+        n_words = len(dirty_flags)
+        if n_words:
+            wpf = self._wpf
+            data_flits = -(-n_words // wpf)
+            per_word = hops / wpf
+            if dest_level == DEST_L2:
+                used_key, waste_key = WB_L2_USED, WB_L2_WASTE
+            else:
+                used_key, waste_key = WB_MEM_USED, WB_MEM_WASTE
+            for dirty in dirty_flags:
+                wb_bucket[used_key if dirty else waste_key] += per_word
+            slack = data_flits * wpf - n_words
+            if slack:
+                wb_bucket[WB_CONTROL] += slack * per_word
+        else:
+            data_flits = 0
+        _hops, delay = self._traverse(src, dst, 1 + data_flits, at)
+        arrive = at + delay
+        self._schedule_call(arrive, handler, *args, arrive)
+        return arrive
+
+    def send_overhead(self, subtype, src, dst, at, handler=None, *args,
+                      flits=1):
+        hops, delay = self._traverse(src, dst, flits, at)
+        self._lbuckets[OVH][subtype] += hops * flits
+        arrive = at + delay
+        if handler is not None:
+            self._schedule_call(arrive, handler, *args, arrive)
+        return arrive
+
+
+def core_class(ctx: SimContext) -> Type[Core]:
+    """Core implementation for ``ctx``: table interpreter or reference."""
+    if getattr(ctx, "program", None) is not None:
+        return CompiledCore
+    return Core
+
+
+class CompiledCore(Core):
+    """In-order core executing its trace through compiled tables."""
+
+    def __init__(self, core_id, trace, protocol_system, ctx,
+                 barrier, on_finish) -> None:
+        super().__init__(core_id, trace, protocol_system, ctx,
+                         barrier, on_finish)
+        program = ctx.program
+        self._dispatch = program.dispatch
+        self._kind_line = program.kind_code == K_LINE
+        self._owned_state = program.owned_state
+        self._l1 = protocol_system.l1[core_id]
+        # MESI guards in-place hits against an in-flight buffered store
+        # for the line; DeNovo has no store buffer and its tables never
+        # emit a NOSB action, so an empty set keeps the loop uniform.
+        sbufs = getattr(protocol_system, "sbuf", None)
+        self._sb_pending = (sbufs[core_id]._pending if sbufs is not None
+                            else frozenset())
+
+    def _run(self, at: int) -> None:
+        # Same structure as the reference Core._run (same op order, same
+        # batching, same scheduling), with the protocol's fast actions
+        # executed inline from the dispatch table.  Pooled-profiler
+        # internals are rebound on every entry because reset_stats()
+        # swaps the profiler objects between events.
+        queue = self.ctx.queue
+        schedule_call = queue.schedule_call
+        now = queue.now
+        t = at if at >= now else now
+        batch = 0
+        trace = self.trace
+        trace_len = len(trace)
+        time = self.time
+        core_id = self.core_id
+        proto = self.proto
+        proto_load = proto.load
+        proto_store = proto.store
+        ctx = self.ctx
+        dispatch = self._dispatch
+        kind_line = self._kind_line
+        owned = self._owned_state
+        sb_pending = self._sb_pending
+        a_load_hit = A_LOAD_HIT
+        a_store_hit = A_STORE_HIT
+        c_used = C_USED
+        c_write = C_WRITE
+        used_i = _USED_I
+        write_i = _WRITE_I
+        l1 = self._l1
+        lines_get = l1._lines.get
+        lru = l1._lru
+        num_sets = l1._num_sets
+        shift = l1._index_shift
+        l1_prof = ctx.l1_prof
+        wpool = l1_prof._pool
+        l1_active_get = l1_prof._active.get
+        l1_counts = l1_prof._counts
+        mem_prof = ctx.mem_prof
+        mcat = mem_prof._cat
+        mem_on_load = mem_prof.on_load
+        mem_on_store = mem_prof.on_store_addr
+        mem_drop = mem_prof.drop_copy
+        mem_pending = mem_prof._pending_by_addr
+        pc = self.pc
+        while pc < trace_len:
+            kind, arg = trace[pc]
+            if kind == OP_COMPUTE:
+                time.busy += arg
+                t += arg
+                pc += 1
+                batch += 1
+                if arg > BATCH_LIMIT:
+                    self.pc = pc
+                    schedule_call(t, self._run, t)
+                    return
+            elif kind == OP_LOAD:
+                time.busy += 1
+                line_addr = arg >> 4
+                line = lines_get(line_addr)
+                if line is None:
+                    action = 0          # row 0 of every table is A_SLOW
+                elif kind_line:
+                    action = dispatch[(line.state + 1) << 1]
+                else:
+                    action = dispatch[(line.word_state[arg & 15] + 1) << 1]
+                if action and (action == a_load_hit
+                               or line_addr not in sb_pending):
+                    # U_PROBE: one tag probe + LRU refresh, as lookup().
+                    l1.stat_probes += 1
+                    order = lru[(line_addr >> shift) % num_sets]
+                    if order[0] != line_addr:
+                        order.remove(line_addr)
+                        order.insert(0, line_addr)
+                    # U_PROF_USE: first use settles the word's entry.
+                    row = l1_active_get((line_addr << 6) | core_id)
+                    if row is not None:
+                        handle = row[arg & 15]
+                        if handle is not None and wpool[handle] == 0:
+                            wpool[handle] = c_used
+                            l1_counts[used_i] += 1
+                    # U_MEM_LOAD: settle the backing memory instance.
+                    inst = line.mem_inst[arg & 15]
+                    if inst is not None and mcat[inst] == 0:
+                        mem_on_load(inst)
+                    # U_RETIRE_1
+                    t += 1
+                    pc = self.pc = pc + 1
+                    batch += 1
+                else:
+                    # U_DELEGATE: the controller re-resolves the access
+                    # (its lookup() charges the probe for this path).
+                    self.pc = pc
+                    done = proto_load(core_id, arg, t, self._load_done)
+                    if done is None:
+                        self._wait_start = t
+                        return
+                    t = done
+                    pc = self.pc = pc + 1
+                    batch += 1
+            elif kind == OP_STORE:
+                line_addr = arg >> 4
+                line = lines_get(line_addr)
+                if line is None:
+                    action = 0
+                elif kind_line:
+                    action = dispatch[((line.state + 1) << 1) | 1]
+                else:
+                    action = dispatch[
+                        ((line.word_state[arg & 15] + 1) << 1) | 1]
+                if action and (action == a_store_hit
+                               or line_addr not in sb_pending):
+                    off = arg & 15
+                    # U_PROBE
+                    l1.stat_probes += 1
+                    order = lru[(line_addr >> shift) % num_sets]
+                    if order[0] != line_addr:
+                        order.remove(line_addr)
+                        order.insert(0, line_addr)
+                    # U_PROF_WRITE
+                    row = l1_active_get((line_addr << 6) | core_id)
+                    if row is not None:
+                        handle = row[off]
+                        if handle is not None and wpool[handle] == 0:
+                            wpool[handle] = c_write
+                            l1_counts[write_i] += 1
+                    # U_MEM_STORE: a store to the address turns every
+                    # pending memory instance of it into Write waste.
+                    if arg in mem_pending:
+                        mem_on_store(arg)
+                    if action == a_store_hit:
+                        # U_MEM_DROP + U_SET_OWNED, word-granular: the
+                        # local copy stops deriving from memory.
+                        inst = line.mem_inst[off]
+                        if inst is not None:
+                            mem_drop(inst, invalidated=False)
+                            line.mem_inst[off] = None
+                        line.word_state[off] = owned
+                    else:
+                        # U_SET_OWNED, line-granular: silent E->M.
+                        line.state = owned
+                    line.word_dirty[off] = True
+                    # U_RETIRE_1
+                    time.busy += 1
+                    t += 1
+                    pc += 1
+                    batch += 1
+                else:
+                    accepted = proto_store(core_id, arg, t)
+                    if not accepted:
+                        self.pc = pc
+                        self._wait_start = t
+                        proto.on_retire(core_id, self._store_stall_resume)
+                        return
+                    time.busy += 1
+                    t += 1
+                    pc += 1
+                    batch += 1
+            elif kind == OP_BARRIER:
+                self.pc = pc + 1
+                self._wait_start = t
+                proto.drain_barrier(core_id, t, self._drain_done)
+                return
+            else:
+                raise ValueError(f"unknown op kind {kind}")
+            if batch >= BATCH_LIMIT:
+                self.pc = pc
+                schedule_call(t, self._run, t)
+                return
+        self.pc = pc
+        self.finished = True
+        self.finish_time = t
+        self.on_finish(core_id, t)

@@ -1,0 +1,422 @@
+"""Array-backed waste-profiler and ledger state for the compiled engine.
+
+The reference profilers (:mod:`repro.waste.profiler`) allocate one
+slotted ``ProfileEntry``/``MemInstance`` object per delivered word —
+over a hundred thousand allocations in a tiny-grid MESI cell.  The
+compiled engine replaces every entry object with an **integer handle**
+into pools of parallel Python lists owned by the simulation context:
+
+* the cache pool is one flat ``cat`` list shared by the L1 and L2
+  profilers (0 = pending, otherwise category index + 1);
+* the memory pool adds parallel ``refs``/``addr`` lists for the
+  reference-counted instance FSM of Figure 4.3.
+
+The pools belong to the *context* and survive ``reset_stats()`` — a
+handle allocated during warm-up stays resolvable afterwards, exactly
+like an object reference — while the per-profiler state (``_active``
+rows, counters, pending-by-address sets) is swapped, so a post-warm-up
+verdict on a warm-up word lands in the live profiler's counters just
+as in the reference implementation.
+
+Every FSM below mirrors its reference method line for line (same
+first-event-wins transitions, same traversal order), so the category
+counters, ledger bucket floats and entry verdicts are bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.common.addressing import WORDS_PER_LINE
+from repro.network.traffic import (
+    DEST_L1, RESP_L1_USED, RESP_L1_WASTE, RESP_L2_USED, RESP_L2_WASTE,
+    TrafficLedger)
+from repro.waste.profiler import (
+    _EVICT_I, _EXCESS_I, _FETCH_I, _INVALIDATE_I, _UNEVICTED_I, _USED_I,
+    _WRITE_I, CacheLevelProfiler, MemoryProfiler)
+
+# Pool category codes: 0 is pending, otherwise dense category index + 1
+# (same index space as the reference profilers' ``_counts`` lists).
+C_USED = _USED_I + 1
+C_WRITE = _WRITE_I + 1
+C_FETCH = _FETCH_I + 1
+C_INVALIDATE = _INVALIDATE_I + 1
+C_EVICT = _EVICT_I + 1
+C_UNEVICTED = _UNEVICTED_I + 1
+C_EXCESS = _EXCESS_I + 1
+
+_LINE_ZEROS = (0,) * WORDS_PER_LINE
+
+
+class WastePools:
+    """Run-lifetime handle pools, owned by the compiled context."""
+
+    __slots__ = ("cache_cat", "mem_cat", "mem_refs", "mem_addr")
+
+    def __init__(self) -> None:
+        self.cache_cat: List[int] = []
+        self.mem_cat: List[int] = []
+        self.mem_refs: List[int] = []
+        self.mem_addr: List[int] = []
+
+
+class PooledCacheLevelProfiler(CacheLevelProfiler):
+    """Cache-level waste FSM over integer handles into a shared pool.
+
+    Drop-in replacement: callers receive int handles where the
+    reference returns ``ProfileEntry`` objects; all query methods
+    (``counts``/``total_words``/...) are inherited unchanged.
+    """
+
+    def __init__(self, level: str, pool: List[int]) -> None:
+        super().__init__(level)
+        self._pool = pool
+        # _active rows now hold Optional[int] handles.
+        self._active: Dict[int, List[Optional[int]]] = {}
+
+    # -- FSM events ------------------------------------------------------
+    def on_arrival(self, unit: int, word: int, already_present: bool) -> int:
+        pool = self._pool
+        handle = len(pool)
+        self._total += 1
+        if already_present:
+            pool.append(C_FETCH)
+            self._counts[_FETCH_I] += 1
+            return handle
+        pool.append(0)
+        row = self._row_for(((word >> 4) << 6) | unit)
+        slot = word & 15
+        old = row[slot]
+        if old is not None and pool[old] == 0:
+            pool[old] = C_FETCH
+            self._counts[_FETCH_I] += 1
+        row[slot] = handle
+        return handle
+
+    def on_use(self, unit: int, word: int) -> None:
+        row = self._active.get(((word >> 4) << 6) | unit)
+        if row is None:
+            return
+        handle = row[word & 15]
+        if handle is not None and self._pool[handle] == 0:
+            self._pool[handle] = C_USED
+            self._counts[_USED_I] += 1
+
+    def on_write(self, unit: int, word: int) -> None:
+        row = self._active.get(((word >> 4) << 6) | unit)
+        if row is None:
+            return
+        handle = row[word & 15]
+        if handle is not None and self._pool[handle] == 0:
+            self._pool[handle] = C_WRITE
+            self._counts[_WRITE_I] += 1
+
+    def on_evict(self, unit: int, word: int) -> None:
+        row = self._active.get(((word >> 4) << 6) | unit)
+        if row is None:
+            return
+        slot = word & 15
+        handle = row[slot]
+        if handle is None:
+            return
+        if self._pool[handle] == 0:
+            self._pool[handle] = C_EVICT
+            self._counts[_EVICT_I] += 1
+        row[slot] = None
+
+    def on_invalidate(self, unit: int, word: int) -> None:
+        if self.level == "L2":
+            raise RuntimeError("the L2 FSM has no invalidate transition")
+        row = self._active.get(((word >> 4) << 6) | unit)
+        if row is None:
+            return
+        slot = word & 15
+        handle = row[slot]
+        if handle is None:
+            return
+        if self._pool[handle] == 0:
+            self._pool[handle] = C_INVALIDATE
+            self._counts[_INVALIDATE_I] += 1
+        row[slot] = None
+
+    # -- bulk line-granular events ---------------------------------------
+    def arrivals_line(self, unit: int, base: int) -> List[int]:
+        pool = self._pool
+        counts = self._counts
+        self._total += WORDS_PER_LINE
+        h0 = len(pool)
+        pool.extend(_LINE_ZEROS)
+        handles = list(range(h0, h0 + WORDS_PER_LINE))
+        line_key = (base << 2) | unit
+        old_row = self._active.get(line_key)
+        if old_row is not None:
+            for old in old_row:
+                if old is not None and pool[old] == 0:
+                    pool[old] = C_FETCH
+                    counts[_FETCH_I] += 1
+        # The active row is a copy so later slot clearing never mutates
+        # the list handed to traffic accounting.
+        self._active[line_key] = list(handles)
+        return handles
+
+    def arrivals_words(self, unit: int, words, present_flags) -> List[int]:
+        pool = self._pool
+        counts = self._counts
+        active = self._active
+        handles = []
+        append = handles.append
+        self._total += len(words)
+        last_key = -1
+        row = None
+        for word, present in zip(words, present_flags):
+            handle = len(pool)
+            if present:
+                pool.append(C_FETCH)
+                counts[_FETCH_I] += 1
+            else:
+                pool.append(0)
+                line_key = ((word >> 4) << 6) | unit
+                if line_key != last_key:
+                    row = active.get(line_key)
+                    if row is None:
+                        row = active[line_key] = [None] * WORDS_PER_LINE
+                    last_key = line_key
+                slot = word & 15
+                old = row[slot]
+                if old is not None and pool[old] == 0:
+                    pool[old] = C_FETCH
+                    counts[_FETCH_I] += 1
+                row[slot] = handle
+            append(handle)
+        return handles
+
+    def on_use_words(self, unit: int, words) -> None:
+        pool = self._pool
+        active = self._active
+        counts = self._counts
+        last_key = -1
+        row = None
+        for word in words:
+            line_key = ((word >> 4) << 6) | unit
+            if line_key != last_key:
+                row = active.get(line_key)
+                last_key = line_key
+            if row is None:
+                continue
+            handle = row[word & 15]
+            if handle is not None and pool[handle] == 0:
+                pool[handle] = C_USED
+                counts[_USED_I] += 1
+
+    def on_use_line(self, unit: int, base: int) -> None:
+        row = self._active.get((base << 2) | unit)
+        if row is None:
+            return
+        pool = self._pool
+        counts = self._counts
+        for handle in row:
+            if handle is not None and pool[handle] == 0:
+                pool[handle] = C_USED
+                counts[_USED_I] += 1
+
+    def on_evict_line(self, unit: int, base: int) -> None:
+        row = self._active.pop((base << 2) | unit, None)
+        if row is None:
+            return
+        pool = self._pool
+        counts = self._counts
+        for handle in row:
+            if handle is not None and pool[handle] == 0:
+                pool[handle] = C_EVICT
+                counts[_EVICT_I] += 1
+
+    def on_invalidate_line(self, unit: int, base: int) -> None:
+        if self.level == "L2":
+            raise RuntimeError("the L2 FSM has no invalidate transition")
+        row = self._active.pop((base << 2) | unit, None)
+        if row is None:
+            return
+        pool = self._pool
+        counts = self._counts
+        for handle in row:
+            if handle is not None and pool[handle] == 0:
+                pool[handle] = C_INVALIDATE
+                counts[_INVALIDATE_I] += 1
+
+    def finalize(self) -> None:
+        pool = self._pool
+        counts = self._counts
+        for row in self._active.values():
+            for handle in row:
+                if handle is not None and pool[handle] == 0:
+                    pool[handle] = C_UNEVICTED
+                    counts[_UNEVICTED_I] += 1
+        self._active.clear()
+        self._finalized = True
+
+
+class PooledMemoryProfiler(MemoryProfiler):
+    """Memory-level instance FSM (Figure 4.3) over pooled handles.
+
+    ``cat``/``refs``/``addr`` live in the shared pools (instance
+    identity); the pending-by-address index and counters are per
+    profiler instance (measurement window), matching the reference
+    object semantics across ``reset_stats()``.
+    """
+
+    def __init__(self, pools: WastePools) -> None:
+        super().__init__()
+        self._cat = pools.mem_cat
+        self._refs = pools.mem_refs
+        self._addr = pools.mem_addr
+        self._pending_by_addr: Dict[int, Set[int]] = {}
+
+    # -- FSM events ------------------------------------------------------
+    def fetch(self, addr: int, l2_has_addr: bool) -> int:
+        cat = self._cat
+        handle = len(cat)
+        self._refs.append(0)
+        self._addr.append(addr)
+        self._total += 1
+        if l2_has_addr:
+            cat.append(C_FETCH)
+            self._counts[_FETCH_I] += 1
+            return handle
+        cat.append(0)
+        by_addr = self._pending_by_addr
+        pending = by_addr.get(addr)
+        if pending is None:
+            by_addr[addr] = pending = set()
+        pending.add(handle)
+        return handle
+
+    def fetch_excess(self, addr: int) -> int:
+        handle = len(self._cat)
+        self._cat.append(C_EXCESS)
+        self._refs.append(0)
+        self._addr.append(addr)
+        self._total += 1
+        self._counts[_EXCESS_I] += 1
+        return handle
+
+    def install_copy(self, handle: int) -> None:
+        self._refs[handle] += 1
+
+    def drop_copy(self, handle: int, *, invalidated: bool) -> None:
+        refs = self._refs
+        refs[handle] -= 1
+        if refs[handle] <= 0 and self._cat[handle] == 0:
+            if invalidated:
+                self._settle_pending(handle, C_INVALIDATE, _INVALIDATE_I)
+            else:
+                self._settle_pending(handle, C_EVICT, _EVICT_I)
+
+    def on_load(self, handle: int) -> None:
+        if self._cat[handle] == 0:
+            self._settle_pending(handle, C_USED, _USED_I)
+
+    def on_store_addr(self, addr: int) -> None:
+        pending = self._pending_by_addr.pop(addr, None)
+        if not pending:
+            return
+        cat = self._cat
+        counts = self._counts
+        for handle in pending:
+            if cat[handle] == 0:
+                cat[handle] = C_WRITE
+                counts[_WRITE_I] += 1
+
+    # -- bulk line-granular events ---------------------------------------
+    def fetch_line(self, base: int) -> List[int]:
+        cat = self._cat
+        refs = self._refs
+        addrs = self._addr
+        by_addr = self._pending_by_addr
+        out = []
+        append = out.append
+        self._total += WORDS_PER_LINE
+        for addr in range(base, base + WORDS_PER_LINE):
+            handle = len(cat)
+            cat.append(0)
+            refs.append(0)
+            addrs.append(addr)
+            pending = by_addr.get(addr)
+            if pending is None:
+                by_addr[addr] = pending = set()
+            pending.add(handle)
+            append(handle)
+        return out
+
+    def install_copies(self, handles) -> None:
+        refs = self._refs
+        for handle in handles:
+            if handle is not None:
+                refs[handle] += 1
+
+    def drop_copies(self, handles, *, invalidated: bool) -> None:
+        if invalidated:
+            code, idx = C_INVALIDATE, _INVALIDATE_I
+        else:
+            code, idx = C_EVICT, _EVICT_I
+        cat = self._cat
+        refs = self._refs
+        settle = self._settle_pending
+        for handle in handles:
+            if handle is None:
+                continue
+            refs[handle] -= 1
+            if refs[handle] <= 0 and cat[handle] == 0:
+                settle(handle, code, idx)
+
+    def finalize(self) -> None:
+        cat = self._cat
+        counts = self._counts
+        for pending in self._pending_by_addr.values():
+            for handle in pending:
+                if cat[handle] == 0:
+                    cat[handle] = C_UNEVICTED
+                    counts[_UNEVICTED_I] += 1
+        self._pending_by_addr.clear()
+        self._finalized = True
+
+    # -- internals -------------------------------------------------------
+    def _settle_pending(self, handle: int, code: int, cat_index: int) -> None:
+        by_addr = self._pending_by_addr
+        pending = by_addr.get(self._addr[handle])
+        if pending is not None:
+            pending.discard(handle)
+            if not pending:
+                del by_addr[self._addr[handle]]
+        self._cat[handle] = code
+        self._counts[cat_index] += 1
+
+
+class PooledTrafficLedger(TrafficLedger):
+    """Traffic ledger resolving pooled cache-profiler handles.
+
+    Only :meth:`finalize` differs from the reference: deferred data
+    words carry int handles instead of ``ProfileEntry`` objects, so the
+    used/waste verdict is one pool read.  Resolution order and float
+    accumulation order are identical, keeping bucket totals
+    bit-identical.
+    """
+
+    def __init__(self, words_per_flit: int, cache_pool: List[int]) -> None:
+        super().__init__(words_per_flit)
+        self._pool = cache_pool
+
+    def finalize(self) -> None:
+        pool = self._pool
+        buckets = self._buckets
+        for entries, flit_hops, major, dest in self._deferred:
+            major_bucket = buckets[major]
+            if dest == DEST_L1:
+                used_key, waste_key = RESP_L1_USED, RESP_L1_WASTE
+            else:
+                used_key, waste_key = RESP_L2_USED, RESP_L2_WASTE
+            for handle in entries:
+                key = (used_key if pool[handle] == C_USED
+                       else waste_key)
+                major_bucket[key] += flit_hops
+        self._deferred.clear()
+        self._finalized = True

@@ -1,0 +1,1013 @@
+"""Fused protocol cores for the compiled engine.
+
+The reference protocol handlers are written as small composable methods
+(`lookup` -> `_profile_load_hit` -> `send_*` -> ledger), which is the
+right shape for the golden reference but costs a Python call per layer
+on every simulated message.  This module subclasses each protocol core
+with **fused** versions of its hottest handlers: the same state
+transitions, probe charges, LRU touches, profiler FSM events, ledger
+float-adds and schedule calls, executed inline against the compiled
+context's array pools (:mod:`repro.engine.compiled.pools`) and prebound
+ledger buckets (:class:`~repro.engine.compiled.interp.CompiledSimContext`).
+
+Correctness contract (checked by ``tests/test_engine_parity.py``): for
+every handler fused here, the sequence of observable effects is
+reproduced exactly —
+
+* one ``stat_probes`` increment per reference ``lookup()`` call,
+  including the deliberately redundant re-probes of the reference
+  (``_can_reserve`` after ``load``'s lookup, ``_complete_load`` with
+  ``touch=False``);
+* LRU touches only where the reference touches (``lookup(touch=True)``);
+* waste-profiler FSM transitions in reference order (first event wins);
+* ledger bucket additions in reference float-accumulation order;
+* ``schedule_call`` invocations in reference order (the event queue
+  breaks time ties by insertion sequence).
+
+Handlers *not* fused (forwarding, NACK/heal, Flex gathers, L2
+eviction/recall, memory path) run the inherited reference bodies — on a
+compiled context those still benefit from the fused ``ctx.send_*``
+helpers, which ``CoherenceKernel.__init__`` binds by name.
+"""
+
+from __future__ import annotations
+
+from repro.cache.writebuffer import WriteCombineEntry
+from repro.coherence import build_protocol_system
+from repro.coherence.denovo import (
+    DenovoSystem, L2W_INVALID, L2W_REG, L2W_VALID, W_INVALID, W_REG,
+    W_VALID)
+from repro.coherence.mesi import (
+    DIR_EXCL, L1_E, L1_M, L1_PENDING, L1_S, MesiSystem)
+from repro.common.addressing import WORDS_PER_LINE
+from repro.core.context import (
+    L2_ACCESS_LATENCY, L2_OCCUPANCY, LoadRequest, StoreRequest)
+from repro.engine.compiled.pools import (
+    C_EVICT, C_FETCH, C_INVALIDATE, C_USED, C_WRITE, _LINE_ZEROS)
+from repro.network.traffic import (
+    DEST_L1, DEST_L2, LD, OVH, OVH_ACK, OVH_INVAL, OVH_UNBLOCK,
+    OVH_WB_CTL, REQ_CTL, RESP_CTL, ST)
+from repro.waste.profiler import (
+    _EVICT_I, _FETCH_I, _INVALIDATE_I, _USED_I, _WRITE_I)
+
+_FULL_MASK = (1 << WORDS_PER_LINE) - 1
+
+
+class _FusedHierarchyMixin:
+    """Fused kernel-layer primitives shared by both protocol cores.
+
+    These override :class:`~repro.coherence.kernel.CoherenceKernel`
+    methods, so every caller — fused or inherited reference handler —
+    gets the flattened bodies.
+    """
+
+    def _can_reserve(self, core, line_addr):
+        # Reference: lookup(touch=False), then one lookup(touch=False)
+        # per protected line mapping to the same set.
+        cache = self.l1[core]
+        cache.stat_probes += 1
+        lines = cache._lines
+        if line_addr in lines:
+            return True
+        shift = cache._index_shift
+        nsets = cache._num_sets
+        idx = (line_addr >> shift) % nsets
+        protected_in_set = 0
+        for la in self._protected[core]:
+            if (la >> shift) % nsets == idx:
+                cache.stat_probes += 1
+                if la in lines:
+                    protected_in_set += 1
+        return protected_in_set < cache._assoc
+
+    def _allocate_l1(self, core, line_addr):
+        cache = self.l1[core]
+        cache.stat_probes += 1              # the reference lookup(touch)
+        lines = cache._lines
+        line = lines.get(line_addr)
+        idx = (line_addr >> cache._index_shift) % cache._num_sets
+        order = cache._lru[idx]
+        if line is not None:
+            if order[0] != line_addr:
+                order.remove(line_addr)
+                order.insert(0, line_addr)
+            return line
+        tags = cache._tags[idx]
+        if len(tags) >= cache._assoc:
+            victim = tags[order[-1]]        # victim_for: no probe
+            if victim.line_addr in self._protected[core]:
+                # One probe, on the selected candidate only.
+                victim = self._find_unprotected_victim(core, line_addr)
+            va = victim.line_addr           # cache.remove(va)
+            del tags[va]
+            del lines[va]
+            order.remove(va)
+            cache.stat_evictions += 1
+            self._evict_l1_line(core, victim)
+        line = cache._line_factory(line_addr)   # cache.allocate: no probe
+        tags[line_addr] = line
+        lines[line_addr] = line
+        order.insert(0, line_addr)
+        cache.stat_installs += 1
+        return line
+
+    def _profile_load_hit(self, core, line, addr):
+        ctx = self.ctx
+        prof = ctx.l1_prof
+        row = prof._active.get(((addr >> 4) << 6) | core)
+        if row is not None:
+            handle = row[addr & 15]
+            if handle is not None and prof._pool[handle] == 0:
+                prof._pool[handle] = C_USED
+                prof._counts[_USED_I] += 1
+        inst = line.mem_inst[addr & 15]
+        if inst is not None:
+            mem = ctx.mem_prof
+            if mem._cat[inst] == 0:
+                mem._settle_pending(inst, C_USED, _USED_I)
+
+    # -- shared inline fragments (bound as plain methods) ---------------
+
+    def _pool_evict_line(self, prof, key):
+        """Inline ``CacheLevelProfiler.on_evict_line`` on a pooled row."""
+        row = prof._active.pop(key, None)
+        if row is None:
+            return
+        pool = prof._pool
+        counts = prof._counts
+        for handle in row:
+            if handle is not None and pool[handle] == 0:
+                pool[handle] = C_EVICT
+                counts[_EVICT_I] += 1
+
+    def _mem_drop_copies(self, mem, handles):
+        """Inline ``MemoryProfiler.drop_copies(..., invalidated=False)``."""
+        cat = mem._cat
+        refs = mem._refs
+        settle = mem._settle_pending
+        for handle in handles:
+            if handle is None:
+                continue
+            refs[handle] -= 1
+            if refs[handle] <= 0 and cat[handle] == 0:
+                settle(handle, C_EVICT, _EVICT_I)
+
+    def _invalidate_l1_inline(self, core, line):
+        """Inline ``_invalidate_l1_copy`` + ``l1.remove(line_addr)``."""
+        ctx = self.ctx
+        line_addr = line.line_addr
+        prof = ctx.l1_prof
+        row = prof._active.pop((line_addr << 6) | core, None)
+        if row is not None:
+            pool = prof._pool
+            counts = prof._counts
+            for handle in row:
+                if handle is not None and pool[handle] == 0:
+                    pool[handle] = C_INVALIDATE
+                    counts[_INVALIDATE_I] += 1
+        mem = ctx.mem_prof
+        cat = mem._cat
+        refs = mem._refs
+        settle = mem._settle_pending
+        for handle in line.mem_inst:
+            if handle is None:
+                continue
+            refs[handle] -= 1
+            if refs[handle] <= 0 and cat[handle] == 0:
+                settle(handle, C_INVALIDATE, _INVALIDATE_I)
+        cache = self.l1[core]
+        idx = (line_addr >> cache._index_shift) % cache._num_sets
+        del cache._tags[idx][line_addr]
+        del cache._lines[line_addr]
+        cache._lru[idx].remove(line_addr)
+        cache.stat_evictions += 1
+
+
+class CompiledMesiSystem(_FusedHierarchyMixin, MesiSystem):
+    """MESI core with the request/fill/grant path fused."""
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self._nt = ctx.config.num_tiles
+        program = ctx.program
+        assert program.owned_state == L1_M
+        self._line_flits = -(-WORDS_PER_LINE // ctx._wpf)
+        self._line_slack = self._line_flits * ctx._wpf - WORDS_PER_LINE
+
+    # -- core-facing -----------------------------------------------------
+
+    def load(self, core, addr, at, on_done):
+        line_addr = addr >> 4
+        cache = self.l1[core]
+        cache.stat_probes += 1
+        line = cache._lines.get(line_addr)
+        if line is not None:
+            idx = (line_addr >> cache._index_shift) % cache._num_sets
+            order = cache._lru[idx]
+            if order[0] != line_addr:
+                order.remove(line_addr)
+                order.insert(0, line_addr)
+            if line.state != L1_PENDING:
+                if line_addr in self.sbuf[core]._pending:
+                    self._wait_on_line(core, line_addr, addr, at, on_done)
+                    return None
+                self._profile_load_hit(core, line, addr)
+                return at + 1
+            self._wait_on_line(core, line_addr, addr, at, on_done)
+            return None
+        if not self._can_reserve(core, line_addr):
+            self._retire_hooks[core].append(
+                lambda t: self._retry_load(core, addr, t, on_done))
+            return None
+        request = LoadRequest(core=core, addr=addr, t_issue=at,
+                              on_done=on_done)
+        # _reserve_line inline
+        self._protected[core].add(line_addr)
+        line = self._allocate_l1(core, line_addr)
+        line.state = L1_PENDING
+        # send_req_ctl inline
+        ctx = self.ctx
+        home = line_addr % self._nt
+        hops, delay = ctx._traverse(core, home, 1, at)
+        ctx._lbuckets[LD][REQ_CTL] += hops
+        arrive = at + delay
+        ctx._schedule_call(arrive, self._dir_gets, request, arrive)
+        return None
+
+    def store(self, core, addr, at):
+        line_addr = addr >> 4
+        sbuf = self.sbuf[core]
+        cache = self.l1[core]
+        cache.stat_probes += 1
+        line = cache._lines.get(line_addr)
+        if line is not None:
+            idx = (line_addr >> cache._index_shift) % cache._num_sets
+            order = cache._lru[idx]
+            if order[0] != line_addr:
+                order.remove(line_addr)
+                order.insert(0, line_addr)
+        if line_addr in sbuf._pending:
+            self._pending_words[core][line_addr].add(addr & 15)
+            return True
+        if line is not None and (line.state == L1_E or line.state == L1_M):
+            line.state = L1_M   # silent E->M upgrade
+            self._apply_store_word(core, line, addr)
+            return True
+        if len(sbuf._pending) >= sbuf._capacity:
+            return False
+        if line is None and not self._can_reserve(core, line_addr):
+            return False
+        is_upgrade = line is not None and line.state == L1_S
+        sbuf._pending.add(line_addr)
+        self._pending_words[core][line_addr] = {addr & 15}
+        request = StoreRequest(core=core, line_addr=line_addr, t_issue=at)
+        self._store_reqs[core][line_addr] = request
+        if line is None:
+            self._protected[core].add(line_addr)
+            line = self._allocate_l1(core, line_addr)
+            line.state = L1_PENDING
+        else:
+            self._protected[core].add(line_addr)
+        if is_upgrade:
+            self.stat_upgrades += 1
+        ctx = self.ctx
+        home = line_addr % self._nt
+        hops, delay = ctx._traverse(core, home, 1, at)
+        ctx._lbuckets[ST][REQ_CTL] += hops
+        arrive = at + delay
+        ctx._schedule_call(arrive, self._dir_getx, request, is_upgrade,
+                           arrive)
+        return True
+
+    # -- L1 helpers ------------------------------------------------------
+
+    def _apply_store_word(self, core, line, addr):
+        ctx = self.ctx
+        prof = ctx.l1_prof
+        row = prof._active.get(((addr >> 4) << 6) | core)
+        if row is not None:
+            handle = row[addr & 15]
+            if handle is not None and prof._pool[handle] == 0:
+                prof._pool[handle] = C_WRITE
+                prof._counts[_WRITE_I] += 1
+        mem = ctx.mem_prof
+        pending = mem._pending_by_addr.pop(addr, None)
+        if pending:
+            cat = mem._cat
+            counts = mem._counts
+            for handle in pending:
+                if cat[handle] == 0:
+                    cat[handle] = C_WRITE
+                    counts[_WRITE_I] += 1
+        line.word_dirty[addr & 15] = True
+
+    def _evict_l1_line(self, core, line):
+        ctx = self.ctx
+        at = ctx.queue.now
+        line_addr = line.line_addr
+        self._pool_evict_line(ctx.l1_prof, (line_addr << 6) | core)
+        self._mem_drop_copies(ctx.mem_prof, line.mem_inst)
+        home = line_addr % self._nt
+        if line.state == L1_M:
+            written = tuple(i for i, d in enumerate(line.word_dirty) if d)
+            self._send_wb(core, home, at,
+                          self._wb_l1_flags(line.word_dirty), DEST_L2,
+                          self._dir_dirty_wb, line_addr, core, written)
+        elif line.state == L1_E:
+            hops, delay = ctx._traverse(core, home, 1, at)
+            ctx._lbuckets[OVH][OVH_WB_CTL] += hops
+            arrive = at + delay
+            ctx._schedule_call(arrive, self._dir_clean_wb, line_addr, core,
+                               arrive)
+
+    # -- directory: GETS -------------------------------------------------
+
+    def _dir_gets(self, req, arrive):
+        ctx = self.ctx
+        line_addr = req.addr >> 4
+        home = line_addr % self._nt
+        # l2_service_time inline
+        l2f = ctx._l2_free
+        free = l2f[home]
+        start = arrive if arrive >= free else free
+        l2f[home] = start + L2_OCCUPANCY
+        t = start + L2_ACCESS_LATENCY
+        cache = self.l2[home]
+        cache.stat_probes += 1
+        entry = cache._lines.get(line_addr)
+        if entry is not None:
+            idx = (line_addr >> cache._index_shift) % cache._num_sets
+            order = cache._lru[idx]
+            if order[0] != line_addr:
+                order.remove(line_addr)
+                order.insert(0, line_addr)
+            if entry.busy:
+                entry.waiters.append(lambda tt: self._dir_gets(req, tt))
+                return
+            if entry.has_data and entry.owner is None:
+                # _dir_gets_hit inline
+                core = req.core
+                grant_e = not entry.sharers
+                if grant_e:
+                    entry.dir_state = DIR_EXCL
+                    entry.owner = core
+                    self.stat_e_grants += 1
+                entry.sharers.add(core)
+                entry.busy = True
+                self._l2_use_line(ctx.l2_prof, (line_addr << 6) | home)
+                l1_entries = self._l1_arrivals_line(
+                    ctx.l1_prof, (line_addr << 6) | core)
+                insts = list(entry.mem_inst)
+                state = L1_E if grant_e else L1_S
+                self._send_line_data(ctx, LD, home, core, t, l1_entries,
+                                     self._l1_load_fill, req, state, insts,
+                                     home, False)
+                return
+            if entry.owner is not None:
+                self._dir_gets_fwd(req, entry, home, t)
+                return
+        self._dir_miss_to_memory(req, line_addr, home, t, major=LD)
+
+    # -- directory: GETX -------------------------------------------------
+
+    def _dir_getx(self, req, upgrade, arrive):
+        ctx = self.ctx
+        line_addr = req.line_addr
+        home = line_addr % self._nt
+        l2f = ctx._l2_free
+        free = l2f[home]
+        start = arrive if arrive >= free else free
+        l2f[home] = start + L2_OCCUPANCY
+        t = start + L2_ACCESS_LATENCY
+        cache = self.l2[home]
+        cache.stat_probes += 1
+        entry = cache._lines.get(line_addr)
+        if entry is not None:
+            idx = (line_addr >> cache._index_shift) % cache._num_sets
+            order = cache._lru[idx]
+            if order[0] != line_addr:
+                order.remove(line_addr)
+                order.insert(0, line_addr)
+            if entry.busy:
+                entry.waiters.append(
+                    lambda tt: self._dir_getx(req, upgrade, tt))
+                return
+        if entry is None or not entry.has_data and entry.owner is None:
+            self._dir_miss_to_memory_store(req, line_addr, home, t)
+            return
+        core = req.core
+        if entry.owner is not None and entry.owner != core:
+            self._dir_getx_fwd(req, entry, home, t)
+            return
+        entry.busy = True
+        sharers = [s for s in entry.sharers if s != core]
+        acks_needed = len(sharers)
+        still_sharer = core in entry.sharers
+        for s in sharers:
+            self._send_invalidation_for(line_addr, home, s, core, t)
+        entry.sharers = {core}
+        entry.dir_state = DIR_EXCL
+        entry.owner = core
+        if upgrade and still_sharer:
+            # send_resp_ctl inline (data-less grant)
+            hops, delay = ctx._traverse(home, core, 1, t)
+            ctx._lbuckets[ST][RESP_CTL] += hops
+            arrive2 = t + delay
+            ctx._schedule_call(arrive2, self._l1_store_grant, req, home,
+                               acks_needed, None, None, False, arrive2)
+        else:
+            self._l2_use_line(ctx.l2_prof, (line_addr << 6) | home)
+            l1_entries = self._l1_arrivals_line(
+                ctx.l1_prof, (line_addr << 6) | core)
+            insts = list(entry.mem_inst)
+            self._send_line_data(ctx, ST, home, core, t, l1_entries,
+                                 self._l1_store_grant, req, home,
+                                 acks_needed, l1_entries, insts, False)
+
+    # -- L1 fill / completion --------------------------------------------
+
+    def _l1_load_fill(self, req, state, insts, home, from_memory, t):
+        ctx = self.ctx
+        core = req.core
+        line_addr = req.addr >> 4
+        # _install_l1_fill inline
+        line = self._allocate_l1(core, line_addr)
+        line.reset_words()
+        line.state = state
+        line.mem_inst[:] = insts
+        refs = ctx.mem_prof._refs
+        for inst in insts:
+            if inst is not None:
+                refs[inst] += 1
+        self._complete_load(req, t)
+        # directory unblock (send_overhead inline)
+        hops, delay = ctx._traverse(core, home, 1, t)
+        ctx._lbuckets[OVH][OVH_UNBLOCK] += hops
+        arrive = t + delay
+        ctx._schedule_call(arrive, self._dir_unblock, home, line_addr,
+                           arrive)
+
+    def _complete_load(self, req, t):
+        core = req.core
+        line_addr = req.addr >> 4
+        self._protected[core].discard(line_addr)
+        cache = self.l1[core]
+        cache.stat_probes += 1              # lookup(touch=False)
+        line = cache._lines.get(line_addr)
+        if line is not None:
+            self._profile_load_hit(core, line, req.addr)
+        req.on_done(t + 1, req)
+        self._wake_line_waiters(core, line_addr, t + 1)
+
+    def _l1_store_grant(self, req, home, acks_needed, data_entries, insts,
+                        unblock_ctl_only, t):
+        ctx = self.ctx
+        core = req.core
+        line_addr = req.line_addr
+        cache = self.l1[core]
+        if insts is not None:
+            line = self._allocate_l1(core, line_addr)
+            line.reset_words()
+            line.state = L1_M
+            line.mem_inst[:] = insts
+            refs = ctx.mem_prof._refs
+            for inst in insts:
+                if inst is not None:
+                    refs[inst] += 1
+        else:
+            cache.stat_probes += 1          # lookup(touch=False)
+            line = cache._lines.get(line_addr)
+            if line is not None:
+                line.state = L1_M
+        cache.stat_probes += 1              # reference re-lookup
+        line = cache._lines.get(line_addr)
+        offsets = self._pending_words[core].pop(line_addr, None)
+        if offsets and line is not None:
+            # _apply_store_word per offset; the profiler row is stable
+            # across the loop (on_write/on_store_addr never swap rows).
+            base = line_addr << 4
+            prof = ctx.l1_prof
+            row = prof._active.get((line_addr << 6) | core)
+            pool = prof._pool
+            counts = prof._counts
+            mem = ctx.mem_prof
+            by_addr = mem._pending_by_addr
+            cat = mem._cat
+            mcounts = mem._counts
+            word_dirty = line.word_dirty
+            for off in sorted(offsets):
+                if row is not None:
+                    handle = row[off]
+                    if handle is not None and pool[handle] == 0:
+                        pool[handle] = C_WRITE
+                        counts[_WRITE_I] += 1
+                pending = by_addr.pop(base + off, None)
+                if pending:
+                    for h in pending:
+                        if cat[h] == 0:
+                            cat[h] = C_WRITE
+                            mcounts[_WRITE_I] += 1
+                word_dirty[off] = True
+        self._store_reqs[core].pop(line_addr, None)
+        self._last_retire_mem[core] = req.went_to_memory
+        self.sbuf[core]._pending.discard(line_addr)
+        self._protected[core].discard(line_addr)
+        # directory unblock (send_overhead inline)
+        hops, delay = ctx._traverse(core, home, 1, t)
+        ctx._lbuckets[OVH][OVH_UNBLOCK] += hops
+        arrive = t + delay
+        ctx._schedule_call(arrive, self._dir_unblock, home, line_addr,
+                           arrive)
+        self._wake_line_waiters(core, line_addr, t + 1)
+        self._fire_retire_hooks(core, t + 1)
+
+    def _getx_at_owner(self, req, entry, owner, home, tt):
+        ctx = self.ctx
+        line_addr = entry.line_addr
+        l1 = self.l1[owner]
+        l1.stat_probes += 1                 # lookup(touch=False)
+        oline = l1._lines.get(line_addr)
+        if oline is None or (oline.state != L1_E and oline.state != L1_M):
+            self._nack(ST, owner, req.core, tt, self._retry_getx, req,
+                       False)
+            self._clear_busy(entry)
+            return
+        core = req.core
+        l1_entries = self._l1_arrivals_line(
+            ctx.l1_prof, (line_addr << 6) | core)
+        insts = list(oline.mem_inst)
+        self._invalidate_l1_inline(owner, oline)
+        entry.owner = core
+        entry.sharers = {core}
+        entry.dir_state = DIR_EXCL
+        self._send_line_data(ctx, ST, owner, core, tt, l1_entries,
+                             self._l1_store_grant, req, home, 0,
+                             l1_entries, insts, False)
+
+    def _send_invalidation_for(self, line_addr, home, sharer, requestor,
+                               t):
+        # send_overhead inline
+        ctx = self.ctx
+        hops, delay = ctx._traverse(home, sharer, 1, t)
+        ctx._lbuckets[OVH][OVH_INVAL] += hops
+        arrive = t + delay
+        ctx._schedule_call(arrive, self._invalidate_at_sharer, line_addr,
+                           sharer, requestor, arrive)
+
+    def _invalidate_at_sharer(self, line_addr, sharer, requestor, tt):
+        l1 = self.l1[sharer]
+        l1.stat_probes += 1                 # lookup(touch=False)
+        line = l1._lines.get(line_addr)
+        if line is not None and line.state != L1_PENDING:
+            self._invalidate_l1_inline(sharer, line)
+        # fire-and-forget ack (send_overhead inline, no handler)
+        ctx = self.ctx
+        hops, _delay = ctx._traverse(sharer, requestor, 1, tt)
+        ctx._lbuckets[OVH][OVH_ACK] += hops
+
+    def _dir_unblock(self, home, line_addr, _t=0):
+        cache = self.l2[home]
+        cache.stat_probes += 1              # lookup(touch=False)
+        entry = cache._lines.get(line_addr)
+        if entry is not None:
+            # _clear_busy inline
+            entry.busy = False
+            if entry.waiters:
+                waiter = entry.waiters.pop(0)
+                now = self._queue.now
+                self._schedule_call(now + 1, waiter, now + 1)
+
+    # -- inline fragments ------------------------------------------------
+
+    def _l2_use_line(self, prof, key):
+        """Inline ``l2_prof.on_use_line`` on a pooled row."""
+        row = prof._active.get(key)
+        if row is None:
+            return
+        pool = prof._pool
+        counts = prof._counts
+        for handle in row:
+            if handle is not None and pool[handle] == 0:
+                pool[handle] = C_USED
+                counts[_USED_I] += 1
+
+    def _l1_arrivals_line(self, prof, key):
+        """Inline ``l1_prof.arrivals_line`` on the pooled profiler."""
+        pool = prof._pool
+        prof._total += WORDS_PER_LINE
+        h0 = len(pool)
+        pool.extend(_LINE_ZEROS)
+        handles = list(range(h0, h0 + WORDS_PER_LINE))
+        old_row = prof._active.get(key)
+        if old_row is not None:
+            counts = prof._counts
+            for old in old_row:
+                if old is not None and pool[old] == 0:
+                    pool[old] = C_FETCH
+                    counts[_FETCH_I] += 1
+        prof._active[key] = list(handles)
+        return handles
+
+    def _send_line_data(self, ctx, major, src, dst, at, l1_entries,
+                        handler, *args):
+        """Inline ``send_data`` for a full-line payload to an L1."""
+        hops = ctx.mesh._hops[src * self._nt + dst]
+        bucket = ctx._lbuckets[major]
+        bucket[RESP_CTL] += hops
+        per_word = hops / ctx._wpf
+        ctx._ldeferred.append((l1_entries, per_word, major, DEST_L1))
+        slack = self._line_slack
+        if slack:
+            bucket[RESP_CTL] += slack * per_word
+        _hops, delay = ctx._traverse(src, dst, 1 + self._line_flits, at)
+        arrive = at + delay
+        ctx._schedule_call(arrive, handler, *args, arrive)
+        return arrive
+
+
+class CompiledDenovoSystem(_FusedHierarchyMixin, DenovoSystem):
+    """DeNovo core with the load/store/registration fast paths fused.
+
+    Flex rungs (``flex_l1``/``flex_l2``) fall back to the inherited
+    reference bodies for the multi-line gather/fill paths; the compiled
+    tables record the same split (``CompiledProgram.line_granular``).
+    """
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self._nt = ctx.config.num_tiles
+        program = ctx.program
+        assert bool(program.line_granular) == self._line_granular
+        assert program.owned_state == W_REG
+
+    # -- core-facing -----------------------------------------------------
+
+    def load(self, core, addr, at, on_done):
+        line_addr = addr >> 4
+        cache = self.l1[core]
+        cache.stat_probes += 1
+        line = cache._lines.get(line_addr)
+        if line is not None:
+            idx = (line_addr >> cache._index_shift) % cache._num_sets
+            order = cache._lru[idx]
+            if order[0] != line_addr:
+                order.remove(line_addr)
+                order.insert(0, line_addr)
+            if line.word_state[addr & 15] != W_INVALID:
+                self._profile_load_hit(core, line, addr)
+                return at + 1
+        waiters = self._inflight_fills[core].get(line_addr)
+        if waiters is not None:
+            waiters.append(
+                lambda t: self._retry_load(core, addr, t, on_done))
+            return None
+        if line is None and not self._can_reserve(core, line_addr):
+            self._retire_hooks[core].append(
+                lambda t: self._retry_load(core, addr, t, on_done))
+            return None
+        request = LoadRequest(core=core, addr=addr, t_issue=at,
+                              on_done=on_done)
+        if line is None:
+            self._protected[core].add(line_addr)
+        bypassed = (self._bypass_response
+                    and self.policies.bypass.bypasses(
+                        self.ctx.regions.find(addr)))
+        if bypassed and self.policies.bypass.request_enabled:
+            self._bypass_request_path(request, at)
+        else:
+            # send_req_ctl inline
+            ctx = self.ctx
+            home = line_addr % self._nt
+            hops, delay = ctx._traverse(core, home, 1, at)
+            ctx._lbuckets[LD][REQ_CTL] += hops
+            arrive = at + delay
+            ctx._schedule_call(arrive, self._l2_gets, request, arrive)
+        return None
+
+    def store(self, core, addr, at):
+        line_addr = addr >> 4
+        cache = self.l1[core]
+        cache.stat_probes += 1
+        line = cache._lines.get(line_addr)
+        if line is not None:
+            idx = (line_addr >> cache._index_shift) % cache._num_sets
+            order = cache._lru[idx]
+            if order[0] != line_addr:
+                order.remove(line_addr)
+                order.insert(0, line_addr)
+        else:
+            # Write-validate: allocate without fetching.
+            line = self._allocate_l1(core, line_addr)
+        off = addr & 15
+        already_owned = line.word_state[off] == W_REG
+        self._apply_store_word(core, line, addr)
+        if already_owned:
+            return True
+        wct = self.wct[core]
+        entries = wct._entries
+        entry = entries.get(line_addr)
+        if entry is None:
+            if len(entries) >= wct._capacity:
+                oldest = wct.oldest()
+                del entries[oldest.line_addr]
+                self._send_registration(core, oldest, at)
+            entry = WriteCombineEntry(line_addr=line_addr, created_at=at)
+            entries[line_addr] = entry
+        entry.word_mask |= 1 << off
+        if entry.word_mask == _FULL_MASK:
+            del entries[line_addr]
+            self._send_registration(core, entry, at)
+        elif not self._wct_timer_armed[core]:
+            self._arm_wct_timer(core)
+        return True
+
+    # -- L1 basics -------------------------------------------------------
+
+    def _apply_store_word(self, core, line, addr):
+        off = addr & 15
+        ctx = self.ctx
+        prof = ctx.l1_prof
+        row = prof._active.get(((addr >> 4) << 6) | core)
+        if row is not None:
+            handle = row[off]
+            if handle is not None and prof._pool[handle] == 0:
+                prof._pool[handle] = C_WRITE
+                prof._counts[_WRITE_I] += 1
+        mem = ctx.mem_prof
+        pending = mem._pending_by_addr.pop(addr, None)
+        if pending:
+            cat = mem._cat
+            counts = mem._counts
+            for handle in pending:
+                if cat[handle] == 0:
+                    cat[handle] = C_WRITE
+                    counts[_WRITE_I] += 1
+        inst = line.mem_inst[off]
+        if inst is not None:
+            # drop_copy(invalidated=False) inline
+            refs = mem._refs
+            refs[inst] -= 1
+            if refs[inst] <= 0 and mem._cat[inst] == 0:
+                mem._settle_pending(inst, C_EVICT, _EVICT_I)
+            line.mem_inst[off] = None
+        line.word_state[off] = W_REG
+        line.word_dirty[off] = True
+
+    def _evict_l1_line(self, core, line):
+        ctx = self.ctx
+        at = ctx.queue.now
+        line_addr = line.line_addr
+        self._pool_evict_line(ctx.l1_prof, (line_addr << 6) | core)
+        self._mem_drop_copies(ctx.mem_prof, line.mem_inst)
+        pending = self.wct[core]._entries.pop(line_addr, None)
+        word_dirty = line.word_dirty
+        dirty_offsets = [i for i, d in enumerate(word_dirty) if d]
+        if not dirty_offsets:
+            return
+        home = line_addr % self._nt
+        pending_mask = pending.word_mask if pending is not None else 0
+        plain = [o for o in dirty_offsets if not pending_mask >> o & 1]
+        combined = [o for o in dirty_offsets if pending_mask >> o & 1]
+        for offsets in (plain, combined):
+            if not offsets:
+                continue
+            self._send_wb(
+                core, home, at, [True] * len(offsets), DEST_L2,
+                self._l2_accept_wb, core, line_addr, tuple(offsets))
+        if self.l1_blooms:
+            self.l1_blooms[core].note_writeback(home, line_addr)
+
+    # -- load path: L2 ---------------------------------------------------
+
+    def _l2_gets(self, req, arrive):
+        ctx = self.ctx
+        addr = req.addr
+        line_addr = addr >> 4
+        off = addr & 15
+        home = line_addr % self._nt
+        # l2_service_time inline
+        l2f = ctx._l2_free
+        free = l2f[home]
+        start = arrive if arrive >= free else free
+        l2f[home] = start + L2_OCCUPANCY
+        t = start + L2_ACCESS_LATENCY
+        cache = self.l2[home]
+        cache.stat_probes += 1
+        entry = cache._lines.get(line_addr)
+        if entry is not None:
+            idx = (line_addr >> cache._index_shift) % cache._num_sets
+            order = cache._lru[idx]
+            if order[0] != line_addr:
+                order.remove(line_addr)
+                order.insert(0, line_addr)
+            word_state = entry.word_state
+            if word_state[off] == L2W_REG:
+                owner = entry.owners[off]
+                if owner is not None and owner != req.core:
+                    self._forward_to_owner(req, entry, home, t)
+                    return
+                if owner == req.core:
+                    # Self-heal a registration raced by our own eviction.
+                    if entry.word_dirty[off]:
+                        word_state[off] = L2W_VALID
+                    else:
+                        word_state[off] = L2W_INVALID
+                    entry.owners[off] = None
+            if word_state[off] == L2W_VALID:
+                self._respond_from_l2(req, entry, home, t)
+                return
+        self._load_miss_to_memory(req, entry, home, t)
+
+    def _respond_from_l2(self, req, entry, home, t):
+        if not self._line_granular:
+            super()._respond_from_l2(req, entry, home, t)
+            return
+        ctx = self.ctx
+        line_addr = req.addr >> 4
+        core = req.core
+        l1 = self.l1[core]
+        l2 = self.l2[home]
+        # _gather_l2_words, line-granular: one probe + batch charge; the
+        # gathered line is ``entry`` itself (same slice, same address).
+        l2.stat_probes += WORDS_PER_LINE
+        base = line_addr << 4
+        entry_state = entry.word_state
+        words = [base + o for o in range(WORDS_PER_LINE)
+                 if entry_state[o] == L2W_VALID]
+        n = len(words)           # >= 1: the requested word is L2W_VALID
+        l1.stat_probes += n      # lookup + (n - 1) batch charge
+        l2.stat_probes += n
+        l1_line = l1._lines.get(line_addr)
+        if l1_line is None:
+            flags = [False] * n
+        else:
+            state = l1_line.word_state
+            flags = [state[w & 15] != W_INVALID for w in words]
+        mem_inst = entry.mem_inst
+        insts = [mem_inst[w & 15] for w in words]
+        # l2_prof.on_use_words inline (single line -> one row get)
+        l2p = ctx.l2_prof
+        row = l2p._active.get((line_addr << 6) | home)
+        if row is not None:
+            pool = l2p._pool
+            counts = l2p._counts
+            for w in words:
+                handle = row[w & 15]
+                if handle is not None and pool[handle] == 0:
+                    pool[handle] = C_USED
+                    counts[_USED_I] += 1
+        # l1_prof.arrivals_words inline (single line -> one row resolve)
+        l1p = ctx.l1_prof
+        pool1 = l1p._pool
+        counts1 = l1p._counts
+        l1p._total += n
+        l1_entries = []
+        append = l1_entries.append
+        lkey = (line_addr << 6) | core
+        row1 = None
+        row1_resolved = False
+        for w, present in zip(words, flags):
+            handle = len(pool1)
+            if present:
+                pool1.append(C_FETCH)
+                counts1[_FETCH_I] += 1
+            else:
+                pool1.append(0)
+                if not row1_resolved:
+                    row1 = l1p._active.get(lkey)
+                    if row1 is None:
+                        row1 = l1p._active[lkey] = [None] * WORDS_PER_LINE
+                    row1_resolved = True
+                slot = w & 15
+                old = row1[slot]
+                if old is not None and pool1[old] == 0:
+                    pool1[old] = C_FETCH
+                    counts1[_FETCH_I] += 1
+                row1[slot] = handle
+            append(handle)
+        payload = list(zip(words, l1_entries, insts))
+        # send_data inline
+        hops = ctx.mesh._hops[home * self._nt + core]
+        bucket = ctx._lbuckets[LD]
+        bucket[RESP_CTL] += hops
+        wpf = ctx._wpf
+        data_flits = -(-n // wpf)
+        per_word = hops / wpf
+        ctx._ldeferred.append((l1_entries, per_word, LD, DEST_L1))
+        slack = data_flits * wpf - n
+        if slack:
+            bucket[RESP_CTL] += slack * per_word
+        _hops, delay = ctx._traverse(home, core, 1 + data_flits, t)
+        arrive = t + delay
+        ctx._schedule_call(arrive, self._l1_load_fill, req, payload, True,
+                           arrive)
+
+    # -- L1 fill and completion ------------------------------------------
+
+    def _l1_load_fill(self, req, payload, completes, t):
+        if not self._line_granular:
+            super()._l1_load_fill(req, payload, completes, t)
+            return
+        ctx = self.ctx
+        core = req.core
+        l1 = self.l1[core]
+        req_line = req.addr >> 4
+        if payload:
+            # lookup + (len - 1) batch charge
+            l1.stat_probes += len(payload)
+            line = l1._lines.get(req_line)
+            if line is None:
+                line = self._allocate_l1(core, req_line)
+            word_state = line.word_state
+            mem_inst = line.mem_inst
+            refs = ctx.mem_prof._refs
+            for word, _entry, inst in payload:
+                off = word & 15
+                if word_state[off] == W_INVALID:
+                    word_state[off] = W_VALID
+                    mem_inst[off] = inst
+                    if inst is not None:
+                        refs[inst] += 1
+        if not completes:
+            return
+        self._protected[core].discard(req_line)
+        l1.stat_probes += 1                 # lookup(touch=False)
+        line = l1._lines.get(req_line)
+        if line is None or line.word_state[req.addr & 15] == W_INVALID:
+            self._retry_gets(req, t)
+            return
+        self._profile_load_hit(core, line, req.addr)
+        req.on_done(t + 1, req)
+
+    # -- L2 writeback acceptance -----------------------------------------
+
+    def _l2_accept_wb(self, core, line_addr, offsets, t):
+        ctx = self.ctx
+        home = line_addr % self._nt
+        cache = self.l2[home]
+        cache.stat_probes += 1
+        entry = cache._lines.get(line_addr)
+        if entry is not None:
+            idx = (line_addr >> cache._index_shift) % cache._num_sets
+            order = cache._lru[idx]
+            if order[0] != line_addr:
+                order.remove(line_addr)
+                order.insert(0, line_addr)
+        else:
+            entry = self._reserve_l2(home, line_addr)
+            if self.policies.granularity.l2_fetch_on_write:
+                self._fetch_line_for_write(entry, home, t)
+        word_state = entry.word_state
+        word_dirty = entry.word_dirty
+        owners = entry.owners
+        mem_inst = entry.mem_inst
+        l2p = ctx.l2_prof
+        row = l2p._active.get((line_addr << 6) | home)
+        pool = l2p._pool
+        counts = l2p._counts
+        mem = ctx.mem_prof
+        refs = mem._refs
+        cat = mem._cat
+        settle = mem._settle_pending
+        for off in offsets:
+            if word_state[off] == L2W_VALID and not word_dirty[off]:
+                # l2_prof.on_write inline
+                if row is not None:
+                    handle = row[off]
+                    if handle is not None and pool[handle] == 0:
+                        pool[handle] = C_WRITE
+                        counts[_WRITE_I] += 1
+            word_state[off] = L2W_VALID
+            word_dirty[off] = True
+            owners[off] = None
+            inst = mem_inst[off]
+            if inst is not None:
+                refs[inst] -= 1
+                if refs[inst] <= 0 and cat[inst] == 0:
+                    settle(inst, C_EVICT, _EVICT_I)
+                mem_inst[off] = None
+        if self.slice_blooms and not entry.in_bloom:
+            self.slice_blooms[home].insert(line_addr)
+            entry.in_bloom = True
+
+
+#: ProtocolConfig.kind -> fused compiled core class.
+COMPILED_PROTOCOL_CORES = {
+    "mesi": CompiledMesiSystem,
+    "denovo": CompiledDenovoSystem,
+}
+
+
+def build_compiled_protocol_system(ctx):
+    """Fused protocol core for a compiled context, or the reference one.
+
+    Falls back to :func:`repro.coherence.build_protocol_system` when the
+    context carries no compiled program (unknown protocol family) or the
+    family has no fused core registered — those runs still execute, on
+    the reference handlers over the pooled accounting.
+    """
+    if getattr(ctx, "program", None) is not None:
+        core_cls = COMPILED_PROTOCOL_CORES.get(ctx.proto.kind)
+        if core_cls is not None:
+            return core_cls(ctx)
+    return build_protocol_system(ctx)

@@ -1,0 +1,200 @@
+"""Flat transition tables compiled from a protocol's policy stack.
+
+At system-construction time :func:`compile_protocol` folds the
+effective policy stack of one registered protocol rung — coherence
+granularity, writeback filtering, Flex transfer, L2 bypass, mem-to-L1
+routing, dirty-WB — into a :class:`CompiledProgram`:
+
+* a flat integer **dispatch table** ``(state x event) -> action-list
+  index`` stored in an ``array('b')``, consumed by the generic
+  array-driven interpreter (:mod:`repro.engine.compiled.interp`);
+* the **action lists** themselves (tuples of micro-op codes) — the
+  interpreter specializes the shipped lists inline and asserts at
+  compile time that the table only references lists it knows how to
+  execute, so the tables stay the single source of truth;
+* small **folded policy integers** (kind, granularity, routing flags)
+  the compiled protocol systems consult instead of re-walking the
+  policy objects per access.
+
+The unified state encoding lets one table shape serve both protocol
+families: index 0 is "line absent"; line-granular kinds (MESI) add
+``1 + line.state`` (PENDING/S/E/M), word-granular kinds (DeNovo) add
+``1 + word_state`` (INVALID/VALID/REGISTERED).
+
+Dialect: this module is written in the restricted "arrays + ints +
+module-level functions" style (no closures, no dynamic attributes, no
+per-access object allocation) that mypyc and PyPy compile well — see
+the README's "Execution engines" section.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Optional, Tuple
+
+from repro.common.config import ProtocolConfig
+
+# -- events the interpreter dispatches on ------------------------------
+EV_LOAD = 0
+EV_STORE = 1
+N_EVENTS = 2
+
+# -- unified per-access state indices ----------------------------------
+ST_ABSENT = 0
+#: Rows per table: absent + up to 4 protocol states, padded to 8 so the
+#: (state, event) flattening is a fixed shift regardless of family.
+N_STATES = 8
+
+# -- protocol kind codes -----------------------------------------------
+K_LINE = 0     # line-granular coherence state (MESI family)
+K_WORD = 1     # word-granular coherence state (DeNovo family)
+
+# -- action-list indices -----------------------------------------------
+A_SLOW = 0            # delegate to the protocol's full state machine
+A_LOAD_HIT = 1        # profiled L1 load hit, +1 cycle
+A_LOAD_HIT_NOSB = 2   # load hit unless the line has a store in flight
+A_STORE_HIT = 3       # in-place store to an already-owned word
+A_STORE_HIT_NOSB = 4  # in-place store to an owned line unless buffered
+
+# -- micro-op codes (the vocabulary of action lists) -------------------
+U_DELEGATE = 0        # hand the access to the reference state machine
+U_PROBE = 1           # charge one tag probe + LRU refresh
+U_CHECK_SBUF = 2      # fall to U_DELEGATE if the line is store-buffered
+U_PROF_USE = 3        # waste profiler: word Used at the L1
+U_PROF_WRITE = 4      # waste profiler: word Written at the L1
+U_MEM_LOAD = 5        # memory profiler: instance Used
+U_MEM_STORE = 6       # memory profiler: address overwritten
+U_MEM_DROP = 7        # memory profiler: local copy detaches (DeNovo store)
+U_SET_OWNED = 8       # line/word moves to the owned-dirty state
+U_RETIRE_1 = 9        # access completes in one cycle
+
+#: What each action executes, in order.  The interpreter inlines these
+#: exact sequences; ``compile_protocol`` asserts every table cell
+#: references one of them so table and interpreter cannot drift apart.
+ACTION_LISTS: Tuple[Tuple[int, ...], ...] = (
+    (U_DELEGATE,),                                             # A_SLOW
+    (U_PROBE, U_PROF_USE, U_MEM_LOAD, U_RETIRE_1),             # A_LOAD_HIT
+    (U_CHECK_SBUF, U_PROBE, U_PROF_USE, U_MEM_LOAD,
+     U_RETIRE_1),                                              # A_LOAD_HIT_NOSB
+    (U_PROBE, U_PROF_WRITE, U_MEM_STORE, U_MEM_DROP,
+     U_SET_OWNED, U_RETIRE_1),                                 # A_STORE_HIT
+    (U_CHECK_SBUF, U_PROBE, U_PROF_WRITE, U_MEM_STORE,
+     U_SET_OWNED, U_RETIRE_1),                                 # A_STORE_HIT_NOSB
+)
+
+
+class CompiledProgram:
+    """One protocol rung compiled to tables + folded policy integers."""
+
+    __slots__ = ("name", "kind_code", "dispatch", "owned_state",
+                 "line_granular", "mem_to_l1", "bypass_response",
+                 "bypass_request", "l2_fetch_on_write", "l1_wb_dirty_only",
+                 "l2_wb_dirty_only", "folded")
+
+    def __init__(self, name: str, kind_code: int, dispatch: array,
+                 owned_state: int, line_granular: int, mem_to_l1: int,
+                 bypass_response: int, bypass_request: int,
+                 l2_fetch_on_write: int, l1_wb_dirty_only: int,
+                 l2_wb_dirty_only: int, folded: Tuple[str, ...]) -> None:
+        self.name = name
+        self.kind_code = kind_code
+        self.dispatch = dispatch
+        self.owned_state = owned_state
+        self.line_granular = line_granular
+        self.mem_to_l1 = mem_to_l1
+        self.bypass_response = bypass_response
+        self.bypass_request = bypass_request
+        self.l2_fetch_on_write = l2_fetch_on_write
+        self.l1_wb_dirty_only = l1_wb_dirty_only
+        self.l2_wb_dirty_only = l2_wb_dirty_only
+        self.folded = folded
+
+    def action(self, state: int, event: int) -> int:
+        """Table lookup as the interpreter performs it."""
+        return self.dispatch[state * N_EVENTS + event]
+
+
+def _blank_table() -> array:
+    return array("b", bytes(N_STATES * N_EVENTS))
+
+
+def _compile_line_family(proto: ProtocolConfig) -> array:
+    """MESI family: states absent/PENDING/S/E/M at indices 0..4."""
+    table = _blank_table()
+    # Loads hit in S(2)/E(3)/M(4) unless an ownership upgrade for the
+    # line is in flight (store buffer), which the NOSB guard re-checks.
+    for state in (2, 3, 4):
+        table[state * N_EVENTS + EV_LOAD] = A_LOAD_HIT_NOSB
+    # Stores complete in place in E(3)/M(4) — the silent E->M upgrade —
+    # again guarded against an in-flight buffered store.
+    for state in (3, 4):
+        table[state * N_EVENTS + EV_STORE] = A_STORE_HIT_NOSB
+    return table
+
+
+def _compile_word_family(proto: ProtocolConfig) -> array:
+    """DeNovo family: states absent/INVALID/VALID/REGISTERED at 0..3."""
+    table = _blank_table()
+    # Loads hit on any non-invalid word: VALID(2) or REGISTERED(3).
+    for state in (2, 3):
+        table[state * N_EVENTS + EV_LOAD] = A_LOAD_HIT
+    # Stores complete in place only on words this core already owns;
+    # everything else goes through write-validate + the combining table.
+    table[3 * N_EVENTS + EV_STORE] = A_STORE_HIT
+    return table
+
+
+def compile_protocol(proto: ProtocolConfig) -> Optional[CompiledProgram]:
+    """Compile one rung's policy stack, or None for unknown families."""
+    if proto.kind == "mesi":
+        kind_code = K_LINE
+        dispatch = _compile_line_family(proto)
+        owned_state = 3          # L1_M
+        line_granular = 1
+    elif proto.kind == "denovo":
+        kind_code = K_WORD
+        dispatch = _compile_word_family(proto)
+        owned_state = 2          # W_REG
+        line_granular = 0 if (proto.flex_l1 or proto.flex_l2) else 1
+    else:
+        # Third-party protocol family: no tables; the engine falls back
+        # to the reference core (see compile_status()).
+        return None
+    for cell in dispatch:
+        assert 0 <= cell < len(ACTION_LISTS), cell
+    folded = ("granularity", "writeback") + proto.enabled_flags()
+    return CompiledProgram(
+        name=proto.name,
+        kind_code=kind_code,
+        dispatch=dispatch,
+        owned_state=owned_state,
+        line_granular=line_granular,
+        mem_to_l1=int(proto.mem_to_l1),
+        bypass_response=int(proto.bypass_l2_response),
+        bypass_request=int(proto.bypass_l2_request),
+        l2_fetch_on_write=int(proto.kind == "denovo"
+                              and not proto.l2_write_validate),
+        l1_wb_dirty_only=int(proto.dirty_wb_only),
+        l2_wb_dirty_only=int(proto.l2_dirty_wb_only or proto.dirty_wb_only),
+        folded=folded,
+    )
+
+
+def compile_status(proto: ProtocolConfig) -> Dict[str, object]:
+    """Human-facing compile report for one rung (``python -m repro list``).
+
+    Returns ``{"compiled": bool, "detail": str}``: either the table
+    shape plus the policy flags folded into it, or the reason the rung
+    falls back to the reference engine.
+    """
+    program = compile_protocol(proto)
+    if program is None:
+        return {"compiled": False,
+                "detail": f"unknown kind {proto.kind!r}: reference fallback"}
+    fast = sum(1 for cell in program.dispatch if cell != A_SLOW)
+    return {
+        "compiled": True,
+        "detail": (f"tables {N_STATES}x{N_EVENTS} "
+                   f"({fast} fast cells), folds: "
+                   + ",".join(program.folded)),
+    }

@@ -39,14 +39,13 @@ from repro.workloads import WORKLOAD_ORDER, canonical_workload
 DEFAULT_SEED = 12345
 
 #: Bump when workload generators, protocol semantics or the config hash
-#: payload change, so stale cached results are never reused.  v6: the
-#: energy accounting subsystem landed — results grew the
-#: ``energy_counters`` payload (tag probes, Bloom activity, NoC
-#: flit-hops, DRAM activate/precharge commands), which ``python -m
-#: repro energy`` derives energy from without re-simulation — so v5
-#: cells (which lack the counters) are deliberately retired; old cache
-#: files are simply re-simulated on first use.
-GRID_VERSION = 6
+#: payload change, so stale cached results are never reused.  v7: the
+#: execution engine became a first-class ``SystemConfig`` axis
+#: (``engine``), which enters the config hash payload — v6 keys (which
+#: predate the field) are deliberately retired so a cached cell can
+#: never be confused about which engine produced it; old cache files
+#: are simply re-simulated on first use.
+GRID_VERSION = 7
 
 
 def config_key(scale: ScaleConfig, config: SystemConfig) -> str:

@@ -1,22 +1,34 @@
 """Unit tests for the perf-record compare gate (repro.bench)."""
 
+import json
+
 import pytest
 
 from repro.bench import (
-    REGRESSION_THRESHOLD, SCHEMA_VERSION, RecordMismatch, compare_records)
+    COMPILED_SPEEDUP_FLOOR, REGRESSION_THRESHOLD, SCHEMA_VERSION,
+    DirtyBaseline, RecordMismatch, check_engine_floor, compare_records,
+    write_record)
 
 
-def _record(eps_by_cell, schema_version=SCHEMA_VERSION, bench="sweep_radix_tiny"):
+def _cell(key, eps):
+    # Cell keys are (workload, protocol, tiles) — legacy pre-engine
+    # shape — or (workload, protocol, tiles, engine).
+    cell = {"workload": key[0], "protocol": key[1], "num_tiles": key[2],
+            "seconds": 1.0, "events": int(eps),
+            "events_per_second": eps, "exec_cycles": 1}
+    if len(key) == 4:
+        cell["engine"] = key[3]
+    return cell
+
+
+def _record(eps_by_cell, schema_version=SCHEMA_VERSION,
+            bench="sweep_radix_tiny", git_describe="test"):
     return {
         "bench": bench,
         "schema_version": schema_version,
-        "git_describe": "test",
+        "git_describe": git_describe,
         "python": "3.x",
-        "cells": [
-            {"workload": w, "protocol": p, "num_tiles": t,
-             "seconds": 1.0, "events": int(eps),
-             "events_per_second": eps, "exec_cycles": 1}
-            for (w, p, t), eps in eps_by_cell.items()],
+        "cells": [_cell(key, eps) for key, eps in eps_by_cell.items()],
     }
 
 
@@ -85,6 +97,94 @@ class TestCompareRecords:
         lax = compare_records(_record(CELLS), _record(slower),
                               threshold=0.2)
         assert lax["ok"]
+
+    def test_engine_keyed_cells_compare_independently(self):
+        # A regression in the compiled cell must not hide behind a
+        # healthy reference cell for the same (workload, proto, shape).
+        base = {("radix", "MESI", 16, "reference"): 50_000.0,
+                ("radix", "MESI", 16, "compiled"): 65_000.0}
+        current = dict(base)
+        current[("radix", "MESI", 16, "compiled")] = 30_000.0
+        outcome = compare_records(_record(base), _record(current))
+        assert not outcome["ok"]
+        failed = [l for l in outcome["lines"] if l.startswith("FAIL")]
+        assert len(failed) == 1
+        assert "compiled" in failed[0]
+
+    def test_legacy_cells_default_to_reference_engine(self):
+        # Pre-engine records (no "engine" key) keep comparing against
+        # engine-stamped reference cells.
+        stamped = {("radix", "MESI", 16, "reference"): 50_000.0}
+        legacy = {("radix", "MESI", 16): 50_000.0}
+        outcome = compare_records(_record(legacy), _record(stamped))
+        assert outcome["ok"]
+        assert len(outcome["cells"]) == 1
+
+
+ENGINE_CELLS = {("radix", "MESI", 16, "reference"): 50_000.0,
+                ("radix", "MESI", 16, "compiled"): 65_000.0,
+                ("radix", "DeNovo", 16, "reference"): 30_000.0,
+                ("radix", "DeNovo", 16, "compiled"): 37_000.0}
+
+
+class TestEngineFloor:
+    def test_compiled_above_floor_passes(self):
+        outcome = check_engine_floor(_record(ENGINE_CELLS))
+        assert outcome["ok"]
+        assert len(outcome["cells"]) == 2
+        assert all(c["speedup"] > COMPILED_SPEEDUP_FLOOR
+                   for c in outcome["cells"])
+
+    def test_compiled_below_floor_fails(self):
+        slow = dict(ENGINE_CELLS)
+        slow[("radix", "MESI", 16, "compiled")] = 45_000.0
+        outcome = check_engine_floor(_record(slow))
+        assert not outcome["ok"]
+        assert any(l.startswith("FAIL") and "MESI" in l
+                   for l in outcome["lines"])
+
+    def test_custom_floor(self):
+        outcome = check_engine_floor(_record(ENGINE_CELLS), floor=1.5)
+        assert not outcome["ok"]
+
+    def test_no_compiled_cells_is_vacuous_pass(self):
+        outcome = check_engine_floor(_record(CELLS))
+        assert outcome["ok"]
+        assert not outcome["cells"]
+        assert any(l.startswith("note") for l in outcome["lines"])
+
+    def test_compiled_cell_without_reference_is_skipped(self):
+        orphan = {("radix", "MESI", 16, "compiled"): 65_000.0}
+        outcome = check_engine_floor(_record(orphan))
+        assert outcome["ok"]
+        assert not outcome["cells"]
+
+
+class TestWriteRecord:
+    """The committed baseline must never be stamped from a dirty tree."""
+
+    def test_dirty_describe_refused_for_committed_baseline(self, tmp_path):
+        record = _record(CELLS, git_describe="abc1234-dirty")
+        with pytest.raises(DirtyBaseline, match="commit the tree first"):
+            write_record(record, str(tmp_path / "BENCH_sweep.json"))
+        assert not (tmp_path / "BENCH_sweep.json").exists()
+
+    def test_unknown_describe_refused_for_committed_baseline(self, tmp_path):
+        record = _record(CELLS, git_describe="unknown")
+        with pytest.raises(DirtyBaseline):
+            write_record(record, str(tmp_path / "BENCH_sweep.json"))
+
+    def test_clean_describe_writes_committed_baseline(self, tmp_path):
+        record = _record(CELLS, git_describe="abc1234")
+        path = tmp_path / "BENCH_sweep.json"
+        write_record(record, str(path))
+        assert json.loads(path.read_text()) == record
+
+    def test_scratch_path_allows_dirty_describe(self, tmp_path):
+        record = _record(CELLS, git_describe="abc1234-dirty")
+        path = tmp_path / "BENCH_scratch.json"
+        write_record(record, str(path))
+        assert json.loads(path.read_text()) == record
 
 
 class TestGitDescribe:

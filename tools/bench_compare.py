@@ -22,7 +22,8 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.bench import (
-    REGRESSION_THRESHOLD, RecordMismatch, compare_records, load_record)
+    COMPILED_SPEEDUP_FLOOR, REGRESSION_THRESHOLD, RecordMismatch,
+    check_engine_floor, compare_records, load_record)
 
 
 def main(argv=None) -> int:
@@ -33,10 +34,14 @@ def main(argv=None) -> int:
                         default=REGRESSION_THRESHOLD,
                         help="hard-fail events/second regression fraction "
                              f"(default: {REGRESSION_THRESHOLD})")
+    parser.add_argument("--engine-floor", type=float,
+                        default=COMPILED_SPEEDUP_FLOOR,
+                        help="minimum compiled/reference speedup per cell "
+                             f"(default: {COMPILED_SPEEDUP_FLOOR})")
     ns = parser.parse_args(argv)
     try:
-        outcome = compare_records(load_record(ns.baseline),
-                                  load_record(ns.current),
+        current = load_record(ns.current)
+        outcome = compare_records(load_record(ns.baseline), current,
                                   threshold=ns.threshold)
     except RecordMismatch as exc:
         print(f"bench_compare: refusing to compare: {exc}",
@@ -44,11 +49,21 @@ def main(argv=None) -> int:
         return 2
     for line in outcome["lines"]:
         print(line)
+    # Engine gate: the compiled engine must stay faster than the
+    # reference in the *current* record, independent of the baseline.
+    engine_gate = check_engine_floor(current, floor=ns.engine_floor)
+    for line in engine_gate["lines"]:
+        print(line)
+    failed = False
     if not outcome["ok"]:
         print(f"bench_compare: events_per_second regressed by more than "
               f"{ns.threshold:.0%}", file=sys.stderr)
-        return 1
-    return 0
+        failed = True
+    if not engine_gate["ok"]:
+        print(f"bench_compare: compiled engine fell below "
+              f"{ns.engine_floor:.2f}x the reference", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":
