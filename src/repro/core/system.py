@@ -53,8 +53,11 @@ class System:
         # table-driven core; the protocol controllers are shared between
         # engines, which is what keeps results bit-identical.
         if self.config.engine == "compiled":
+            # ``observed`` keeps the traverse-calling send helpers so the
+            # obs session's mesh wrapper sees every packet; unobserved
+            # runs get the fused network fast path.
             self.ctx: SimContext = CompiledSimContext(
-                self.config, proto, self.regions)
+                self.config, proto, self.regions, observed=obs is not None)
             core_cls = core_class(self.ctx)
             # Fused protocol cores where the compiler knows the family;
             # reference cores (over pooled accounting) otherwise.

@@ -179,13 +179,43 @@ class DramChannel:
             return
         pending.remove(request)
         done = self._service(request, now)
-        if request.callback is not None:
-            self._queue.schedule_call(done, request.callback,
-                                      *request.args, done)
         if pending:
             # The next request cannot start before the shared data bus
-            # frees; polling sooner only burns events.
-            self._schedule_dispatch(max(now + 1, self._bus_free))
+            # frees (polling sooner only burns events), which is exactly
+            # ``done`` — so the completion callback and the follow-on
+            # dispatch fuse into a single wakeup.  The two used to be
+            # back-to-back heap entries at the same cycle (consecutive
+            # seqs, nothing can interleave), so running them in sequence
+            # from one event preserves the global firing order exactly.
+            wake = now + 1
+            if self._bus_free > wake:
+                wake = self._bus_free
+            if wake == done:
+                self._dispatch_scheduled = True
+                self._queue.schedule_call(done, self._serviced,
+                                          request.callback, request.args)
+            else:
+                # Degenerate timing configs (zero-latency DRAM) can pull
+                # the bus-free poll off the completion cycle; keep the
+                # pre-fusion two-event shape for those.
+                if request.callback is not None:
+                    self._queue.schedule_call(done, request.callback,
+                                              *request.args, done)
+                self._schedule_dispatch(wake)
+        elif request.callback is not None:
+            self._queue.schedule_call(done, request.callback,
+                                      *request.args, done)
+
+    def _serviced(self, callback: Optional[Callable[..., None]],
+                  args: Tuple) -> None:
+        """Fused completion: deliver the data, then dispatch the next
+        request.  ``_dispatch_scheduled`` stays True through the
+        callback — mirroring the pre-fusion state where the follow-on
+        dispatch event was already in the queue — so a re-entrant
+        enqueue from the callback cannot double-schedule."""
+        if callback is not None:
+            callback(*args, self._queue.now)
+        self._dispatch()
 
     #: FR-FCFS scheduling window: real controllers reorder over a bounded
     #: queue prefix, which also keeps selection O(window) however deep

@@ -50,10 +50,27 @@ class CompiledSimContext(SimContext):
     """
 
     def __init__(self, config: SystemConfig, proto: ProtocolConfig,
-                 regions: RegionTable) -> None:
+                 regions: RegionTable, observed: bool = False) -> None:
         self.pools = WastePools()
         self.program = compile_protocol(proto)
         super().__init__(config, proto, regions)
+        # Fused network fast path: the class-level send helpers walk the
+        # mesh link tables inline (one table read + one bucket append per
+        # message, no Mesh.traverse call).  Observability wraps
+        # ``ctx._traverse`` to attribute flits per tile, so an observed
+        # run rebinds the helpers to the traverse-calling variants —
+        # identical results, every packet visible to the wrapper.
+        mesh = self.mesh
+        self._mesh = mesh
+        self._mlinks = mesh._links
+        self._mlink_free = mesh._link_free
+        self._mlink_lat = mesh._link_latency
+        if observed or not mesh._model_contention:
+            self.send_req_ctl = self._obs_send_req_ctl
+            self.send_resp_ctl = self._obs_send_resp_ctl
+            self.send_data = self._obs_send_data
+            self.send_wb = self._obs_send_wb
+            self.send_overhead = self._obs_send_overhead
 
     def _make_ledger(self) -> PooledTrafficLedger:
         return PooledTrafficLedger(self.config.words_per_flit,
@@ -76,28 +93,63 @@ class CompiledSimContext(SimContext):
         self._wpf = self.config.words_per_flit
 
     # -- fused message helpers ------------------------------------------
-    # Observable behaviour (traverse calls, bucket float-accumulation
-    # order, schedule order, return values) is identical to the
-    # reference SimContext helpers; the per-message ledger method calls
-    # are flattened to dict arithmetic against the prebound buckets.
-    # CoherenceKernel binds ctx.send_* at construction, so the reference
-    # protocol handlers pick these up automatically on this context.
+    # Observable behaviour (mesh stat counters, bucket float-
+    # accumulation order, schedule order, return values) is identical to
+    # the reference SimContext helpers; the per-message ledger method
+    # calls are flattened to dict arithmetic against the prebound
+    # buckets, and the route walk of ``Mesh.traverse`` is inlined
+    # against the prebound link tables (the walk bodies mirror
+    # ``Mesh.traverse`` exactly — keep them in sync).  CoherenceKernel
+    # binds ctx.send_* at construction, so the reference protocol
+    # handlers pick these up automatically on this context.
 
     def send_req_ctl(self, major, src, dst, at, handler, *args):
         if major is not LD and major is not ST:
             self.ledger._check(major, (LD, ST))
-        hops, delay = self._traverse(src, dst, 1, at)
-        self._lbuckets[major][REQ_CTL] += hops
-        arrive = at + delay
+        mesh = self._mesh
+        mesh.stat_packets += 1
+        if src == dst:
+            arrive = at + 1                     # Mesh.LOCAL_LATENCY
+        else:
+            links = self._mlinks[src * self._num_tiles + dst]
+            hops = len(links)
+            mesh.stat_flit_hops += hops         # one control flit
+            self._lbuckets[major][REQ_CTL] += hops
+            link_free = self._mlink_free
+            lat = self._mlink_lat
+            time = at
+            for link in links:
+                free_at = link_free[link]
+                if time < free_at:
+                    time = free_at
+                link_free[link] = time + 1
+                time += lat
+            arrive = time
         self._schedule_call(arrive, handler, *args, arrive)
         return arrive
 
     def send_resp_ctl(self, major, src, dst, at, handler, *args):
         if major is not LD and major is not ST:
             self.ledger._check(major, (LD, ST))
-        hops, delay = self._traverse(src, dst, 1, at)
-        self._lbuckets[major][RESP_CTL] += hops
-        arrive = at + delay
+        mesh = self._mesh
+        mesh.stat_packets += 1
+        if src == dst:
+            arrive = at + 1                     # Mesh.LOCAL_LATENCY
+        else:
+            links = self._mlinks[src * self._num_tiles + dst]
+            hops = len(links)
+            mesh.stat_flit_hops += hops         # one control flit
+            self._lbuckets[major][RESP_CTL] += hops
+            link_free = self._mlink_free
+            lat = self._mlink_lat
+            time = at
+            for link in links:
+                free_at = link_free[link]
+                if time < free_at:
+                    time = free_at
+                link_free[link] = time + 1
+                time += lat
+            arrive = time
         self._schedule_call(arrive, handler, *args, arrive)
         return arrive
 
@@ -123,8 +175,25 @@ class CompiledSimContext(SimContext):
                 bucket[RESP_CTL] += slack * per_word
         else:
             data_flits = 0
-        _hops, delay = self._traverse(src, dst, 1 + data_flits, at)
-        arrive = at + delay
+        mesh = self._mesh
+        mesh.stat_packets += 1
+        if src == dst:
+            arrive = at + 1                     # Mesh.LOCAL_LATENCY
+        else:
+            total_flits = 1 + data_flits
+            mesh.stat_flit_hops += total_flits * hops
+            links = self._mlinks[src * self._num_tiles + dst]
+            link_free = self._mlink_free
+            lat = self._mlink_lat
+            time = at
+            for link in links:
+                free_at = link_free[link]
+                if time < free_at:
+                    time = free_at
+                link_free[link] = time + total_flits
+                time += lat
+            # Pipelined serialization: trailing flits follow the header.
+            arrive = time + total_flits - 1
         self._schedule_call(arrive, handler, *args, arrive)
         return arrive
 
@@ -149,13 +218,133 @@ class CompiledSimContext(SimContext):
                 wb_bucket[WB_CONTROL] += slack * per_word
         else:
             data_flits = 0
-        _hops, delay = self._traverse(src, dst, 1 + data_flits, at)
-        arrive = at + delay
+        mesh = self._mesh
+        mesh.stat_packets += 1
+        if src == dst:
+            arrive = at + 1                     # Mesh.LOCAL_LATENCY
+        else:
+            total_flits = 1 + data_flits
+            mesh.stat_flit_hops += total_flits * hops
+            links = self._mlinks[src * self._num_tiles + dst]
+            link_free = self._mlink_free
+            lat = self._mlink_lat
+            time = at
+            for link in links:
+                free_at = link_free[link]
+                if time < free_at:
+                    time = free_at
+                link_free[link] = time + total_flits
+                time += lat
+            arrive = time + total_flits - 1
         self._schedule_call(arrive, handler, *args, arrive)
         return arrive
 
     def send_overhead(self, subtype, src, dst, at, handler=None, *args,
                       flits=1):
+        if flits <= 0:
+            raise ValueError("a packet has at least one flit")
+        mesh = self._mesh
+        mesh.stat_packets += 1
+        if src == dst:
+            arrive = at + 1                     # Mesh.LOCAL_LATENCY
+        else:
+            links = self._mlinks[src * self._num_tiles + dst]
+            hops = len(links)
+            mesh.stat_flit_hops += flits * hops
+            self._lbuckets[OVH][subtype] += hops * flits
+            link_free = self._mlink_free
+            lat = self._mlink_lat
+            time = at
+            for link in links:
+                free_at = link_free[link]
+                if time < free_at:
+                    time = free_at
+                link_free[link] = time + flits
+                time += lat
+            arrive = time + flits - 1
+        if handler is not None:
+            self._schedule_call(arrive, handler, *args, arrive)
+        return arrive
+
+    # -- traverse-calling variants (observed runs) ----------------------
+    # Bodies are the pre-fusion helpers: every packet goes through
+    # ``self._traverse``, which ``repro.obs`` wraps for per-tile flit
+    # attribution.  Bound over the fused versions when the run is
+    # observed (or contention modelling is off).
+
+    def _obs_send_req_ctl(self, major, src, dst, at, handler, *args):
+        if major is not LD and major is not ST:
+            self.ledger._check(major, (LD, ST))
+        hops, delay = self._traverse(src, dst, 1, at)
+        self._lbuckets[major][REQ_CTL] += hops
+        arrive = at + delay
+        self._schedule_call(arrive, handler, *args, arrive)
+        return arrive
+
+    def _obs_send_resp_ctl(self, major, src, dst, at, handler, *args):
+        if major is not LD and major is not ST:
+            self.ledger._check(major, (LD, ST))
+        hops, delay = self._traverse(src, dst, 1, at)
+        self._lbuckets[major][RESP_CTL] += hops
+        arrive = at + delay
+        self._schedule_call(arrive, handler, *args, arrive)
+        return arrive
+
+    def _obs_send_data(self, major, dest_level, src, dst, at, entries,
+                       handler, *args):
+        if major is not LD and major is not ST:
+            self.ledger._check(major, (LD, ST))
+        if dest_level is not DEST_L1 and dest_level is not DEST_L2 \
+                and dest_level not in (DEST_L1, DEST_L2):
+            raise ValueError(
+                f"data destination must be l1/l2, got {dest_level!r}")
+        hops = self.mesh._hops[src * self._num_tiles + dst]
+        bucket = self._lbuckets[major]
+        bucket[RESP_CTL] += hops            # header flit
+        n_words = len(entries)
+        if n_words:
+            wpf = self._wpf
+            data_flits = -(-n_words // wpf)
+            per_word = hops / wpf
+            self._ldeferred.append((entries, per_word, major, dest_level))
+            slack = data_flits * wpf - n_words
+            if slack:
+                bucket[RESP_CTL] += slack * per_word
+        else:
+            data_flits = 0
+        _hops, delay = self._traverse(src, dst, 1 + data_flits, at)
+        arrive = at + delay
+        self._schedule_call(arrive, handler, *args, arrive)
+        return arrive
+
+    def _obs_send_wb(self, src, dst, at, dirty_flags, dest_level,
+                     handler, *args):
+        hops = self.mesh._hops[src * self._num_tiles + dst]
+        wb_bucket = self._lbuckets[WB]
+        wb_bucket[WB_CONTROL] += hops       # header flit
+        n_words = len(dirty_flags)
+        if n_words:
+            wpf = self._wpf
+            data_flits = -(-n_words // wpf)
+            per_word = hops / wpf
+            if dest_level == DEST_L2:
+                used_key, waste_key = WB_L2_USED, WB_L2_WASTE
+            else:
+                used_key, waste_key = WB_MEM_USED, WB_MEM_WASTE
+            for dirty in dirty_flags:
+                wb_bucket[used_key if dirty else waste_key] += per_word
+            slack = data_flits * wpf - n_words
+            if slack:
+                wb_bucket[WB_CONTROL] += slack * per_word
+        else:
+            data_flits = 0
+        _hops, delay = self._traverse(src, dst, 1 + data_flits, at)
+        arrive = at + delay
+        self._schedule_call(arrive, handler, *args, arrive)
+        return arrive
+
+    def _obs_send_overhead(self, subtype, src, dst, at, handler=None,
+                           *args, flits=1):
         hops, delay = self._traverse(src, dst, flits, at)
         self._lbuckets[OVH][subtype] += hops * flits
         arrive = at + delay

@@ -43,8 +43,9 @@ from dataclasses import replace
 from typing import List, Optional, Tuple
 
 from repro.common.config import (
-    ENERGY_MODELS, ENGINES, ScaleConfig, registered_energy_models,
-    scaled_system)
+    ENERGY_MODELS, ENGINES, SCHEDULERS, ScaleConfig,
+    registered_energy_models, scaled_system)
+from repro.engine.events import DEFAULT_SCHEDULER
 from repro.common.registry import (
     paper_ladder, protocol as protocol_by_name, registered_protocols)
 from repro.runner.jobs import DEFAULT_SEED, expand_grid
@@ -121,11 +122,17 @@ def _grid_progress(ns: argparse.Namespace, store: ResultStore, out):
 
 
 def _with_engine(config, ns: argparse.Namespace):
-    """``config`` with the namespace's ``--engine`` selection applied."""
+    """``config`` with the ``--engine``/``--scheduler`` selections
+    applied (both axes are bit-identical result-wise, so they share the
+    threading path)."""
     engine = getattr(ns, "engine", None) or "reference"
-    if config.engine == engine:
-        return config
-    return replace(config, engine=engine)
+    scheduler = getattr(ns, "scheduler", None) or config.scheduler
+    changes = {}
+    if config.engine != engine:
+        changes["engine"] = engine
+    if config.scheduler != scheduler:
+        changes["scheduler"] = scheduler
+    return replace(config, **changes) if changes else config
 
 
 def _single_shape_config(ns: argparse.Namespace, scale: ScaleConfig):
@@ -133,7 +140,8 @@ def _single_shape_config(ns: argparse.Namespace, scale: ScaleConfig):
     tiles = _parse_tiles(ns)
     if tiles is None:
         engine = getattr(ns, "engine", None) or "reference"
-        if engine == "reference":
+        scheduler = getattr(ns, "scheduler", None)
+        if engine == "reference" and scheduler in (None, DEFAULT_SCHEDULER):
             return None
         return _with_engine(scaled_system(scale), ns)
     if len(tiles) != 1:
@@ -343,7 +351,8 @@ def cmd_bench(ns: argparse.Namespace, out=None) -> int:
     out = out if out is not None else sys.stdout
     from repro.bench import (
         DirtyBaseline, RecordMismatch, check_engine_floor,
-        compare_records, load_record, run_smoke, write_record)
+        check_scheduler_floor, compare_records, load_record, run_smoke,
+        write_record)
     record = run_smoke()
     try:
         write_record(record, ns.out)
@@ -353,8 +362,17 @@ def cmd_bench(ns: argparse.Namespace, out=None) -> int:
     for cell in record["cells"]:
         print(f"{cell['workload']:<10s} {cell['protocol']:<8s} "
               f"{cell['num_tiles']:3d}t  {cell['engine']:<10s} "
+              f"{cell.get('scheduler', 'heap'):<6s} "
               f"{cell['seconds']:8.3f}s  "
               f"{cell['events_per_second']:12,.0f} ev/s", file=out)
+    memo = record["trace_memo"]
+    print(f"trace memo: cold {memo['cold_cell_seconds']:.3f}s vs warm "
+          f"{memo['warm_cell_seconds']:.3f}s per cell "
+          f"({memo['speedup_per_memoized_cell']:.2f}x)", file=out)
+    pool = record["sweep_throughput"]
+    print(f"pooled sweep ({pool['cells']} cells, {pool['jobs']} jobs): "
+          f"cold {pool['cold_cells_per_second']:.2f} -> warm "
+          f"{pool['warm_cells_per_second']:.2f} cells/s", file=out)
     print(f"wrote {ns.out} ({record['git_describe']})", file=out)
     engine_gate = check_engine_floor(record)
     for line in engine_gate["lines"]:
@@ -362,6 +380,13 @@ def cmd_bench(ns: argparse.Namespace, out=None) -> int:
     if not engine_gate["ok"]:
         print("bench: compiled engine fell below its speedup floor "
               "vs the reference engine", file=sys.stderr)
+        return 1
+    scheduler_gate = check_scheduler_floor(record)
+    for line in scheduler_gate["lines"]:
+        print(line, file=out)
+    if not scheduler_gate["ok"]:
+        print("bench: wheel scheduler fell below its speedup floor "
+              "vs the heap scheduler", file=sys.stderr)
         return 1
     if not ns.compare:
         return 0
@@ -427,6 +452,12 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"execution engine (default: reference; known: "
              f"{', '.join(ENGINES)}); results are bit-identical, "
              f"`compiled` runs the table-compiled fast engine")
+    grid_flags.add_argument(
+        "--scheduler", metavar="S",
+        help=f"event scheduler (default: {DEFAULT_SCHEDULER}; known: "
+             f"{', '.join(SCHEDULERS)}); results are bit-identical, "
+             f"`heap` is the reference binary-heap queue, `wheel` the "
+             f"bucketed event wheel")
     grid_flags.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="parallel worker processes; 0 = one per CPU (default: 1)")
@@ -515,6 +546,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", default="reference", metavar="E",
                    help=f"execution engine (default: reference; known: "
                         f"{', '.join(ENGINES)})")
+    p.add_argument("--scheduler", metavar="S",
+                   help=f"event scheduler (default: {DEFAULT_SCHEDULER}; "
+                        f"known: {', '.join(SCHEDULERS)})")
     p.add_argument("--sample-interval", type=int, default=5000,
                    metavar="CYCLES",
                    help="metric-sampling period in simulated cycles "
@@ -560,6 +594,15 @@ def _validate(ns: argparse.Namespace) -> Optional[str]:
         hint = f"; did you mean {close[0]!r}?" if close else ""
         return (f"unknown engine {engine!r}; known engines: "
                 f"{', '.join(ENGINES)}{hint}")
+    # Schedulers: same treatment (the config would reject these too,
+    # but only after argument parsing has scattered into a sweep).
+    scheduler = getattr(ns, "scheduler", None)
+    if scheduler and scheduler not in SCHEDULERS:
+        close = difflib.get_close_matches(scheduler, SCHEDULERS, n=1,
+                                          cutoff=0.4)
+        hint = f"; did you mean {close[0]!r}?" if close else ""
+        return (f"unknown scheduler {scheduler!r}; known schedulers: "
+                f"{', '.join(SCHEDULERS)}{hint}")
     # Energy presets resolve the same way.
     if getattr(ns, "preset", None):
         try:

@@ -41,11 +41,12 @@ DEFAULT_SEED = 12345
 #: Bump when workload generators, protocol semantics or the config hash
 #: payload change, so stale cached results are never reused.  v7: the
 #: execution engine became a first-class ``SystemConfig`` axis
-#: (``engine``), which enters the config hash payload — v6 keys (which
-#: predate the field) are deliberately retired so a cached cell can
-#: never be confused about which engine produced it; old cache files
-#: are simply re-simulated on first use.
-GRID_VERSION = 7
+#: (``engine``), which enters the config hash payload.  v8: the event
+#: scheduler joined the config (``scheduler``) — results are
+#: bit-identical across schedulers by contract, but the hash payload
+#: changed shape, so v7 keys are retired; old cache files are simply
+#: re-simulated on first use.
+GRID_VERSION = 8
 
 
 def config_key(scale: ScaleConfig, config: SystemConfig) -> str:

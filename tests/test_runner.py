@@ -56,18 +56,17 @@ class TestJobSpec:
 
     def test_store_key_is_pinned(self):
         """Cache keys must never change *silently*.  Pinned literals:
-        the GRID_VERSION-7 keys (the execution-engine axis landed:
-        ``SystemConfig.engine`` entered the config hash so reference
-        and compiled results can never alias, deliberately retiring the
-        v6 keys, which predate the axis).  If this fails, the hash
-        payload or serialization changed and every stored result
-        silently became unreachable; bump GRID_VERSION deliberately and
-        re-pin instead."""
+        the GRID_VERSION-8 keys (the event-scheduler axis landed:
+        ``SystemConfig.scheduler`` entered the config hash payload,
+        deliberately retiring the v7 keys, which predate the field).
+        If this fails, the hash payload or serialization changed and
+        every stored result silently became unreachable; bump
+        GRID_VERSION deliberately and re-pin instead."""
         from repro.common.config import DEFAULT_SCALE, scaled_system
         assert config_key(
             DEFAULT_SCALE,
-            scaled_system(DEFAULT_SCALE)) == "a810e9c2f191a243"
-        assert spec().store_key() == "a9400e48cc8e3566-t16"
+            scaled_system(DEFAULT_SCALE)) == "d3e5d4b8ec90250d"
+        assert spec().store_key() == "cf3759003e50eaa9-t16"
 
     def test_store_key_includes_non_default_seed(self):
         assert spec(seed=7).store_key() != spec().store_key()

@@ -22,8 +22,9 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.bench import (
-    COMPILED_SPEEDUP_FLOOR, REGRESSION_THRESHOLD, RecordMismatch,
-    check_engine_floor, compare_records, load_record)
+    COMPILED_SPEEDUP_FLOOR, REGRESSION_THRESHOLD, WHEEL_SPEEDUP_FLOOR,
+    RecordMismatch, check_engine_floor, check_scheduler_floor,
+    compare_records, load_record)
 
 
 def main(argv=None) -> int:
@@ -38,6 +39,10 @@ def main(argv=None) -> int:
                         default=COMPILED_SPEEDUP_FLOOR,
                         help="minimum compiled/reference speedup per cell "
                              f"(default: {COMPILED_SPEEDUP_FLOOR})")
+    parser.add_argument("--scheduler-floor", type=float,
+                        default=WHEEL_SPEEDUP_FLOOR,
+                        help="minimum wheel/heap speedup per cell "
+                             f"(default: {WHEEL_SPEEDUP_FLOOR})")
     ns = parser.parse_args(argv)
     try:
         current = load_record(ns.current)
@@ -54,6 +59,12 @@ def main(argv=None) -> int:
     engine_gate = check_engine_floor(current, floor=ns.engine_floor)
     for line in engine_gate["lines"]:
         print(line)
+    # Scheduler gate: the default wheel scheduler must never fall
+    # meaningfully behind the heap it replaced.
+    scheduler_gate = check_scheduler_floor(current,
+                                           floor=ns.scheduler_floor)
+    for line in scheduler_gate["lines"]:
+        print(line)
     failed = False
     if not outcome["ok"]:
         print(f"bench_compare: events_per_second regressed by more than "
@@ -62,6 +73,10 @@ def main(argv=None) -> int:
     if not engine_gate["ok"]:
         print(f"bench_compare: compiled engine fell below "
               f"{ns.engine_floor:.2f}x the reference", file=sys.stderr)
+        failed = True
+    if not scheduler_gate["ok"]:
+        print(f"bench_compare: wheel scheduler fell below "
+              f"{ns.scheduler_floor:.2f}x the heap", file=sys.stderr)
         failed = True
     return 1 if failed else 0
 
