@@ -62,7 +62,7 @@ def per_app_table(grid) -> str:
 
 
 def generate(grid=None, jobs: int = 1, scaling=None, energy: bool = True,
-             energy_config=None) -> str:
+             energy_config=None, stalls=None, stalls_tiles: int = 16) -> str:
     """Full report text (the body of EXPERIMENTS.md).
 
     ``scaling``, when given, is a swept shape grid
@@ -73,6 +73,11 @@ def generate(grid=None, jobs: int = 1, scaling=None, energy: bool = True,
     section, rendered for every registered technology preset;
     ``energy_config`` supplies the machine shape when the grid was swept
     on a non-default one (it defaults to the paper's 16-tile machine).
+
+    ``stalls``, when given, is a list of attribution profiles
+    (``repro.analysis.stalls.collect_stall_profiles`` output); the
+    latency & stall attribution section is appended for the
+    ``stalls_tiles``-tile shape they were collected on.
     """
     if grid is None:
         from repro.runner import sweep_grid
@@ -95,6 +100,9 @@ def generate(grid=None, jobs: int = 1, scaling=None, energy: bool = True,
     if scaling:
         from repro.analysis.scaling import report_section
         parts.append("\n" + report_section(scaling))
+    if stalls:
+        from repro.analysis.stalls import report_section as stalls_section
+        parts.append("\n" + stalls_section(stalls, stalls_tiles))
     return "\n".join(parts)
 
 

@@ -40,7 +40,7 @@ import platform
 import statistics
 import subprocess
 import time
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 #: Bump when the record layout changes incompatibly; compare_records
 #: refuses to diff records with different schema versions.  v4: cells
@@ -48,7 +48,12 @@ from typing import List, Tuple
 #: axis, per-cell seconds are interleaved medians (previously
 #: consecutive best-of), ``trace_memo`` reports measured cold-vs-warm
 #: cell times, and a ``sweep_throughput`` section times a pooled sweep.
-SCHEMA_VERSION = 4
+#: v5: an ``attrib`` section stores one latency/stall attribution
+#: profile per simulated (workload, protocol, shape) — from separate
+#: *non-timed* observed runs, so the timed cells stay obs-free — which
+#: lets :func:`attrib_delta` name the segment that moved when a perf
+#: gate trips.
+SCHEMA_VERSION = 5
 
 #: Hard-fail threshold of the regression gate: a cell whose
 #: events_per_second drops by more than this fraction fails CI.
@@ -245,6 +250,46 @@ def _measure_sweep_throughput(scale) -> dict:
     }
 
 
+def _attrib_key(workload: str, protocol: str, tiles: int) -> str:
+    return f"{workload} x {protocol} ({tiles}t)"
+
+
+def _attrib_profile(workload, proto, config) -> dict:
+    """Compact attribution profile from one *non-timed* observed run.
+
+    The timed cells above stay obs-free (that gate passing unchanged is
+    the zero-overhead proof); attribution comes from one extra observed
+    run per simulated shape.  Its counters are simulated-behaviour
+    facts — bit-equal across engines and schedulers (pinned by
+    ``tests/test_attrib.py``) — so one profile covers all four timed
+    variants of a cell, and a delta between two records means the
+    *simulated work* changed, not the host.
+    """
+    from repro.core.simulator import simulate
+    from repro.obs import ObsSession
+
+    obs = ObsSession(trace=False)
+    simulate(workload, proto, config, obs=obs)
+    report = obs.attrib.report()
+    segments = {}
+    for op, per_op in report["segments"].items():
+        for name, entry in per_op.items():
+            segments[f"{op}.{name}"] = entry["cycles"]
+    return {
+        "segments": segments,
+        "stall_cycles": {cause: cycles for cause, cycles
+                         in report["stalls"]["total"].items() if cycles},
+        # TimeStats buckets are declared float (integral-valued); cast
+        # so the JSON profile stays exact-integer like the segments.
+        "compute_cycles": int(report["compute_cycles"]),
+        "miss_cycles": sum(entry["cycles"]
+                           for entry in report["latency"].values()),
+        "misses": sum(entry["count"]
+                      for entry in report["latency"].values()),
+        "audits_ok": report["audits"]["ok"],
+    }
+
+
 def run_smoke(repeats: int = DEFAULT_REPEATS) -> dict:
     """Run the perf smoke suite and return the benchmark record.
 
@@ -340,6 +385,16 @@ def run_smoke(repeats: int = DEFAULT_REPEATS) -> dict:
             derivations += 1
     energy_s = time.perf_counter() - t0
 
+    # Attribution profiles beside the cells: one per simulated shape
+    # (engine/scheduler variants share theirs — the counters are
+    # bit-equal across variants), collected outside any timing.
+    attrib = {}
+    for proto in PROTOCOLS:
+        attrib[_attrib_key(WORKLOAD, proto, config.num_tiles)] = (
+            _attrib_profile(workload, proto, config))
+    attrib[_attrib_key(WORKLOAD, PROTOCOLS[0], EXTRA_TILES)] = (
+        _attrib_profile(shape_workload, PROTOCOLS[0], shape_config))
+
     total_s = sum(c["seconds"] for c in cells)
     overhead = energy_s / total_s if total_s else 0.0
     assert overhead < ENERGY_OVERHEAD_BUDGET, (
@@ -373,6 +428,10 @@ def run_smoke(repeats: int = DEFAULT_REPEATS) -> dict:
             "fraction_of_sweep": round(overhead, 5),
             "budget": ENERGY_OVERHEAD_BUDGET,
         },
+        # Latency/stall attribution per simulated shape (non-timed
+        # observed runs; see _attrib_profile).  attrib_delta diffs
+        # these to name which segment moved when a perf gate trips.
+        "attrib": attrib,
         "cells": cells,
     }
 
@@ -488,6 +547,73 @@ def compare_records(baseline: dict, current: dict,
     for key in sorted(extra):
         lines.append(f"note {_cell_label(key)}: new cell, no baseline")
     return {"ok": ok, "lines": lines, "cells": compared}
+
+
+def _flat_buckets(profile: dict) -> Dict[str, int]:
+    """One flat {bucket: cycles} view of an attribution profile."""
+    flat = {f"seg {name}": int(cycles)
+            for name, cycles in profile.get("segments", {}).items()}
+    for cause, cycles in profile.get("stall_cycles", {}).items():
+        flat[f"stall {cause}"] = int(cycles)
+    flat["compute"] = int(profile.get("compute_cycles", 0))
+    return flat
+
+
+def attrib_delta(baseline: dict, current: dict, top: int = 3) -> dict:
+    """Name which attribution buckets moved between two records.
+
+    Diffs the per-shape ``attrib`` profiles (segment cycles, stall
+    cycles by cause, compute cycles) and reports the ``top`` largest
+    absolute movers per shape.  Because the profiles are simulated-
+    behaviour facts — identical run-to-run on one commit — any nonzero
+    delta means the *work being simulated* changed between the two
+    records, while an all-zero delta pins a tripped perf gate on the
+    host/runner instead.  Returns ``{"lines", "changed"}``; tolerant of
+    pre-v5 records (reports the absence instead of raising).
+    """
+    base_attrib = baseline.get("attrib")
+    new_attrib = current.get("attrib")
+    if not base_attrib or not new_attrib:
+        which = "baseline" if not base_attrib else "current"
+        return {"changed": False, "lines": [
+            f"note {which} record carries no attribution profiles "
+            f"(pre-v5); cannot attribute the regression"]}
+    lines: List[str] = []
+    changed = False
+    for key in sorted(set(base_attrib) | set(new_attrib)):
+        base = base_attrib.get(key)
+        new = new_attrib.get(key)
+        if base is None or new is None:
+            lines.append(f"note {key}: profile only in "
+                         f"{'current' if base is None else 'baseline'} "
+                         f"record")
+            continue
+        base_flat = _flat_buckets(base)
+        new_flat = _flat_buckets(new)
+        deltas = []
+        for bucket in set(base_flat) | set(new_flat):
+            before = base_flat.get(bucket, 0)
+            after = new_flat.get(bucket, 0)
+            if after != before:
+                deltas.append((abs(after - before), bucket, before, after))
+        if not deltas:
+            lines.append(f"ok   {key}: attribution unchanged")
+            continue
+        changed = True
+        deltas.sort(reverse=True)
+        movers = []
+        for _, bucket, before, after in deltas[:top]:
+            pct = (f"{(after - before) / before:+.1%}" if before
+                   else "new")
+            movers.append(f"{bucket} {before:,} -> {after:,} ({pct})")
+        lines.append(f"moved {key}: " + "; ".join(movers))
+    if changed:
+        lines.append("note attribution moved: the simulated work "
+                     "changed, not just the host")
+    else:
+        lines.append("note attribution identical: a tripped perf gate "
+                     "is host/runner-side, not a workload change")
+    return {"changed": changed, "lines": lines}
 
 
 def _best_eps(cell: dict) -> float:

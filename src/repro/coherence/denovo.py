@@ -52,7 +52,9 @@ from repro.cache.writebuffer import WriteCombineEntry, WriteCombineTable
 from repro.coherence.kernel import CoherenceKernel
 from repro.common.addressing import (
     WORDS_PER_LINE, base_word, line_of, offset_of, words_of_line)
-from repro.core.context import NACK_RETRY_DELAY, LoadRequest, SimContext
+from repro.core.context import (
+    NACK_RETRY_DELAY, SERVED_L2, SERVED_MEMORY, SERVED_REMOTE_L1,
+    LoadRequest, SimContext)
 from repro.network import traffic as T
 
 # Hot paths inline line_of/offset_of as ``addr >> 4`` / ``addr & 15``
@@ -519,6 +521,8 @@ class DenovoSystem(CoherenceKernel):
         line_addr = addr >> 4
         off = addr & 15
         home = self._home_tile(line_addr)
+        if req.t_home_arrive is None:
+            req.t_home_arrive = arrive
         t = ctx.l2_service_time(home, arrive)
         entry = self.l2[home].lookup(line_addr)
 
@@ -598,6 +602,8 @@ class DenovoSystem(CoherenceKernel):
         ctx.l2_prof.on_use_words(home, words)
         l1_entries = ctx.l1_prof.arrivals_words(core, words, flags)
         payload = list(zip(words, l1_entries, insts))
+        req.served_by = SERVED_L2
+        req.t_fill_send = t
         self._send_data(
             T.LD, T.DEST_L1, home, core, t, l1_entries,
             self._l1_load_fill, req, payload, True)
@@ -720,6 +726,8 @@ class DenovoSystem(CoherenceKernel):
             l1_owner.stat_probes += own_probes
         l1_entries = ctx.l1_prof.arrivals_words(core, words, flags)
         payload = list(zip(words, l1_entries, insts))
+        req.served_by = SERVED_REMOTE_L1
+        req.t_fill_send = tt
         self._send_data(
             T.LD, T.DEST_L1, owner, core, tt, l1_entries,
             self._l1_load_fill, req, payload, True)
@@ -777,6 +785,8 @@ class DenovoSystem(CoherenceKernel):
                     and self.policies.bypass.bypasses(
                         ctx.regions.find(addr)))
         req.went_to_memory = True
+        req.t_home_depart = t
+        req.served_by = SERVED_MEMORY
         mc = ctx.mc_tile(line_addr)
         dirty_offsets = (tuple(entry.dirty_mask_offsets())
                          if entry is not None else ())
@@ -807,6 +817,7 @@ class DenovoSystem(CoherenceKernel):
         # Provably clean: go straight to the memory controller.
         self.stat_direct_requests += 1
         req.went_to_memory = True
+        req.served_by = SERVED_MEMORY
         mc = ctx.mc_tile(line_addr)
         self._send_req_ctl(
             T.LD, core, mc, at,
@@ -959,6 +970,8 @@ class DenovoSystem(CoherenceKernel):
                      completes: bool, src: int, at: int) -> None:
         """The L1 leg of a memory response (registers inflight fills)."""
         ctx = self.ctx
+        if completes:
+            req.t_fill_send = at
         core = req.core
         l1 = self.l1[core]
         fill_lines = set()

@@ -37,7 +37,8 @@ from repro.cache.writebuffer import StoreBuffer
 from repro.coherence.kernel import CoherenceKernel
 from repro.common.addressing import base_word, line_of, offset_of
 from repro.core.context import (
-    NACK_RETRY_DELAY, LoadRequest, SimContext, StoreRequest)
+    NACK_RETRY_DELAY, SERVED_L2, SERVED_MEMORY, SERVED_REMOTE_L1,
+    LoadRequest, SimContext, StoreRequest)
 from repro.network import traffic as T
 
 # The inlined load-hit path uses ``addr & 15`` for offset_of (16-word
@@ -258,6 +259,8 @@ class MesiSystem(CoherenceKernel):
         ctx = self.ctx
         line_addr = line_of(req.addr)
         home = self._home_tile(line_addr)
+        if req.t_home_arrive is None:
+            req.t_home_arrive = arrive
         t = ctx.l2_service_time(home, arrive)
         entry = self.l2[home].lookup(line_addr)
         if entry is not None and entry.busy:
@@ -295,6 +298,8 @@ class MesiSystem(CoherenceKernel):
         l1_entries = ctx.l1_prof.arrivals_line(core, base)
         insts = list(entry.mem_inst)
         state = L1_E if grant_e else L1_S
+        req.served_by = SERVED_L2
+        req.t_fill_send = t
         self._send_data(
             T.LD, T.DEST_L1, home, core, t, l1_entries,
             self._l1_load_fill, req, state, insts, home, False)
@@ -323,6 +328,8 @@ class MesiSystem(CoherenceKernel):
         core = req.core
         l1_entries = ctx.l1_prof.arrivals_line(core, base_word(line_addr))
         insts = list(oline.mem_inst)
+        req.served_by = SERVED_REMOTE_L1
+        req.t_fill_send = tt
         self._send_data(
             T.LD, T.DEST_L1, owner, core, tt, l1_entries,
             self._l1_load_fill, req, L1_S, insts, home, False)
@@ -367,6 +374,8 @@ class MesiSystem(CoherenceKernel):
         ctx = self.ctx
         line_addr = req.line_addr
         home = self._home_tile(line_addr)
+        if req.t_home_arrive is None:
+            req.t_home_arrive = arrive
         t = ctx.l2_service_time(home, arrive)
         entry = self.l2[home].lookup(line_addr)
         if entry is not None and entry.busy:
@@ -479,6 +488,8 @@ class MesiSystem(CoherenceKernel):
         entry = self._reserve_l2(home, line_addr)
         entry.busy = True
         req.went_to_memory = True
+        req.t_home_depart = t
+        req.served_by = SERVED_MEMORY
         mc = ctx.mc_tile(line_addr)
         self._send_req_ctl(major, home, mc, t,
                            self._mc_read, req, entry, home, mc)
@@ -522,6 +533,7 @@ class MesiSystem(CoherenceKernel):
             self.stat_e_grants += 1
         entry.sharers.add(core)
         state = L1_E if grant_e else L1_S
+        req.t_fill_send = tt
         self._send_data(
             T.LD, T.DEST_L1, home, core, tt, l1_entries,
             self._l1_load_fill, req, state, list(entry.mem_inst), home,
@@ -542,6 +554,7 @@ class MesiSystem(CoherenceKernel):
             self.stat_e_grants += 1
         entry.sharers.add(core)
         state = L1_E if grant_e else L1_S
+        req.t_fill_send = t
         self._send_data(T.LD, T.DEST_L1, mc, core, t, l1_entries,
                         self._load_direct_at_l1, req, entry, home, state,
                         insts)
@@ -570,12 +583,14 @@ class MesiSystem(CoherenceKernel):
         entry = self._reserve_l2(home, line_addr)
         entry.busy = True
         req.went_to_memory = True
+        req.t_home_depart = t
         mc = ctx.mc_tile(line_addr)
         self._send_req_ctl(T.ST, home, mc, t,
                            self._store_at_mc, req, entry, home, mc)
 
     def _store_at_mc(self, req: StoreRequest, entry: MesiL2Line, home: int,
                      mc: int, arrive: int) -> None:
+        req.t_arrive_mc = arrive
         line_addr = entry.line_addr
         self.ctx.dram_for(line_addr).read(
             line_addr, self._store_dram_done, req, entry, home, mc)
@@ -583,6 +598,7 @@ class MesiSystem(CoherenceKernel):
     def _store_dram_done(self, req: StoreRequest, entry: MesiL2Line,
                          home: int, mc: int, tt: int) -> None:
         ctx = self.ctx
+        req.t_leave_mc = tt
         line_addr = entry.line_addr
         base = base_word(line_addr)
         insts = ctx.mem_prof.fetch_line(base)

@@ -39,9 +39,24 @@ MC_FRONTEND_LATENCY = 4
 NACK_RETRY_DELAY = 20
 
 
+#: ``LoadRequest.served_by`` values: which agent supplied the fill.
+SERVED_NONE = 0       # never completed normally (or L1 hit after retry)
+SERVED_L2 = 1         # home L2 slice had the line/words
+SERVED_REMOTE_L1 = 2  # forwarded to and answered by a remote owner L1
+SERVED_MEMORY = 3     # went to a memory controller
+
+
 @dataclass(slots=True)
 class LoadRequest:
-    """Bookkeeping for one outstanding (blocking) load miss."""
+    """Bookkeeping for one outstanding (blocking) load miss.
+
+    The ``t_*`` checkpoints past ``t_issue`` are purely observational:
+    the coherence controllers stamp them unconditionally as the request
+    moves (first home arrival, home departure toward memory, MC
+    arrival/departure, fill send), and ``repro.obs.attrib`` — when
+    attached — decomposes the end-to-end latency into segments from
+    them.  Nothing on the timing path ever reads them.
+    """
 
     core: int
     addr: int
@@ -51,17 +66,30 @@ class LoadRequest:
     t_leave_mc: Optional[int] = None
     went_to_memory: bool = False
     retries: int = 0
+    t_home_arrive: Optional[int] = None
+    t_home_depart: Optional[int] = None
+    t_fill_send: Optional[int] = None
+    served_by: int = SERVED_NONE
 
 
 @dataclass(slots=True)
 class StoreRequest:
-    """Bookkeeping for one outstanding (non-blocking) store-path request."""
+    """Bookkeeping for one outstanding (non-blocking) store-path request.
+
+    The ``t_*`` fields mirror :class:`LoadRequest`'s observational
+    checkpoints for the MESI store (GETX) path; DeNovo stores are
+    write-combined registrations and carry no per-request record.
+    """
 
     core: int
     line_addr: int
     t_issue: int
     went_to_memory: bool = False
     retries: int = 0
+    t_home_arrive: Optional[int] = None
+    t_home_depart: Optional[int] = None
+    t_arrive_mc: Optional[int] = None
+    t_leave_mc: Optional[int] = None
 
 
 class SimContext:

@@ -117,6 +117,10 @@ class System:
                 # during warm-up, so move the baseline to now.
                 core._wait_start = self.ctx.queue.now
             self._measure_start = self.ctx.queue.now
+            # Attribution windows follow the same reset so its
+            # conservation audits compare like-scoped totals.
+            if self.obs is not None:
+                self.obs.on_measure_reset()
 
     # ------------------------------------------------------------------
 

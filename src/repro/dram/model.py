@@ -69,9 +69,12 @@ class DramChannel:
         self._window_base = (0, 0, 0, 0)
         # Observability hook: when set (by repro.obs.ObsSession), fired
         # once per serviced request as ``on_service(line_addr, is_write,
-        # bank, row_hit, start, done)``.  None by default — the only
-        # disabled-path cost is this attribute test per DRAM service,
-        # which is orders of magnitude rarer than scheduler events.
+        # bank, row_hit, arrival, start, done)``.  ``arrival`` is when
+        # the request entered the controller queue, so the hook can split
+        # queue wait (start - arrival) from array service (done - start).
+        # None by default — the only disabled-path cost is this attribute
+        # test per DRAM service, which is orders of magnitude rarer than
+        # scheduler events.
         self.on_service: Optional[Callable[..., None]] = None
 
     # -- address mapping ---------------------------------------------------
@@ -276,5 +279,5 @@ class DramChannel:
             self.reads += 1
         if self.on_service is not None:
             self.on_service(request.line_addr, request.is_write, bank_index,
-                            row_hit, now, done)
+                            row_hit, request.arrival, now, done)
         return done

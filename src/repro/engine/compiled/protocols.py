@@ -41,7 +41,7 @@ from repro.coherence.mesi import (
     DIR_EXCL, L1_E, L1_M, L1_PENDING, L1_S, MesiSystem)
 from repro.common.addressing import WORDS_PER_LINE
 from repro.core.context import (
-    L2_ACCESS_LATENCY, L2_OCCUPANCY, LoadRequest, StoreRequest)
+    L2_ACCESS_LATENCY, L2_OCCUPANCY, SERVED_L2, LoadRequest, StoreRequest)
 from repro.engine.compiled.pools import (
     C_EVICT, C_FETCH, C_INVALIDATE, C_USED, C_WRITE, _LINE_ZEROS)
 from repro.network.traffic import (
@@ -326,6 +326,8 @@ class CompiledMesiSystem(_FusedHierarchyMixin, MesiSystem):
         ctx = self.ctx
         line_addr = req.addr >> 4
         home = line_addr % self._nt
+        if req.t_home_arrive is None:
+            req.t_home_arrive = arrive
         # l2_service_time inline
         l2f = ctx._l2_free
         free = l2f[home]
@@ -359,6 +361,8 @@ class CompiledMesiSystem(_FusedHierarchyMixin, MesiSystem):
                     ctx.l1_prof, (line_addr << 6) | core)
                 insts = list(entry.mem_inst)
                 state = L1_E if grant_e else L1_S
+                req.served_by = SERVED_L2
+                req.t_fill_send = t
                 self._send_line_data(ctx, LD, home, core, t, l1_entries,
                                      self._l1_load_fill, req, state, insts,
                                      home, False)
@@ -374,6 +378,8 @@ class CompiledMesiSystem(_FusedHierarchyMixin, MesiSystem):
         ctx = self.ctx
         line_addr = req.line_addr
         home = line_addr % self._nt
+        if req.t_home_arrive is None:
+            req.t_home_arrive = arrive
         l2f = ctx._l2_free
         free = l2f[home]
         start = arrive if arrive >= free else free
@@ -785,6 +791,8 @@ class CompiledDenovoSystem(_FusedHierarchyMixin, DenovoSystem):
         line_addr = addr >> 4
         off = addr & 15
         home = line_addr % self._nt
+        if req.t_home_arrive is None:
+            req.t_home_arrive = arrive
         # l2_service_time inline
         l2f = ctx._l2_free
         free = l2f[home]
@@ -886,6 +894,8 @@ class CompiledDenovoSystem(_FusedHierarchyMixin, DenovoSystem):
                 row1[slot] = handle
             append(handle)
         payload = list(zip(words, l1_entries, insts))
+        req.served_by = SERVED_L2
+        req.t_fill_send = t
         # send_data inline
         hops = ctx.mesh._hops[home * self._nt + core]
         bucket = ctx._lbuckets[LD]

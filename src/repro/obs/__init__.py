@@ -16,6 +16,8 @@ Three coordinated parts, all opt-in and zero-overhead when unused:
   ``telemetry.json`` sidecar in the result store.
 """
 
+from repro.obs.attrib import (
+    SEGMENT_LABELS, SEGMENTS, STALL_CAUSES, STALL_LABELS, AttribCollector)
 from repro.obs.metrics import Histogram, Metric, MetricsHub
 from repro.obs.sampler import PhaseSampler
 from repro.obs.session import ObsSession
@@ -23,12 +25,17 @@ from repro.obs.telemetry import SIDECAR_NAME, SweepTelemetry, load_telemetry
 from repro.obs.trace import SimTrace
 
 __all__ = [
+    "AttribCollector",
     "Histogram",
     "Metric",
     "MetricsHub",
     "ObsSession",
     "PhaseSampler",
+    "SEGMENT_LABELS",
+    "SEGMENTS",
     "SIDECAR_NAME",
+    "STALL_CAUSES",
+    "STALL_LABELS",
     "SimTrace",
     "SweepTelemetry",
     "load_telemetry",

@@ -86,6 +86,10 @@ class Metric:
         """Register a source read at snapshot time (sums per label set)."""
         self._pulls.append((_label_key(labels), fn))
 
+    def clear(self) -> None:
+        """Drop pushed state (measurement-window reset); pulls stay."""
+        self._series.clear()
+
     # -- read ----------------------------------------------------------
     def collect(self) -> Dict[LabelKey, float]:
         """Current value per label set (pushed state + pulled sources)."""
@@ -136,6 +140,10 @@ class Histogram(Metric):
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 hist[2 + i] += 1
+
+    def clear(self) -> None:
+        """Drop observations (measurement-window reset)."""
+        self._hists.clear()
 
     def collect(self) -> Dict[LabelKey, float]:
         return {key: hist[0] for key, hist in self._hists.items()}

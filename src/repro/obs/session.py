@@ -30,6 +30,7 @@ from __future__ import annotations
 from functools import partial
 from typing import Dict, List, Optional
 
+from repro.obs.attrib import AttribCollector
 from repro.obs.metrics import MetricsHub
 from repro.obs.sampler import PhaseSampler
 from repro.obs.trace import SimTrace
@@ -40,12 +41,17 @@ class ObsSession:
     """Metrics hub + phase sampler + tracer for one simulation run."""
 
     def __init__(self, *, sample_interval: int = 5000,
-                 trace: bool = True, trace_capacity: int = 65536) -> None:
+                 trace: bool = True, trace_capacity: int = 65536,
+                 attrib: bool = True) -> None:
         self.hub = MetricsHub()
         self.trace: Optional[SimTrace] = (
             SimTrace(trace_capacity) if trace else None)
         self.sampler: Optional[PhaseSampler] = None
         self.sample_interval = sample_interval
+        #: Latency/stall attribution collector (``attrib=False`` turns
+        #: it off; the run stays bit-identical either way).
+        self.attrib: Optional[AttribCollector] = (
+            AttribCollector(self.hub, self.trace) if attrib else None)
         #: Flits forwarded per tile (link-source attribution), filled by
         #: the mesh wrapper installed in :meth:`attach`.
         self.tile_flits: List[int] = []
@@ -105,16 +111,21 @@ class ObsSession:
         # construction is safe and costs nothing when no obs is given).
         self._wrap_mesh(ctx)
 
+        # -- latency/stall attribution ----------------------------------
+        if self.attrib is not None:
+            self.attrib.attach(system)
+
         # -- sampler ----------------------------------------------------
         self.sampler = PhaseSampler(ctx.queue, hub, self.sample_interval)
         self.sampler.start()
 
-        # -- tracing hooks ----------------------------------------------
+        # -- tracing / DRAM hooks ---------------------------------------
         if self.trace is not None:
             system.barrier.on_release(partial(self._on_barrier, ctx.queue))
+        if self.trace is not None or self.attrib is not None:
             service_hist = hub.histogram(
                 "dram_service_cycles",
-                "DRAM request service latency (queue entry to data out)")
+                "DRAM request service latency (service start to data out)")
             for tile, dram in sorted(ctx.drams.items()):
                 dram.on_service = partial(self._on_dram_service, tile,
                                           service_hist)
@@ -165,12 +176,23 @@ class ObsSession:
         self._phase_start = now
 
     def _on_dram_service(self, tile, hist, line_addr, is_write, bank,
-                         row_hit, start, done) -> None:
+                         row_hit, arrival, start, done) -> None:
         hist.observe(done - start, mc=tile)
-        self.trace.complete(
-            "write" if is_write else "read", "dram", start, done - start,
-            track=f"mc{tile} bank{bank}",
-            args={"line": line_addr, "row_hit": row_hit})
+        if self.attrib is not None:
+            self.attrib.on_dram_service(tile, is_write, arrival, start,
+                                        done)
+        if self.trace is not None:
+            self.trace.complete(
+                "write" if is_write else "read", "dram", start,
+                done - start, track=f"mc{tile} bank{bank}",
+                args={"line": line_addr, "row_hit": row_hit,
+                      "queue_wait": start - arrival})
+
+    # ------------------------------------------------------------------
+    def on_measure_reset(self) -> None:
+        """End of warm-up (called by ``System`` with the stats reset)."""
+        if self.attrib is not None:
+            self.attrib.on_measure_reset()
 
     # ------------------------------------------------------------------
     def finish(self, system) -> None:

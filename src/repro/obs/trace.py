@@ -74,6 +74,24 @@ class SimTrace:
         self._append({"name": name, "ph": "C", "ts": ts, "pid": TRACE_PID,
                       "args": dict(values)})
 
+    def flow(self, name: str, cat: str, ts: int, flow_id: int,
+             track: str = "sim", phase: str = "s") -> None:
+        """One flow event linking spans that share ``flow_id``.
+
+        ``phase`` is ``"s"`` (start), ``"t"`` (step) or ``"f"`` (end),
+        Chrome's flow-event phases.  Perfetto binds a flow event to the
+        slice at the same ``ts`` on the same track, so emit it alongside
+        the :meth:`complete` span it annotates; matching (name, cat,
+        id) triples render as arrows between the linked slices.
+        """
+        if phase not in ("s", "t", "f"):
+            raise ValueError(f"flow phase must be s/t/f, not {phase!r}")
+        event = {"name": name, "cat": cat, "ph": phase, "ts": ts,
+                 "pid": TRACE_PID, "tid": self.track(track), "id": flow_id}
+        if phase == "f":
+            event["bp"] = "e"   # bind the end to the enclosing slice
+        self._append(event)
+
     # -- export ---------------------------------------------------------
     def events(self) -> List[dict]:
         """Buffered events in monotonically non-decreasing ``ts`` order.

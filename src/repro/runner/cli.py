@@ -298,7 +298,8 @@ def cmd_trace(ns: argparse.Namespace, out=None) -> int:
     workload = build_workload(ns.workload, scale,
                               num_cores=config.num_tiles, seed=ns.seed)
     protocol = _canonical_protocol(ns.protocol)
-    obs = ObsSession(sample_interval=ns.sample_interval)
+    obs = ObsSession(sample_interval=ns.sample_interval,
+                     trace_capacity=ns.trace_capacity)
     start = time.perf_counter()
     result = simulate(workload, protocol, config, obs=obs)
     elapsed = time.perf_counter() - start
@@ -311,12 +312,62 @@ def cmd_trace(ns: argparse.Namespace, out=None) -> int:
           f"({trace.dropped} dropped by the ring buffer), "
           f"{len(obs.samples)} metric samples -> {ns.out}", file=out,
           flush=True)
+    if trace.dropped > 0:
+        print(f"trace: warning: ring buffer dropped {trace.dropped} "
+              f"event(s); re-run with --trace-capacity "
+              f"{max(trace.capacity * 2, trace.capacity + trace.dropped)} "
+              f"(or higher) for a complete trace", file=sys.stderr,
+              flush=True)
     print("trace: load in https://ui.perfetto.dev or chrome://tracing",
           file=out, flush=True)
     if ns.timeline:
         from repro.analysis.timeline import figure_timeline
         print(file=out)
         print(figure_timeline(obs).render(), file=out, flush=True)
+    return 0
+
+
+def cmd_stalls(ns: argparse.Namespace, out=None) -> int:
+    """Run one observed cell per rung; print the stall attribution."""
+    out = out if out is not None else sys.stdout
+    from repro.analysis.stalls import (
+        collect_stall_profiles, figure_stalls, report_section)
+    scale = SCALES[ns.scale]()
+    tiles = _parse_tiles(ns)
+    config = (scaled_system(scale, num_tiles=tiles[0]) if tiles
+              else scaled_system(scale))
+    config = _with_engine(config, ns)
+    protocols = [_canonical_protocol(p)
+                 for p in (ns.protocols or paper_ladder())]
+    start = time.perf_counter()
+    profiles = collect_stall_profiles(ns.workload, scale, protocols,
+                                      config, seed=ns.seed)
+    elapsed = time.perf_counter() - start
+    if ns.report_section:
+        print(report_section(profiles, config.num_tiles), file=out)
+    else:
+        print(figure_stalls(profiles, config.num_tiles).render(), file=out)
+    print(f"stalls: {len(profiles)} rung(s) of {ns.workload} @ "
+          f"{config.num_tiles}t ({config.engine}/{config.scheduler}) "
+          f"in {elapsed:.2f}s", file=out, flush=True)
+    if ns.json:
+        import json
+        payload = {"workload": profiles[0]["workload"] if profiles
+                   else ns.workload,
+                   "num_tiles": config.num_tiles,
+                   "engine": config.engine,
+                   "scheduler": config.scheduler,
+                   "seed": ns.seed,
+                   "profiles": profiles}
+        with open(ns.json, "w") as fh:
+            json.dump(payload, fh, indent=1)
+            fh.write("\n")
+        print(f"stalls: wrote {ns.json}", file=out, flush=True)
+    failed = [p["protocol"] for p in profiles if not p["audits"]["ok"]]
+    if failed:
+        print(f"stalls: conservation audits FAILED for "
+              f"{', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -555,10 +606,47 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: 5000)")
     p.add_argument("-o", "--out", default="trace.json", metavar="FILE",
                    help="output trace path (default: trace.json)")
+    p.add_argument("--trace-capacity", type=int, default=65536,
+                   metavar="EVENTS",
+                   help="SimTrace ring-buffer capacity; oldest events "
+                        "drop beyond it, with a stderr warning "
+                        "(default: 65536)")
     p.add_argument("--timeline", action="store_true",
                    help="also print the per-tile link-utilization "
                         "heat-strip timeline")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "stalls",
+        help="run one observed cell per protocol rung and print the "
+             "stacked latency/stall attribution breakdown")
+    p.add_argument("--workload", default="radix", metavar="W",
+                   help="workload to attribute (case-insensitive; "
+                        "default: radix)")
+    p.add_argument("--protocols", nargs="+", metavar="P",
+                   help="protocol rungs (default: the paper's nine-rung "
+                        "ladder)")
+    p.add_argument("--scale", choices=sorted(SCALES), default="tiny",
+                   help="input-size scale (default: tiny — each rung is "
+                        "simulated with attribution attached)")
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                   help=f"trace-generator seed (default: {DEFAULT_SEED})")
+    p.add_argument("--tiles", nargs="+", metavar="N",
+                   help="machine shape (one square tile count; "
+                        "default: the paper's 16)")
+    p.add_argument("--engine", default="reference", metavar="E",
+                   help=f"execution engine (default: reference; known: "
+                        f"{', '.join(ENGINES)})")
+    p.add_argument("--scheduler", metavar="S",
+                   help=f"event scheduler (default: {DEFAULT_SCHEDULER}; "
+                        f"known: {', '.join(SCHEDULERS)})")
+    p.add_argument("--json", metavar="FILE",
+                   help="also write the attribution profiles (segments, "
+                        "stall causes, conservation audits) as JSON")
+    p.add_argument("--report-section", action="store_true",
+                   help="print the markdown report section instead of "
+                        "the bare figure")
+    p.set_defaults(func=cmd_stalls)
 
     p = sub.add_parser("list",
                        help="print registered workloads and protocols")
@@ -639,8 +727,20 @@ def _validate(ns: argparse.Namespace) -> Optional[str]:
             return str(exc.args[0])
         if ns.sample_interval <= 0:
             return "--sample-interval must be a positive cycle count"
+        if ns.trace_capacity <= 0:
+            return "--trace-capacity must be a positive event count"
         if tiles and len(tiles) != 1:
             return ("trace runs one machine shape at a time; pass a "
+                    "single --tiles value")
+    # Stalls runs one observed cell per rung: one shape, valid names
+    # (--protocols entries already resolved through the registry above).
+    if ns.command == "stalls":
+        try:
+            canonical_workload(ns.workload)
+        except KeyError as exc:
+            return str(exc.args[0])
+        if tiles and len(tiles) != 1:
+            return ("stalls runs one machine shape at a time; pass a "
                     "single --tiles value")
     # Every figure and the report normalize to the MESI bar, so a grid
     # without MESI would only fail after the whole sweep ran.

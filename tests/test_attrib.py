@@ -1,0 +1,219 @@
+"""Latency & stall attribution tests (repro.obs.attrib).
+
+The load-bearing guarantees:
+
+* **non-perturbation** — a run with attribution enabled returns a
+  ``RunResult`` byte-identical to the golden tiny-grid snapshot, on
+  every rung of the ladder (the collector only reads observational
+  checkpoints; it schedules nothing);
+* **conservation** — the three audits hold exactly on every rung:
+  lifecycle segments sum to end-to-end latency, per-core
+  ``compute + stalls == TimeStats.total()``, and the observed DRAM
+  commands reconcile with the channels' ``window_commands()``;
+* **engine parity** — every attribution counter (segment sums/counts,
+  stall cycles by cause, end-to-end sums, retries) is bit-equal
+  between the reference and compiled engines, so a bench record's
+  attribution profile speaks for all four timed variants of a cell;
+* **delta attribution** — ``repro.bench.attrib_delta`` names the
+  buckets that moved between two records and stays tolerant of pre-v5
+  records.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.bench import attrib_delta
+from repro.common.config import PROTOCOL_ORDER, ScaleConfig, scaled_system
+from repro.core.simulator import simulate
+from repro.obs import AttribCollector, MetricsHub, ObsSession, SEGMENTS
+from repro.runner.store import result_to_dict
+from repro.workloads import build_workload
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "grid_tiny.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())["grid"]
+
+SCALE = ScaleConfig.tiny()
+
+# One attributed run per rung, shared across the test class (pure
+# memoization: simulation is deterministic).
+_OBSERVED: Dict[str, tuple] = {}
+
+
+def _observed(proto: str):
+    cell = _OBSERVED.get(proto)
+    if cell is None:
+        workload = build_workload("radix", SCALE)
+        obs = ObsSession(trace=False)
+        result = simulate(workload, proto, scaled_system(SCALE), obs=obs)
+        cell = _OBSERVED[proto] = (result, obs)
+    return cell
+
+
+@pytest.mark.parametrize("proto", PROTOCOL_ORDER)
+def test_attributed_run_stays_golden(proto):
+    """Attribution on: the RunResult must still match the golden grid."""
+    result, _obs = _observed(proto)
+    assert result_to_dict(result) == GOLDEN["radix"][proto], (
+        f"radix x {proto} diverged from the golden result with "
+        f"attribution enabled; the collector perturbed the simulation")
+
+
+@pytest.mark.parametrize("proto", PROTOCOL_ORDER)
+def test_conservation_audits_pass_every_rung(proto):
+    result, obs = _observed(proto)
+    audits = obs.attrib.audits()
+    assert audits["segments"]["ok"], audits["segments"]
+    assert audits["cycles"]["ok"], [c for c in audits["cycles"]["per_core"]
+                                    if not c["ok"]]
+    assert audits["dram"]["ok"], audits["dram"]
+    assert audits["ok"]
+    # The accounting is not vacuous: misses were recorded and the
+    # cores' stall cycles cover everything busy does not.
+    assert audits["segments"]["e2e_cycles"] > 0
+    total = sum(c["total"] for c in audits["cycles"]["per_core"])
+    busy = sum(c["busy"] for c in audits["cycles"]["per_core"])
+    assert total > busy > 0
+
+
+def test_report_shape_and_stalls_figure():
+    result, obs = _observed("MESI")
+    profile = obs.attrib.report()
+    assert profile["protocol"] == "MESI"
+    assert profile["workload"] == "radix"
+    assert set(profile["stalls"]["total"]) == {
+        "l1_wait", "l2_home", "remote_l1", "dram", "write_buffer",
+        "barrier"}
+    assert len(profile["stalls"]["per_core"]) == 16
+    json.dumps(profile)                  # must be JSON-able as-is
+    from repro.analysis.stalls import figure_stalls, report_section
+    text = figure_stalls([profile], 16).render()
+    assert "stall attribution: radix (16 tiles)" in text
+    assert "MESI" in text
+    section = report_section([profile], 16)
+    assert "## Latency & stall attribution" in section
+    assert "pass" in section
+
+
+# ----------------------------------------------------------------------
+# Engine parity of the attribution counters
+# ----------------------------------------------------------------------
+
+#: The rungs with fused compiled cores (the ones that re-stamp the
+#: checkpoints themselves) plus the full-feature DeNovo rung, which
+#: exercises the bypass path through the shared kernel.
+PARITY_PROTOS = ("MESI", "DeNovo", "DBypFull")
+
+
+@pytest.mark.parametrize("proto", PARITY_PROTOS)
+def test_attribution_counters_bit_equal_across_engines(proto):
+    workload = build_workload("radix", SCALE, seed=12345)
+    reference = scaled_system(SCALE)
+    compiled = dataclasses.replace(reference, engine="compiled")
+    cells = {}
+    for label, config in (("reference", reference), ("compiled", compiled)):
+        obs = ObsSession(trace=False)
+        result = simulate(workload, proto, config, obs=obs)
+        cells[label] = (result, obs.attrib)
+    ref_result, ref = cells["reference"]
+    cmp_result, cmp_ = cells["compiled"]
+    # The runs themselves are parity-pinned elsewhere; assert anyway so
+    # an attribution diff below is never chasing a simulation diff.
+    assert dataclasses.asdict(cmp_result) == dataclasses.asdict(ref_result)
+    assert cmp_.segment_totals() == ref.segment_totals(), proto
+    assert cmp_.stall_totals() == ref.stall_totals(), proto
+    assert cmp_.e2e_count == ref.e2e_count, proto
+    assert cmp_.e2e_sum == ref.e2e_sum, proto
+    assert cmp_.retries == ref.retries, proto
+    assert cmp_.dram_observed == ref.dram_observed, proto
+    assert cmp_.dram_queue_wait_sum == ref.dram_queue_wait_sum, proto
+    assert cmp_.dram_service_sum == ref.dram_service_sum, proto
+    assert (cmp_.nonmonotonic, cmp_.unbalanced) == (0, 0)
+
+
+# ----------------------------------------------------------------------
+# Segment-chain unit behaviour (no simulation)
+# ----------------------------------------------------------------------
+
+def _bare_collector() -> AttribCollector:
+    return AttribCollector(MetricsHub())
+
+
+class TestSegmentChain:
+    def test_full_memory_chain_sums_to_e2e(self):
+        c = _bare_collector()
+        c._record("load", 0, t_issue=100, t_done=260, home_arrive=110,
+                  home_depart=120, arrive_mc=140, leave_mc=200,
+                  fill_send=210, served_by=0, retries=0)
+        sums = {seg: c.seg_sum["load"][seg] for seg in SEGMENTS}
+        assert sums == {"req_noc": 10, "home": 10, "fwd_owner": 0,
+                        "to_mc": 20, "dram": 60, "fill_stage": 10,
+                        "fill_noc": 50}
+        assert c.e2e_sum["load"] == 160 == sum(sums.values())
+        assert c.unbalanced == 0 and c.nonmonotonic == 0
+
+    def test_skipped_checkpoints_fold_into_next_segment(self):
+        # An L2 hit: no MC checkpoints; fill_send interval is "home".
+        c = _bare_collector()
+        c._record("load", 0, t_issue=0, t_done=40, home_arrive=8,
+                  home_depart=None, arrive_mc=None, leave_mc=None,
+                  fill_send=20, served_by=1, retries=0)
+        assert c.seg_sum["load"]["req_noc"] == 8
+        assert c.seg_sum["load"]["home"] == 12
+        assert c.seg_sum["load"]["fill_noc"] == 20
+        assert c.e2e_sum["load"] == 40
+
+    def test_remote_forward_labelled_fwd_owner(self):
+        from repro.core.context import SERVED_REMOTE_L1
+        c = _bare_collector()
+        c._record("load", 0, t_issue=0, t_done=30, home_arrive=5,
+                  home_depart=10, arrive_mc=None, leave_mc=None,
+                  fill_send=22, served_by=SERVED_REMOTE_L1, retries=1)
+        assert c.seg_sum["load"]["fwd_owner"] == 12
+        assert c.retries["load"] == 1
+
+    def test_nonmonotonic_checkpoint_counted_not_crashed(self):
+        c = _bare_collector()
+        c._record("load", 0, t_issue=50, t_done=80, home_arrive=40,
+                  home_depart=60, arrive_mc=None, leave_mc=None,
+                  fill_send=None, served_by=0, retries=0)
+        assert c.nonmonotonic == 1
+
+
+# ----------------------------------------------------------------------
+# Bench-record attribution deltas
+# ----------------------------------------------------------------------
+
+def _record_with(profile):
+    return {"attrib": {"radix x MESI (16t)": profile}}
+
+
+class TestAttribDelta:
+    PROFILE = {"segments": {"load.dram": 1000, "load.req_noc": 200},
+               "stall_cycles": {"barrier": 5000},
+               "compute_cycles": 300, "miss_cycles": 1200,
+               "misses": 10, "audits_ok": True}
+
+    def test_identical_records_report_host_noise(self):
+        delta = attrib_delta(_record_with(self.PROFILE),
+                             _record_with(dict(self.PROFILE)))
+        assert not delta["changed"]
+        assert any("host" in line for line in delta["lines"])
+
+    def test_top_mover_named_with_magnitude(self):
+        moved = json.loads(json.dumps(self.PROFILE))
+        moved["segments"]["load.dram"] = 2000
+        delta = attrib_delta(_record_with(self.PROFILE),
+                             _record_with(moved))
+        assert delta["changed"]
+        mover = next(l for l in delta["lines"] if l.startswith("moved"))
+        assert "seg load.dram" in mover
+        assert "+100.0%" in mover
+
+    def test_pre_v5_record_tolerated(self):
+        delta = attrib_delta({}, _record_with(self.PROFILE))
+        assert not delta["changed"]
+        assert "pre-v5" in delta["lines"][0]

@@ -153,7 +153,8 @@ class TestTraceExport:
         assert data["otherData"]["protocol"] == "DBypFull"
         assert events, "trace must not be empty"
         for event in events:
-            assert event["ph"] in ("X", "i", "C", "M")
+            # X/i/C/M plus the s/t/f flow phases linking miss spans.
+            assert event["ph"] in ("X", "i", "C", "M", "s", "t", "f")
             assert isinstance(event["name"], str)
         spans = [e for e in events if e["ph"] == "X"]
         assert spans, "expected complete spans"
@@ -219,6 +220,35 @@ class TestPhaseSampler:
         sampler.sample_now()
         assert len(sampler.samples) == 1
         assert sampler.ticks == 0        # no scheduler events consumed
+
+    def test_overflow_interval_identical_heap_vs_wheel(self):
+        """Sampler re-arms beyond the wheel's 4096-cycle window.
+
+        With ``sample_interval > 4096`` every re-arm lands in the
+        wheel's overflow heap instead of a bucket; the observed run
+        must stay bit-identical to the heap scheduler's, with the
+        identical sampled counter tracks (same cycles, same values).
+        """
+        from repro.engine.events import _WHEEL_SIZE
+        interval = _WHEEL_SIZE + 1000    # every re-arm overflows
+        scale = ScaleConfig.tiny()
+        cells = {}
+        for scheduler in ("heap", "wheel"):
+            config = dataclasses.replace(scaled_system(scale),
+                                         scheduler=scheduler)
+            obs = ObsSession(sample_interval=interval, trace=False)
+            result = simulate(build_workload("radix", scale), "MESI",
+                              config, obs=obs)
+            cells[scheduler] = (result, obs)
+        heap_result, heap_obs = cells["heap"]
+        wheel_result, wheel_obs = cells["wheel"]
+        assert (dataclasses.asdict(wheel_result)
+                == dataclasses.asdict(heap_result))
+        assert wheel_obs.overhead_events == heap_obs.overhead_events > 0
+        assert wheel_obs.samples == heap_obs.samples
+        for name in ("engine_events", "noc_flit_hops"):
+            assert (wheel_obs.sampler.series(name)
+                    == heap_obs.sampler.series(name)), name
 
 
 # ----------------------------------------------------------------------
@@ -333,6 +363,51 @@ class TestCli:
         from repro.runner.cli import main
         rc = main(["trace", "--protocol", "NoSuchProto"])
         assert rc == 2
+
+    def test_trace_capacity_flag_warns_on_drops(self, tmp_path, capsys):
+        from repro.runner.cli import main
+        out = tmp_path / "trace.json"
+        rc = main(["trace", "--workload", "radix", "--scale", "tiny",
+                   "--trace-capacity", "64", "-o", str(out)])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        # Metadata (M) and sampler counter (C) events are synthesized
+        # at export; only span/instant/flow events live in the ring.
+        ring = [e for e in data["traceEvents"]
+                if e["ph"] not in ("M", "C")]
+        assert len(ring) <= 64           # ring sized by the flag
+        assert data["otherData"]["dropped_events"] > 0
+        err = capsys.readouterr().err
+        assert "dropped" in err
+        assert "--trace-capacity" in err     # suggests a retry size
+
+    def test_trace_capacity_must_be_positive(self, capsys):
+        from repro.runner.cli import main
+        rc = main(["trace", "--trace-capacity", "0"])
+        assert rc == 2
+        assert "--trace-capacity" in capsys.readouterr().err
+
+    def test_stalls_command_renders_and_writes_json(self, tmp_path,
+                                                    capsys):
+        from repro.runner.cli import main
+        out = tmp_path / "stalls.json"
+        rc = main(["stalls", "--workload", "radix", "--protocols",
+                   "MESI", "DBypFull", "--scale", "tiny",
+                   "--json", str(out)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "stall attribution: radix (16 tiles)" in printed
+        assert "2 rung(s)" in printed
+        data = json.loads(out.read_text())
+        assert [p["protocol"] for p in data["profiles"]] == [
+            "MESI", "DBypFull"]
+        assert all(p["audits"]["ok"] for p in data["profiles"])
+
+    def test_stalls_rejects_unknown_protocol(self, capsys):
+        from repro.runner.cli import main
+        rc = main(["stalls", "--protocols", "MESl"])
+        assert rc == 2
+        assert "MESI" in capsys.readouterr().err  # did-you-mean hint
 
     def test_progress_flag_writes_sidecar(self, tmp_path, capsys):
         from repro.runner.cli import main

@@ -8,7 +8,11 @@ committed repo-root ``BENCH_sweep.json``) and a freshly measured one:
   the gate (exit 1) — a real hot-path regression;
 * smaller regressions print a non-blocking warning (runner noise);
 * records with a missing or different ``schema_version``, or from a
-  different bench suite, are refused outright (exit 2).
+  different bench suite, are refused outright (exit 2);
+* with ``--attrib-delta``, a failed gate additionally prints the top
+  attribution movers (lifecycle segments, stall causes, compute) so
+  the failure names *which* part of the simulated work changed — or
+  reports the profiles identical, pinning the trip on runner noise.
 
 Run:  python tools/bench_compare.py BASELINE CURRENT [--threshold 0.15]
 """
@@ -23,8 +27,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.bench import (
     COMPILED_SPEEDUP_FLOOR, REGRESSION_THRESHOLD, WHEEL_SPEEDUP_FLOOR,
-    RecordMismatch, check_engine_floor, check_scheduler_floor,
-    compare_records, load_record)
+    RecordMismatch, attrib_delta, check_engine_floor,
+    check_scheduler_floor, compare_records, load_record)
 
 
 def main(argv=None) -> int:
@@ -43,10 +47,16 @@ def main(argv=None) -> int:
                         default=WHEEL_SPEEDUP_FLOOR,
                         help="minimum wheel/heap speedup per cell "
                              f"(default: {WHEEL_SPEEDUP_FLOOR})")
+    parser.add_argument("--attrib-delta", action="store_true",
+                        help="when a gate fails, diff the records' "
+                             "attribution profiles and print the top "
+                             "segment/stall movers (names whether the "
+                             "simulated work changed or the host did)")
     ns = parser.parse_args(argv)
     try:
+        baseline = load_record(ns.baseline)
         current = load_record(ns.current)
-        outcome = compare_records(load_record(ns.baseline), current,
+        outcome = compare_records(baseline, current,
                                   threshold=ns.threshold)
     except RecordMismatch as exc:
         print(f"bench_compare: refusing to compare: {exc}",
@@ -78,6 +88,12 @@ def main(argv=None) -> int:
         print(f"bench_compare: wheel scheduler fell below "
               f"{ns.scheduler_floor:.2f}x the heap", file=sys.stderr)
         failed = True
+    if ns.attrib_delta and failed:
+        # Attribute the failure: did the simulated work move, or is
+        # the host to blame?  (Profiles are deterministic per commit.)
+        print("attribution delta (baseline -> current):")
+        for line in attrib_delta(baseline, current)["lines"]:
+            print(f"  {line}")
     return 1 if failed else 0
 
 
