@@ -1,0 +1,99 @@
+"""Pluggable sweep execution backends.
+
+Three implementations behind one interface
+(:class:`~repro.runner.backends.base.ExecutionBackend`):
+
+* ``serial`` — in-process, one cell at a time: the deterministic
+  reference (:mod:`repro.runner.backends.serial`);
+* ``pool``   — the persistent warm fork pool on this host
+  (:mod:`repro.runner.backends.pool`);
+* ``tcp``    — a multi-host work-stealing coordinator serving
+  ``python -m repro worker`` processes over length-prefixed JSON
+  (:mod:`repro.runner.backends.tcp`).
+
+All three produce bit-identical results for the same specs (pinned by
+``tests/test_backends.py``); the backend axis changes *where* cells
+run, never *what* they compute — which is why it does not enter store
+keys.  :func:`resolve_backend` is the single resolution point used by
+:func:`repro.runner.pool.sweep` and the CLI's ``--backend`` flag;
+:func:`validate_backend` gives misspellings the same difflib near-miss
+treatment as the protocol/engine/scheduler axes.
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+from typing import Optional, Tuple, Union
+
+from repro.runner.backends.base import ExecutionBackend
+from repro.runner.backends.pool import PoolBackend
+from repro.runner.backends.serial import SerialBackend
+from repro.runner.backends.tcp import TcpBackend
+
+#: Registered backend names, in documentation order.
+BACKEND_NAMES = ("serial", "pool", "tcp")
+
+
+def validate_backend(name: str) -> str:
+    """``name`` if registered, else a KeyError with near-miss hints."""
+    if name in BACKEND_NAMES:
+        return name
+    close = difflib.get_close_matches(name, BACKEND_NAMES, n=1, cutoff=0.4)
+    hint = f"; did you mean {close[0]!r}?" if close else ""
+    raise KeyError(f"unknown backend {name!r}; known backends: "
+                   f"{', '.join(BACKEND_NAMES)}{hint}")
+
+
+def resolve_backend(backend: Union[None, str, ExecutionBackend],
+                    jobs: int = 1,
+                    bind: Optional[Tuple[str, int]] = None,
+                    ) -> Tuple[ExecutionBackend, bool]:
+    """Resolve a backend selection to ``(backend, owned)``.
+
+    ``None`` keeps the classic behaviour: ``serial`` when ``jobs <= 1``,
+    the warm ``pool`` otherwise.  A string resolves by name (``pool``
+    without a ``jobs`` hint sizes itself to the CPU count; ``tcp``
+    binds ``bind`` or an ephemeral loopback port).  An
+    :class:`ExecutionBackend` instance passes through untouched.
+
+    ``owned`` tells the caller whether it must :meth:`close
+    <repro.runner.backends.base.ExecutionBackend.close>` the backend
+    when done — true only for backends this call created.
+    """
+    if isinstance(backend, ExecutionBackend):
+        return backend, False
+    if backend is None:
+        if jobs <= 1:
+            return SerialBackend(), True
+        return PoolBackend(jobs), True
+    name = validate_backend(str(backend))
+    if name == "serial":
+        return SerialBackend(), True
+    if name == "pool":
+        return PoolBackend(jobs if jobs > 1 else (os.cpu_count() or 2)), True
+    host, port = bind if bind is not None else ("127.0.0.1", 0)
+    return TcpBackend(host=host, port=port), True
+
+
+def backend_matrix() -> list:
+    """Rows for ``python -m repro backends``: (name, parallelism, how)."""
+    return [
+        ("serial", "1 (this process)",
+         "deterministic reference; every other backend must match it "
+         "bit-for-bit"),
+        ("pool", "N worker processes (this host)",
+         "persistent warm fork pool: trace prewarm, chunked store "
+         "writes, BrokenProcessPool degradation to serial"),
+        ("tcp", "any number of hosts",
+         "work-stealing coordinator; workers connect with "
+         "`python -m repro worker --connect HOST:PORT`, leases "
+         "heartbeat and are reassigned on loss, no workers degrades "
+         "to serial"),
+    ]
+
+
+__all__ = [
+    "BACKEND_NAMES", "ExecutionBackend", "PoolBackend", "SerialBackend",
+    "TcpBackend", "backend_matrix", "resolve_backend", "validate_backend",
+]

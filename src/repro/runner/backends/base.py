@@ -1,0 +1,66 @@
+"""The execution-backend interface the sweep runner schedules through.
+
+A backend executes a list of :class:`~repro.runner.jobs.JobSpec`s and
+returns :class:`~repro.runner.pool.JobOutcome`s in input order; *how*
+the cells run — in-process, across a warm fork pool, or on remote
+machines over TCP — is the backend's business.  The store-cache layer
+stays above the backend (:func:`repro.runner.pool.sweep` serves cached
+cells from disk and persists anything the backend did not), so every
+backend sees only the cells that actually need simulating.
+
+Contract:
+
+* ``run_specs`` returns outcomes **in input order** and, when
+  ``notify`` is given, calls ``notify(index, outcome)`` as each cell
+  completes (completion order, ``index`` into the input list).  The
+  caller serializes on ``notify`` — backends must invoke it from one
+  thread at a time.
+* Results are **bit-identical across backends**: every backend runs
+  the same deterministic simulation from the same spec, so the choice
+  of backend can never change a result, only its wall-clock cost.
+  (Backends therefore do *not* enter store keys.)
+* ``store_dir``, when given, is the durable store's directory; a
+  backend whose workers share the caller's filesystem may persist
+  results itself and mark outcomes ``saved=True`` so the caller skips
+  the duplicate write.
+* ``close`` releases backend resources (sockets, worker processes).
+  Backends created by :func:`repro.runner.backends.resolve_backend`
+  from a *name* are closed by the sweep that resolved them; instances
+  passed in by the caller stay open for reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.runner.jobs import JobSpec
+from repro.runner.pool import JobOutcome
+
+#: ``notify(index, outcome)`` — fired per completed cell.
+NotifyFn = Callable[[int, JobOutcome], None]
+
+
+class ExecutionBackend:
+    """Base class for sweep execution backends."""
+
+    #: Registry name (``serial`` / ``pool`` / ``tcp``).
+    name: str = "?"
+
+    def run_specs(self, specs: Sequence[JobSpec],
+                  notify: Optional[NotifyFn] = None,
+                  store_dir: Optional[str] = None,
+                  retries: int = 1) -> List[JobOutcome]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+    def describe(self) -> str:
+        """One-line human description for ``python -m repro backends``."""
+        return self.__class__.__doc__.strip().splitlines()[0]
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,44 @@
+"""Warm process-pool execution backend (the classic ``--jobs`` path)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.runner.backends.base import ExecutionBackend, NotifyFn
+from repro.runner.jobs import JobSpec
+from repro.runner.pool import JobOutcome, run_jobs
+
+
+class PoolBackend(ExecutionBackend):
+    """Shard cells across the persistent warm fork pool.
+
+    A thin strategy wrapper over :func:`repro.runner.pool.run_jobs`:
+    the pool itself (worker lifetime, trace prewarm, BrokenProcessPool
+    degradation) is module-level machinery shared by every
+    ``PoolBackend``, so resolving this backend repeatedly keeps
+    reusing the same warm workers.
+    """
+
+    name = "pool"
+
+    def __init__(self, jobs: int = 2) -> None:
+        self.jobs = max(1, jobs)
+
+    def run_specs(self, specs: Sequence[JobSpec],
+                  notify: Optional[NotifyFn] = None,
+                  store_dir: Optional[str] = None,
+                  retries: int = 1) -> List[JobOutcome]:
+        # Chunks amortize submission overhead and batch the workers'
+        # store writes; small sweeps (tests, single cells) keep
+        # per-cell tasks so progress granularity and retry isolation
+        # are unchanged.
+        chunk_size = 1
+        if self.jobs > 1 and len(specs) > self.jobs * 4:
+            chunk_size = min(4, len(specs) // (self.jobs * 2))
+        return run_jobs(specs, jobs=self.jobs, retries=retries,
+                        notify=notify, chunk_size=chunk_size,
+                        store_dir=store_dir)
+
+    def describe(self) -> str:
+        return (f"persistent warm fork pool, {self.jobs} worker "
+                f"process(es) on this host")

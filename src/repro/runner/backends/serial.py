@@ -1,0 +1,32 @@
+"""In-process serial execution — the deterministic reference backend."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.runner.backends.base import ExecutionBackend, NotifyFn
+from repro.runner.jobs import JobSpec
+from repro.runner.pool import JobOutcome, run_jobs
+
+
+class SerialBackend(ExecutionBackend):
+    """One cell at a time, in this process, in input order.
+
+    The reference every other backend is measured (and bit-compared)
+    against: no pool, no sockets, deterministic completion order.  It
+    delegates to :func:`repro.runner.pool.run_jobs`'s serial path so
+    the trace memo and timing bookkeeping stay identical to a
+    ``jobs=1`` sweep.
+    """
+
+    name = "serial"
+
+    def run_specs(self, specs: Sequence[JobSpec],
+                  notify: Optional[NotifyFn] = None,
+                  store_dir: Optional[str] = None,
+                  retries: int = 1) -> List[JobOutcome]:
+        return run_jobs(specs, jobs=1, retries=retries, notify=notify)
+
+    def describe(self) -> str:
+        return ("in-process, one cell at a time — the deterministic "
+                "reference")

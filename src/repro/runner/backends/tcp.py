@@ -1,0 +1,439 @@
+"""Multi-host sweep execution: a TCP work-stealing coordinator.
+
+The backend binds a socket and *serves* work: remote worker processes
+(``python -m repro worker --connect HOST:PORT``) connect and **steal**
+— each idle worker asks for a lease, receives a small batch of
+:class:`~repro.runner.jobs.JobSpec`s as length-prefixed JSON (see
+:mod:`repro.runner.backends.wire`), simulates them locally (rebuilding
+the workload trace from the spec, exactly like a pool worker), and
+streams the results back.  Pull-based stealing self-balances: fast
+workers simply steal more often, so no placement decision is ever
+made centrally.
+
+Fault model — mirroring the pool backend's BrokenProcessPool
+degradation ladder:
+
+* **Leases, not assignments.**  Every grant carries a lease with a
+  deadline; workers heartbeat while simulating.  A worker that stops
+  heartbeating (hang, partition, OOM) has its lease expired, its
+  connection fenced (closed — a fenced worker's late results are
+  ignored), and its cells requeued for the next thief.
+* **Worker death** (EOF/reset on the connection) requeues the
+  worker's outstanding lease immediately.
+* **Job errors** reported by a worker are retried on other workers up
+  to the retry budget, then drain through the **serial fallback**: the
+  coordinator simulates them in-process so a deterministic error
+  surfaces with its real traceback.
+* **No workers at all**: when nothing has connected within
+  ``connect_grace`` seconds, the coordinator starts draining the queue
+  serially itself — a sweep pointed at ``tcp`` with no fleet degrades
+  to the serial backend instead of hanging, and late workers can still
+  connect and steal whatever remains.
+
+Results are bit-identical to the serial and pool backends by
+construction (same specs, same deterministic simulation); the
+coordinator persists nothing itself — remote workers cannot assume a
+shared filesystem, so the sweep layer above saves cells as they are
+notified.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.runner.backends.base import ExecutionBackend, NotifyFn
+from repro.runner.backends.wire import WireError, recv_msg, send_msg
+from repro.runner.jobs import JobSpec, spec_to_dict
+from repro.runner.pool import JobOutcome, _execute_timed
+from repro.runner.store import result_from_dict
+
+#: Default seconds a lease may go without a heartbeat before it is
+#: expired and its cells are requeued.  Generous: a heartbeat thread
+#: only has to get the GIL once per interval.
+DEFAULT_LEASE_TIMEOUT = 30.0
+
+#: Default seconds to wait for a first worker before the coordinator
+#: starts draining the queue serially itself.
+DEFAULT_CONNECT_GRACE = 5.0
+
+
+class _Conn:
+    """One connected worker (shared between its reader thread and the
+    coordinator): the socket, a send lock, and an identity label."""
+
+    __slots__ = ("sock", "addr", "label", "send_lock", "fenced")
+
+    def __init__(self, sock: socket.socket, addr) -> None:
+        self.sock = sock
+        self.addr = addr
+        self.label = f"{addr[0]}:{addr[1]}"
+        self.send_lock = threading.Lock()
+        self.fenced = False
+
+    def send(self, obj: dict) -> None:
+        with self.send_lock:
+            send_msg(self.sock, obj)
+
+    def fence(self) -> None:
+        """Cut the connection; a fenced worker's late frames are lost
+        with it, so an expired lease can never race its requeue."""
+        self.fenced = True
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class _Lease:
+    __slots__ = ("lease_id", "indices", "conn", "deadline")
+
+    def __init__(self, lease_id: int, indices: List[int], conn: _Conn,
+                 deadline: float) -> None:
+        self.lease_id = lease_id
+        self.indices = indices
+        self.conn = conn
+        self.deadline = deadline
+
+
+class TcpBackend(ExecutionBackend):
+    """Coordinator for ``python -m repro worker`` processes over TCP."""
+
+    name = "tcp"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 lease_size: int = 1,
+                 lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+                 connect_grace: float = DEFAULT_CONNECT_GRACE) -> None:
+        self.host = host
+        self.port = port
+        self.lease_size = max(1, lease_size)
+        self.lease_timeout = lease_timeout
+        self.connect_grace = connect_grace
+        self.address: Optional[Tuple[str, int]] = None
+
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._closing = False
+        self._conns: List[_Conn] = []
+        self._lease_seq = 0
+
+        # Per-run state (valid while _active).
+        self._active = False
+        self._specs: List[JobSpec] = []
+        self._pending: deque = deque()
+        self._serial_only: deque = deque()
+        self._done: List[bool] = []
+        self._attempts: List[int] = []
+        self._retries = 1
+        self._leases: Dict[int, _Lease] = {}
+        self._inbox: List[Tuple[int, dict]] = []
+
+        #: Observability counters (cumulative across runs).
+        self.stats = {
+            "workers_connected": 0,
+            "leases_granted": 0,
+            "leases_reassigned": 0,
+            "worker_errors": 0,
+            "worker_cells": 0,
+            "serial_cells": 0,
+        }
+
+    # -- socket plumbing ---------------------------------------------------
+    def listen(self) -> Tuple[str, int]:
+        """Bind and start accepting workers; returns ``(host, port)``.
+
+        Idempotent — ``run_specs`` calls it too, but tests and the CLI
+        call it first so the bound (possibly ephemeral) port is known
+        before any worker is spawned.
+        """
+        with self._lock:
+            if self._listener is not None:
+                return self.address
+            if self._closing:
+                raise RuntimeError("backend is closed")
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.host, self.port))
+            listener.listen(16)
+            self._listener = listener
+            self.address = listener.getsockname()[:2]
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="repro-tcp-accept",
+                daemon=True)
+            self._accept_thread.start()
+            return self.address
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                sock, addr = self._listener.accept()
+            except OSError:
+                return               # listener closed
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _Conn(sock, addr)
+            with self._cond:
+                if self._closing:
+                    conn.fence()
+                    return
+                self._conns.append(conn)
+                self.stats["workers_connected"] += 1
+                self._cond.notify_all()
+            threading.Thread(target=self._serve_conn, args=(conn,),
+                             name=f"repro-tcp-{conn.label}",
+                             daemon=True).start()
+
+    def _serve_conn(self, conn: _Conn) -> None:
+        try:
+            while True:
+                msg = recv_msg(conn.sock)
+                if msg is None:
+                    return
+                kind = msg.get("type")
+                if kind == "hello":
+                    conn.label = str(msg.get("worker", conn.label))
+                elif kind == "steal":
+                    self._handle_steal(conn)
+                elif kind == "heartbeat":
+                    self._handle_heartbeat(conn, msg)
+                elif kind == "done":
+                    self._handle_done(conn, msg)
+                elif kind == "error":
+                    self._handle_error(conn, msg)
+                # Unknown types are ignored (forward compatibility).
+        except (WireError, OSError):
+            pass
+        finally:
+            with self._cond:
+                if conn in self._conns:
+                    self._conns.remove(conn)
+                self._drop_conn_leases(conn)
+                self._cond.notify_all()
+            conn.fence()
+
+    # -- message handlers (run on connection threads) ----------------------
+    def _handle_steal(self, conn: _Conn) -> None:
+        with self._cond:
+            if self._closing:
+                reply = {"type": "shutdown"}
+            else:
+                batch: List[int] = []
+                while (self._active and self._pending
+                       and len(batch) < self.lease_size):
+                    index = self._pending.popleft()
+                    if not self._done[index]:
+                        batch.append(index)
+                if batch:
+                    self._lease_seq += 1
+                    lease = _Lease(self._lease_seq, batch, conn,
+                                   time.monotonic() + self.lease_timeout)
+                    self._leases[lease.lease_id] = lease
+                    for index in batch:
+                        self._attempts[index] += 1
+                    self.stats["leases_granted"] += 1
+                    reply = {
+                        "type": "lease",
+                        "lease_id": lease.lease_id,
+                        "heartbeat_seconds": max(
+                            0.05, min(self.lease_timeout / 3.0, 5.0)),
+                        "specs": [spec_to_dict(self._specs[i])
+                                  for i in batch],
+                    }
+                else:
+                    reply = {"type": "wait", "seconds": 0.05}
+        conn.send(reply)
+
+    def _handle_heartbeat(self, conn: _Conn, msg: dict) -> None:
+        with self._cond:
+            lease = self._leases.get(msg.get("lease_id"))
+            if lease is not None and lease.conn is conn:
+                lease.deadline = time.monotonic() + self.lease_timeout
+
+    def _handle_done(self, conn: _Conn, msg: dict) -> None:
+        with self._cond:
+            lease = self._leases.pop(msg.get("lease_id"), None)
+            if lease is None or lease.conn is not conn:
+                return               # expired/fenced lease: results lost
+            results = msg.get("results", [])
+            for index, payload in zip(lease.indices, results):
+                if not self._done[index]:
+                    self._done[index] = True
+                    self._inbox.append((index, payload))
+                    self.stats["worker_cells"] += 1
+            self._cond.notify_all()
+
+    def _handle_error(self, conn: _Conn, msg: dict) -> None:
+        with self._cond:
+            lease = self._leases.pop(msg.get("lease_id"), None)
+            if lease is None:
+                return
+            self.stats["worker_errors"] += 1
+            self._requeue(lease.indices)
+            self._cond.notify_all()
+
+    # -- lease bookkeeping (lock held) -------------------------------------
+    def _requeue(self, indices: Sequence[int]) -> None:
+        for index in indices:
+            if self._done[index]:
+                continue
+            if self._attempts[index] > self._retries:
+                self._serial_only.append(index)
+            else:
+                self._pending.append(index)
+
+    def _drop_conn_leases(self, conn: _Conn) -> None:
+        lost = [lease for lease in self._leases.values()
+                if lease.conn is conn]
+        for lease in lost:
+            del self._leases[lease.lease_id]
+            self.stats["leases_reassigned"] += 1
+            self._requeue(lease.indices)
+
+    def _expire_leases(self, now: float) -> None:
+        expired = [lease for lease in self._leases.values()
+                   if lease.deadline < now]
+        for lease in expired:
+            del self._leases[lease.lease_id]
+            self.stats["leases_reassigned"] += 1
+            self._requeue(lease.indices)
+            # Fence the worker: whatever it eventually sends for this
+            # (or any other) lease must not race the reassignment.
+            if lease.conn in self._conns:
+                self._conns.remove(lease.conn)
+            lease.conn.fence()
+
+    # -- the coordinator loop ----------------------------------------------
+    def run_specs(self, specs: Sequence[JobSpec],
+                  notify: Optional[NotifyFn] = None,
+                  store_dir: Optional[str] = None,
+                  retries: int = 1) -> List[JobOutcome]:
+        self.listen()
+        specs = list(specs)
+        outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
+        finished = 0
+
+        def finish(index: int, result, elapsed: float, attempts: int,
+                   build_seconds: float) -> None:
+            nonlocal finished
+            outcomes[index] = JobOutcome(
+                specs[index], result, elapsed, attempts,
+                from_cache=False, build_seconds=build_seconds)
+            finished += 1
+            if notify is not None:
+                notify(index, outcomes[index])
+
+        with self._cond:
+            if self._active:
+                raise RuntimeError("run_specs is not reentrant")
+            self._active = True
+            self._specs = specs
+            self._pending = deque(range(len(specs)))
+            self._serial_only = deque()
+            self._done = [False] * len(specs)
+            self._attempts = [0] * len(specs)
+            self._retries = retries
+            self._leases = {}
+            self._inbox = []
+            self._cond.notify_all()
+
+        start = time.monotonic()
+        try:
+            while finished < len(specs):
+                payloads: List[Tuple[int, dict]] = []
+                serial_index: Optional[int] = None
+                with self._cond:
+                    if self._inbox:
+                        payloads, self._inbox = self._inbox, []
+                    now = time.monotonic()
+                    self._expire_leases(now)
+                    if self._serial_only:
+                        serial_index = self._serial_only.popleft()
+                        self._done[serial_index] = True
+                    elif (self._pending and not self._conns
+                          and now > start + self.connect_grace):
+                        # Serial fallback: no fleet — drain in-process.
+                        while self._pending:
+                            index = self._pending.popleft()
+                            if not self._done[index]:
+                                serial_index = index
+                                self._done[index] = True
+                                break
+                    if not payloads and serial_index is None:
+                        self._cond.wait(timeout=0.05)
+                # Outside the lock: decode results, run fallbacks and
+                # fire notify — all from this one thread, so callers
+                # never see concurrent notifications.
+                for index, payload in payloads:
+                    finish(index, result_from_dict(payload["result"]),
+                           payload.get("sim_seconds", 0.0),
+                           self._attempts[index],
+                           payload.get("build_seconds", 0.0))
+                if serial_index is not None:
+                    result, sim_s, build_s = _execute_timed(
+                        specs[serial_index])
+                    self.stats["serial_cells"] += 1
+                    finish(serial_index, result, sim_s,
+                           self._attempts[serial_index] + 1, build_s)
+        finally:
+            with self._cond:
+                self._active = False
+                self._specs = []
+                self._pending.clear()
+                self._serial_only.clear()
+                self._leases.clear()
+                self._inbox.clear()
+        return outcomes  # type: ignore[return-value]
+
+    # -- lifecycle ---------------------------------------------------------
+    def workers(self) -> int:
+        """Currently connected worker count."""
+        with self._lock:
+            return len(self._conns)
+
+    def wait_for_workers(self, count: int, timeout: float = 10.0) -> int:
+        """Block until ``count`` workers are connected (or timeout);
+        returns the connected count."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while (len(self._conns) < count
+                   and time.monotonic() < deadline):
+                self._cond.wait(timeout=0.05)
+            return len(self._conns)
+
+    def close(self) -> None:
+        with self._cond:
+            if self._closing:
+                return
+            self._closing = True
+            conns = list(self._conns)
+            self._conns.clear()
+            listener = self._listener
+            self._listener = None
+        for conn in conns:
+            try:
+                conn.send({"type": "shutdown"})
+            except OSError:
+                pass
+            conn.fence()
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=1.0)
+
+    def describe(self) -> str:
+        where = (f"{self.address[0]}:{self.address[1]}" if self.address
+                 else f"{self.host}:{self.port}")
+        return (f"multi-host work-stealing coordinator on {where} "
+                f"(workers: python -m repro worker --connect {where})")

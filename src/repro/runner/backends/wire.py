@@ -1,0 +1,74 @@
+"""Length-prefixed JSON framing for the TCP work-stealing backend.
+
+One frame is a 4-byte big-endian payload length followed by a UTF-8
+JSON document.  JSON (rather than pickle) keeps the wire format
+language-agnostic and makes a hostile or confused peer a parse error
+instead of arbitrary code execution; the specs and results that cross
+it already have exact dict codecs (:func:`repro.runner.jobs.spec_to_dict`,
+:func:`repro.runner.store.result_to_dict`), so nothing is lost to the
+encoding.
+
+``recv_msg`` returns ``None`` on a clean EOF at a frame boundary and
+raises :class:`WireError` on a truncated frame or an oversized length
+prefix — the coordinator treats both as a lost worker.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+#: Upper bound on one frame's payload.  A lease of tiny-grid results is
+#: a few hundred KB; anything beyond this is a corrupt or hostile peer.
+MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class WireError(ConnectionError):
+    """A frame could not be read or decoded."""
+
+
+def send_msg(sock: socket.socket, obj: dict) -> None:
+    """Send one framed JSON message (blocking)."""
+    payload = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Exactly ``count`` bytes, ``None`` on EOF before the first byte."""
+    chunks = []
+    got = 0
+    while got < count:
+        chunk = sock.recv(count - got)
+        if not chunk:
+            if got == 0:
+                return None
+            raise WireError(f"connection closed mid-frame "
+                            f"({got}/{count} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> Optional[dict]:
+    """Receive one framed JSON message; ``None`` on clean EOF."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise WireError(f"frame length {length} exceeds the "
+                        f"{MAX_FRAME}-byte cap")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise WireError("connection closed between header and payload")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise WireError("frame is not a typed message object")
+    return message

@@ -188,6 +188,29 @@ def shutdown_pool() -> None:
 atexit.register(shutdown_pool)
 
 
+def _prewarm_traces(specs: Sequence[JobSpec]) -> int:
+    """Build the distinct workload traces of ``specs`` into the memo.
+
+    Returns the number of traces built.  The loop counts *distinct memo
+    keys*, not scanned specs: a workload-major spec list repeats one
+    key for every protocol cell, so counting specs used to exhaust the
+    budget on the first workload's cells and leave later workloads'
+    traces cold.  Building stops once the memo is full — a further
+    build would evict a trace just prewarmed.
+    """
+    built = 0
+    for spec in specs:
+        key = (spec.workload, spec.scale, spec.config.num_tiles,
+               spec.seed)
+        if key in _WORKLOAD_MEMO:
+            continue
+        if len(_WORKLOAD_MEMO) >= _WORKLOAD_MEMO_MAX:
+            break                # memo full; don't thrash the LRU
+        _timed_workload(*key)
+        built += 1
+    return built
+
+
 def _warm_pool(workers: int,
                specs: Sequence[JobSpec] = ()) -> ProcessPoolExecutor:
     """The persistent pool, created (and trace-prewarmed) on demand.
@@ -204,15 +227,7 @@ def _warm_pool(workers: int,
     shutdown_pool()
     ctx = _pool_context()
     if ctx.get_start_method() == "fork":
-        seen = 0
-        for spec in specs:
-            key = (spec.workload, spec.scale, spec.config.num_tiles,
-                   spec.seed)
-            if key not in _WORKLOAD_MEMO:
-                if seen >= _WORKLOAD_MEMO_MAX:
-                    break        # don't thrash the LRU during prewarm
-                _timed_workload(*key)
-            seen += 1
+        _prewarm_traces(specs)
     _POOL = ProcessPoolExecutor(max_workers=workers, mp_context=ctx,
                                 initializer=_worker_init)
     _POOL_WORKERS = workers
@@ -322,15 +337,21 @@ def sweep(specs: Sequence[JobSpec],
           store: Optional[ResultStore] = None,
           use_cache: bool = True,
           retries: int = 1,
-          progress: Optional[ProgressFn] = None) -> List[JobOutcome]:
+          progress: Optional[ProgressFn] = None,
+          backend=None) -> List[JobOutcome]:
     """Run a sweep against the durable store.
 
-    Cells already in the store are served from disk; the rest are
-    sharded across ``jobs`` warm workers — in small chunks whose results
-    the workers persist themselves (see :func:`run_jobs`) — and any
-    serially-run stragglers are persisted here as they complete.  With
+    Cells already in the store are served from disk; the rest execute
+    through an :mod:`execution backend <repro.runner.backends>` —
+    ``backend`` is a backend name (``serial``/``pool``/``tcp``), an
+    :class:`~repro.runner.backends.base.ExecutionBackend` instance, or
+    ``None`` for the classic behaviour (``serial`` when ``jobs <= 1``,
+    the warm process ``pool`` otherwise).  Any cell the backend did not
+    persist itself is persisted here as it completes.  With
     ``use_cache=False`` nothing is read from or written to disk.
     """
+    from repro.runner.backends import resolve_backend
+
     specs = list(specs)
     store = store if store is not None else ResultStore()
     outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
@@ -361,15 +382,14 @@ def sweep(specs: Sequence[JobSpec],
         outcomes[i] = outcome
         report(outcome)
 
-    # Chunks amortize submission overhead and batch the store writes;
-    # small sweeps (tests, single cells) keep per-cell tasks so
-    # progress granularity and retry isolation are unchanged.
-    chunk_size = 1
-    if jobs > 1 and len(pending) > jobs * 4:
-        chunk_size = min(4, len(pending) // (jobs * 2))
-    run_jobs([specs[i] for i in pending], jobs=jobs, retries=retries,
-             notify=notify, chunk_size=chunk_size,
-             store_dir=os.fspath(store.directory) if use_cache else None)
+    exec_backend, owned = resolve_backend(backend, jobs=jobs)
+    try:
+        exec_backend.run_specs(
+            [specs[i] for i in pending], notify=notify, retries=retries,
+            store_dir=os.fspath(store.directory) if use_cache else None)
+    finally:
+        if owned:
+            exec_backend.close()
     return outcomes  # type: ignore[return-value]
 
 
@@ -382,7 +402,8 @@ def sweep_grid(workloads: Optional[Sequence[str]] = None,
                store: Optional[ResultStore] = None,
                use_cache: bool = True,
                retries: int = 1,
-               progress: Optional[ProgressFn] = None) -> Grid:
+               progress: Optional[ProgressFn] = None,
+               backend=None) -> Grid:
     """Sweep the (workload x protocol) grid; returns paper-order results.
 
     Drop-in data source for the figure/report renderers:
@@ -391,7 +412,7 @@ def sweep_grid(workloads: Optional[Sequence[str]] = None,
     """
     specs = expand_grid(workloads, protocols, scale, config, seed=seed)
     outcomes = sweep(specs, jobs=jobs, store=store, use_cache=use_cache,
-                     retries=retries, progress=progress)
+                     retries=retries, progress=progress, backend=backend)
     grid: Grid = {}
     for outcome in outcomes:
         grid.setdefault(outcome.spec.workload, {})[
@@ -410,6 +431,7 @@ def sweep_shapes(tiles: Sequence[int],
                  use_cache: bool = True,
                  retries: int = 1,
                  progress: Optional[ProgressFn] = None,
+                 backend=None,
                  ) -> Dict[int, Grid]:
     """Sweep the (workload x shape x protocol) grid over a tiles axis.
 
@@ -420,7 +442,7 @@ def sweep_shapes(tiles: Sequence[int],
     specs = expand_grid(workloads, protocols, scale, config, seed=seed,
                         tiles=tiles)
     outcomes = sweep(specs, jobs=jobs, store=store, use_cache=use_cache,
-                     retries=retries, progress=progress)
+                     retries=retries, progress=progress, backend=backend)
     shapes: Dict[int, Grid] = {}
     for outcome in outcomes:
         spec = outcome.spec

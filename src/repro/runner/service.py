@@ -1,0 +1,594 @@
+"""``python -m repro serve`` — the sweep result store as an HTTP service.
+
+A long-lived stdlib :class:`~http.server.ThreadingHTTPServer` daemon in
+front of the durable :class:`~repro.runner.store.ResultStore`: clients
+submit a grid, poll or stream per-cell results, and the deterministic
+``JobSpec.store_key()`` content addressing makes duplicate work free at
+every layer —
+
+* **on disk**: a cell already in the store is served without
+  simulating (the store *is* the cache);
+* **in flight**: submissions are **single-flight coalesced** — N
+  concurrent identical submissions share one queued cell keyed on
+  ``store_key()``, so a million identical requests cost exactly one
+  simulation (asserted by an execution counter in the tests);
+* **across backends**: queued cells drain through any execution
+  backend (``serial``/``pool``/``tcp``), batched in priority order, so
+  the service is also the front door to a multi-host worker fleet.
+
+Heavy concurrent traffic is kept safe by a **priority queue** (lower
+number = more urgent; ties FIFO) and **per-client quotas**: a client
+may only have ``quota`` not-yet-finished cells in the system, and an
+over-quota submission is rejected atomically with 429 before any of
+its cells enqueue.  Queue state is persisted as a registered store
+sidecar (``service_queue.json``) so the store's cell accounting stays
+exact.
+
+HTTP API (all JSON; client identity from the ``X-Repro-Client``
+header, else the ``client`` body field, else ``anon``)::
+
+    GET  /v1/health                    liveness + backend
+    GET  /v1/backends                  the execution-backend matrix
+    GET  /v1/stats                     queue depth, dedup counters, quotas
+    POST /v1/submit                    {workloads?, protocols?, scale?,
+                                        tiles?, seed?, engine?, scheduler?,
+                                        priority?, client?} -> job + cells
+    GET  /v1/jobs/<id>                 per-cell states
+    GET  /v1/jobs/<id>/results         results of every finished cell
+    GET  /v1/jobs/<id>/stream          NDJSON, one line per cell as it
+                                       completes (blocks until done)
+    GET  /v1/cells/<workload>/<protocol>/<key>   one stored result
+    POST /v1/shutdown                  clean stop (403 unless enabled)
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Set
+
+from repro.common.config import ENGINES, SCHEDULERS
+from repro.runner.jobs import DEFAULT_SEED, JobSpec, expand_grid
+from repro.runner.store import ResultStore, register_sidecar, result_to_dict
+
+#: The service's queue-state sidecar in the result store (registered so
+#: the store never counts it as a cell).
+SERVICE_SIDECAR = register_sidecar("service_queue.json")
+
+#: Default per-client cap on not-yet-finished cells in the system.
+DEFAULT_QUOTA = 256
+
+#: Default submission priority (0 is most urgent).
+DEFAULT_PRIORITY = 5
+
+
+class QuotaExceeded(Exception):
+    """A submission would push its client past the pending-cell quota."""
+
+
+class BadSubmission(ValueError):
+    """A submission payload failed validation."""
+
+
+def _cell_id(workload: str, protocol: str, key: str) -> str:
+    """The globally unique cell identity.
+
+    ``store_key()`` alone is unique only *within* one
+    (workload, protocol) store directory — every protocol rung of one
+    shape shares it — so the single-flight table must key on the full
+    composite, exactly like the store's file paths do.
+    """
+    return f"{workload}/{protocol}/{key}"
+
+
+class _Cell:
+    """One in-flight simulation, shared by every job that names it."""
+
+    __slots__ = ("spec", "cid", "key", "state", "priority", "clients",
+                 "error", "seq")
+
+    def __init__(self, spec: JobSpec, cid: str, key: str, priority: int,
+                 seq: int) -> None:
+        self.spec = spec
+        self.cid = cid
+        self.key = key
+        self.state = "queued"        # queued -> running -> done/failed
+        self.priority = priority
+        self.seq = seq
+        self.clients: Set[str] = set()
+        self.error: Optional[str] = None
+
+
+class _Job:
+    __slots__ = ("job_id", "client", "cells", "created")
+
+    def __init__(self, job_id: str, client: str, cells: List[dict],
+                 created: float) -> None:
+        self.job_id = job_id
+        self.client = client
+        self.cells = cells           # [{"workload", "protocol", "key"}]
+        self.created = created
+
+
+class SweepService:
+    """Queueing, dedup and quota core behind the HTTP handler.
+
+    Thread-safe: handler threads call :meth:`submit`/:meth:`job_status`
+    and friends; one executor thread drains the priority queue in
+    batches through the configured execution backend.
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None,
+                 backend=None, jobs: int = 1,
+                 quota: int = DEFAULT_QUOTA) -> None:
+        from repro.runner.backends import resolve_backend
+        self.store = store if store is not None else ResultStore()
+        self.jobs = jobs
+        self.quota = quota
+        self._backend, self._owns_backend = resolve_backend(backend,
+                                                            jobs=jobs)
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._cells: Dict[str, _Cell] = {}      # single-flight table
+        self._completed: Dict[str, str] = {}    # key -> done|failed
+        self._queue: List = []                  # (priority, seq, key)
+        self._jobs: Dict[str, _Job] = {}
+        self._seq = itertools.count()
+        self._job_seq = itertools.count(1)
+        self._stopping = False
+        self.started = time.time()
+        self.stats = {
+            "submissions": 0,
+            "submitted_cells": 0,
+            "cache_hits": 0,         # served straight from the store
+            "coalesced": 0,          # attached to an in-flight cell
+            "simulations": 0,        # actual simulate() executions
+            "completed_cells": 0,
+            "failed_cells": 0,
+            "rejected_submissions": 0,
+        }
+        self._executor = threading.Thread(target=self._drain_loop,
+                                          name="repro-serve-executor",
+                                          daemon=True)
+        self._executor.start()
+
+    # -- submission --------------------------------------------------------
+    def _expand(self, payload: dict) -> List[JobSpec]:
+        from repro.runner.cli import SCALES
+        from repro.common.config import scaled_system
+
+        if not isinstance(payload, dict):
+            raise BadSubmission("submission body must be a JSON object")
+        scale_name = payload.get("scale", "tiny")
+        if scale_name not in SCALES:
+            raise BadSubmission(
+                f"unknown scale {scale_name!r}; known scales: "
+                f"{', '.join(sorted(SCALES))}")
+        scale = SCALES[scale_name]()
+        engine = payload.get("engine", "reference")
+        scheduler = payload.get("scheduler")
+        tiles = payload.get("tiles")
+        try:
+            kwargs = {"engine": engine}
+            if scheduler is not None:
+                kwargs["scheduler"] = scheduler
+            if tiles is not None:
+                config = scaled_system(scale, num_tiles=int(tiles))
+            else:
+                config = scaled_system(scale)
+            import dataclasses
+            config = dataclasses.replace(config, **kwargs)
+            return list(expand_grid(
+                payload.get("workloads"), payload.get("protocols"),
+                scale, config,
+                seed=int(payload.get("seed", DEFAULT_SEED))))
+        except (KeyError, ValueError, TypeError) as exc:
+            raise BadSubmission(str(exc.args[0] if exc.args else exc))
+
+    def submit(self, payload: dict, client: str = "anon") -> dict:
+        """Expand, dedup, quota-check and enqueue one submission."""
+        specs = self._expand(payload)
+        try:
+            priority = int(payload.get("priority", DEFAULT_PRIORITY))
+        except (TypeError, ValueError):
+            raise BadSubmission("priority must be an integer")
+        client = str(payload.get("client", client) or "anon")
+
+        with self._cond:
+            self.stats["submissions"] += 1
+            # Pass 1 (no mutation): classify and quota-check, so an
+            # over-quota submission rejects atomically.
+            plan = []
+            new_load = 0
+            planned: Set[str] = set()
+            for spec in specs:
+                key = spec.store_key()
+                cid = _cell_id(spec.workload, spec.protocol, key)
+                if cid in self._cells or cid in planned:
+                    plan.append((spec, cid, key, "coalesced"))
+                    cell = self._cells.get(cid)
+                    if cell is not None and client not in cell.clients:
+                        new_load += 1
+                elif (cid in self._completed
+                      or self.store.load(spec.workload, spec.protocol,
+                                         key) is not None):
+                    plan.append((spec, cid, key, "cached"))
+                else:
+                    plan.append((spec, cid, key, "new"))
+                    planned.add(cid)
+                    new_load += 1
+            pending = sum(1 for c in self._cells.values()
+                          if client in c.clients)
+            if pending + new_load > self.quota:
+                self.stats["rejected_submissions"] += 1
+                raise QuotaExceeded(
+                    f"client {client!r} has {pending} pending cell(s) "
+                    f"and asked for {new_load} more; the quota is "
+                    f"{self.quota}")
+            # Pass 2: apply.
+            job_id = f"j{next(self._job_seq):06d}"
+            cells_out = []
+            counts = {"new": 0, "coalesced": 0, "cached": 0}
+            for spec, cid, key, kind in plan:
+                counts[kind] += 1
+                self.stats["submitted_cells"] += 1
+                if kind == "cached":
+                    self.stats["cache_hits"] += 1
+                    self._completed.setdefault(cid, "done")
+                    state = "done"
+                elif kind == "coalesced":
+                    self.stats["coalesced"] += 1
+                    cell = self._cells[cid]
+                    cell.clients.add(client)
+                    # An urgent duplicate promotes the shared cell.
+                    if priority < cell.priority:
+                        cell.priority = priority
+                    state = cell.state
+                else:
+                    cell = _Cell(spec, cid, key, priority,
+                                 next(self._seq))
+                    cell.clients.add(client)
+                    self._cells[cid] = cell
+                    heapq.heappush(self._queue,
+                                   (cell.priority, cell.seq, cid))
+                    state = "queued"
+                cells_out.append({"workload": spec.workload,
+                                  "protocol": spec.protocol,
+                                  "key": key, "state": state})
+            job = _Job(job_id, client,
+                       [{k: c[k] for k in ("workload", "protocol", "key")}
+                        for c in cells_out],
+                       time.time())
+            self._jobs[job_id] = job
+            self._cond.notify_all()
+        self.write_queue_state()
+        return {"job": job_id, "client": client, "priority": priority,
+                "total": len(cells_out), **counts, "cells": cells_out}
+
+    # -- the executor ------------------------------------------------------
+    def _drain_loop(self) -> None:
+        from repro.runner.pool import sweep
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopping:
+                    self._cond.wait(timeout=0.1)
+                if self._stopping:
+                    return
+                # Take everything queued right now, most urgent first;
+                # cells arriving mid-batch wait for the next batch.
+                batch: List[_Cell] = []
+                while self._queue:
+                    _, _, cid = heapq.heappop(self._queue)
+                    cell = self._cells.get(cid)
+                    if cell is not None and cell.state == "queued":
+                        cell.state = "running"
+                        batch.append(cell)
+            if not batch:
+                continue
+
+            def progress(outcome, done, total) -> None:
+                spec = outcome.spec
+                cid = _cell_id(spec.workload, spec.protocol,
+                               spec.store_key())
+                with self._cond:
+                    if not outcome.from_cache:
+                        self.stats["simulations"] += 1
+                    self._finish(cid, "done")
+
+            try:
+                sweep([cell.spec for cell in batch], jobs=self.jobs,
+                      store=self.store, use_cache=True,
+                      progress=progress, backend=self._backend)
+            except Exception as exc:          # noqa: BLE001 — job error
+                with self._cond:
+                    for cell in batch:
+                        if cell.cid in self._cells:
+                            cell.error = f"{type(exc).__name__}: {exc}"
+                            self._finish(cell.cid, "failed")
+            self.write_queue_state()
+
+    def _finish(self, cid: str, state: str) -> None:
+        """Move one cell out of the single-flight table (lock held)."""
+        cell = self._cells.pop(cid, None)
+        if cell is None:
+            return
+        self._completed[cid] = state
+        self.stats["completed_cells" if state == "done"
+                   else "failed_cells"] += 1
+        self._cond.notify_all()
+
+    # -- queries -----------------------------------------------------------
+    def cell_state(self, cid: str) -> str:
+        """queued/running/done/failed/unknown (lock held by caller)."""
+        cell = self._cells.get(cid)
+        if cell is not None:
+            return cell.state
+        return self._completed.get(cid, "unknown")
+
+    def job_status(self, job_id: str) -> Optional[dict]:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            cells = []
+            done = failed = 0
+            for ref in job.cells:
+                state = self.cell_state(_cell_id(ref["workload"],
+                                                 ref["protocol"],
+                                                 ref["key"]))
+                # A cell finished by an earlier service run (or written
+                # by a sweep outside the service) counts as done.
+                if state == "unknown" and self.store.load(
+                        ref["workload"], ref["protocol"],
+                        ref["key"]) is not None:
+                    state = "done"
+                done += state == "done"
+                failed += state == "failed"
+                cells.append({**ref, "state": state})
+            return {"job": job_id, "client": job.client,
+                    "total": len(cells), "done": done, "failed": failed,
+                    "finished": done + failed == len(cells),
+                    "cells": cells}
+
+    def job_results(self, job_id: str) -> Optional[dict]:
+        status = self.job_status(job_id)
+        if status is None:
+            return None
+        for cell in status["cells"]:
+            if cell["state"] == "done":
+                result = self.store.load(cell["workload"],
+                                         cell["protocol"], cell["key"])
+                cell["result"] = (result_to_dict(result)
+                                  if result is not None else None)
+        return status
+
+    def wait_cell(self, job_id: str, emitted: Set[str],
+                  timeout: float = 30.0) -> Optional[dict]:
+        """Next newly finished cell of a job (blocking); ``None`` when
+        every cell has been emitted or the timeout passes."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._cond:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    return None
+                for ref in job.cells:
+                    cid = _cell_id(ref["workload"], ref["protocol"],
+                                   ref["key"])
+                    if cid in emitted:
+                        continue
+                    state = self.cell_state(cid)
+                    if state in ("done", "failed") or (
+                            state == "unknown"
+                            and self.store.load(ref["workload"],
+                                                ref["protocol"],
+                                                ref["key"]) is not None):
+                        emitted.add(cid)
+                        return {**ref, "state": "done"
+                                if state == "unknown" else state}
+                if len(emitted) >= len(job.cells):
+                    return None
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._cond.wait(timeout=min(remaining, 0.25))
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            clients: Dict[str, int] = {}
+            for cell in self._cells.values():
+                for client in cell.clients:
+                    clients[client] = clients.get(client, 0) + 1
+            return {
+                "queue_depth": sum(1 for c in self._cells.values()
+                                   if c.state == "queued"),
+                "running": sum(1 for c in self._cells.values()
+                               if c.state == "running"),
+                "jobs": len(self._jobs),
+                "quota": self.quota,
+                "pending_by_client": clients,
+                "backend": self._backend.name,
+                "uptime_seconds": round(time.time() - self.started, 1),
+                "stats": dict(self.stats),
+            }
+
+    def write_queue_state(self) -> None:
+        """Persist queue/dedup state as a registered store sidecar."""
+        payload = {"schema_version": 1, **self.snapshot()}
+        try:
+            self.store.directory.mkdir(parents=True, exist_ok=True)
+            self.store.sidecar_path(SERVICE_SIDECAR).write_text(
+                json.dumps(payload, indent=1) + "\n")
+        except OSError:
+            pass                     # telemetry, never a service failure
+
+    def stop(self) -> None:
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        self._executor.join(timeout=5.0)
+        if self._owns_backend:
+            self._backend.close()
+        self.write_queue_state()
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes the ``/v1`` API onto a :class:`SweepService`."""
+
+    #: Injected by :func:`make_server`.
+    service: SweepService = None
+    allow_shutdown = False
+    #: HTTP/1.0 keeps responses simple (no chunked framing) and lets
+    #: the stream endpoint write incrementally then close.
+    protocol_version = "HTTP/1.0"
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib name
+        pass                          # quiet; stats carry the telemetry
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload, indent=1).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _client(self, payload: Optional[dict] = None) -> str:
+        header = self.headers.get("X-Repro-Client")
+        if header:
+            return header
+        if payload and payload.get("client"):
+            return str(payload["client"])
+        return "anon"
+
+    # -- GET ---------------------------------------------------------------
+    def do_GET(self) -> None:          # noqa: N802 — stdlib convention
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        service = self.service
+        if parts == ["v1", "health"]:
+            return self._send_json(200, {
+                "status": "ok", "backend": service._backend.name,
+                "uptime_seconds": round(time.time() - service.started, 1)})
+        if parts == ["v1", "stats"]:
+            return self._send_json(200, service.snapshot())
+        if parts == ["v1", "backends"]:
+            from repro.runner.backends import backend_matrix
+            return self._send_json(200, {"backends": [
+                {"name": n, "parallelism": p, "detail": d}
+                for n, p, d in backend_matrix()],
+                "engines": list(ENGINES), "schedulers": list(SCHEDULERS)})
+        if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+            status = service.job_status(parts[2])
+            if status is None:
+                return self._send_json(404, {"error": "unknown job"})
+            return self._send_json(200, status)
+        if len(parts) == 4 and parts[:2] == ["v1", "jobs"]:
+            if parts[3] == "results":
+                results = service.job_results(parts[2])
+                if results is None:
+                    return self._send_json(404, {"error": "unknown job"})
+                return self._send_json(200, results)
+            if parts[3] == "stream":
+                return self._stream(parts[2])
+        if len(parts) == 5 and parts[:2] == ["v1", "cells"]:
+            _, _, workload, protocol, key = parts
+            result = service.store.load(workload, protocol, key)
+            if result is None:
+                return self._send_json(404, {"error": "no such cell"})
+            return self._send_json(200, {
+                "workload": workload, "protocol": protocol, "key": key,
+                "result": result_to_dict(result)})
+        return self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def _stream(self, job_id: str) -> None:
+        service = self.service
+        if service.job_status(job_id) is None:
+            return self._send_json(404, {"error": "unknown job"})
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        emitted: Set[str] = set()
+        while True:
+            cell = service.wait_cell(job_id, emitted)
+            if cell is None:
+                break
+            if cell["state"] == "done":
+                result = service.store.load(cell["workload"],
+                                            cell["protocol"], cell["key"])
+                cell["result"] = (result_to_dict(result)
+                                  if result is not None else None)
+            self.wfile.write((json.dumps(cell) + "\n").encode("utf-8"))
+            self.wfile.flush()
+
+    # -- POST --------------------------------------------------------------
+    def do_POST(self) -> None:         # noqa: N802 — stdlib convention
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if parts == ["v1", "shutdown"]:
+            if not self.allow_shutdown:
+                return self._send_json(403, {
+                    "error": "shutdown over HTTP is disabled; start the "
+                             "daemon with --allow-shutdown to enable it"})
+            self._send_json(200, {"ok": True})
+            threading.Thread(target=self.server.shutdown,
+                             daemon=True).start()
+            return None
+        if parts != ["v1", "submit"]:
+            return self._send_json(404, {"error": f"no route {self.path!r}"})
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            payload = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, json.JSONDecodeError):
+            return self._send_json(400, {"error": "body is not JSON"})
+        try:
+            receipt = self.service.submit(payload, self._client(payload))
+        except BadSubmission as exc:
+            return self._send_json(400, {"error": str(exc)})
+        except QuotaExceeded as exc:
+            return self._send_json(429, {"error": str(exc)})
+        return self._send_json(202, receipt)
+
+
+def make_server(service: SweepService, host: str = "127.0.0.1",
+                port: int = 0,
+                allow_shutdown: bool = False) -> ThreadingHTTPServer:
+    """A ready-to-``serve_forever`` HTTP server bound to ``service``."""
+    handler = type("BoundServiceHandler", (ServiceHandler,),
+                   {"service": service, "allow_shutdown": allow_shutdown})
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def run_service(host: str, port: int, store: Optional[ResultStore] = None,
+                backend=None, jobs: int = 1, quota: int = DEFAULT_QUOTA,
+                allow_shutdown: bool = False, out=None) -> int:
+    """Blocking daemon entry (the ``python -m repro serve`` body)."""
+    import sys
+    out = out if out is not None else sys.stdout
+    service = SweepService(store=store, backend=backend, jobs=jobs,
+                           quota=quota)
+    server = make_server(service, host, port,
+                         allow_shutdown=allow_shutdown)
+    bound = server.socket.getsockname()
+    print(f"serve: listening on http://{bound[0]}:{bound[1]} "
+          f"(backend={service._backend.name}, jobs={jobs}, "
+          f"quota={quota}/client, store={service.store.directory})",
+          file=out, flush=True)
+    service.write_queue_state()
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        print("serve: interrupted, shutting down", file=out, flush=True)
+    finally:
+        server.server_close()
+        service.stop()
+    print("serve: stopped cleanly", file=out, flush=True)
+    return 0

@@ -35,7 +35,34 @@ from repro.waste.profiler import Category
 #: Current on-disk schema.  0 = legacy bare result dict (read-only).
 SCHEMA_VERSION = 1
 
+#: Registered sidecar filenames: non-result files that live next to the
+#: cells (sweep telemetry, the service's queue state) and are excluded
+#: from :meth:`ResultStore.entries`, so ``clear``/``__len__`` and any
+#: cache accounting never mistake them for cells.  Subsystems register
+#: theirs via :func:`register_sidecar` (``sidecar_path`` registers
+#: automatically).
+_SIDECARS = {"telemetry.json"}
+
 _tmp_counter = itertools.count()
+
+
+def register_sidecar(name: str) -> str:
+    """Register ``name`` as a known sidecar filename; returns it.
+
+    Sidecars must be plain ``.json`` filenames (no path separators) so
+    they can never shadow a result cell's atomic-write temp files.
+    """
+    if os.sep in name or (os.altsep and os.altsep in name):
+        raise ValueError(f"sidecar name {name!r} must not contain a path")
+    if not name.endswith(".json"):
+        raise ValueError(f"sidecar name {name!r} must end in .json")
+    _SIDECARS.add(name)
+    return name
+
+
+def registered_sidecars() -> frozenset:
+    """The current set of registered sidecar filenames."""
+    return frozenset(_SIDECARS)
 
 
 def default_cache_dir() -> Path:
@@ -104,11 +131,12 @@ class ResultStore:
     def sidecar_path(self, name: str = "telemetry.json") -> Path:
         """Path for a non-result sidecar file (e.g. sweep telemetry).
 
-        Sidecars live next to the cells but are not cells: they are
-        excluded from :meth:`entries`, so ``clear``/``__len__`` and any
-        cache accounting ignore them.
+        Sidecars live next to the cells but are not cells: the name is
+        registered (see :func:`register_sidecar`) and excluded from
+        :meth:`entries`, so ``clear``/``__len__`` and any cache
+        accounting ignore them.
         """
-        return self.directory / name
+        return self.directory / register_sidecar(name)
 
     def save(self, result: RunResult, key: str) -> Path:
         """Atomically persist one result; returns the cell's path."""
@@ -160,7 +188,7 @@ class ResultStore:
         return iter(sorted(
             p for p in self.directory.iterdir()
             if (p.suffix == ".json" or p.name.endswith(".tmp"))
-            and p.name != "telemetry.json"))
+            and p.name not in _SIDECARS))
 
     def clear(self) -> int:
         """Delete every stored cell; returns the number removed."""

@@ -1,0 +1,147 @@
+"""``python -m repro worker`` — a remote sweep worker over TCP.
+
+Connects to a :class:`~repro.runner.backends.tcp.TcpBackend`
+coordinator and steals work until told to shut down: each loop sends a
+``steal``, receives a lease of :class:`~repro.runner.jobs.JobSpec`s as
+length-prefixed JSON, simulates them locally — rebuilding the workload
+trace from the spec through the same per-process memo a pool worker
+uses, so consecutive cells of one (workload, shape) share a build —
+and streams the results back.  A heartbeat thread keeps the lease
+alive while a long cell simulates; a cell that raises reports an
+``error`` frame (the coordinator retries it elsewhere or serially)
+instead of killing the worker.
+
+The worker exits 0 on a coordinator ``shutdown`` or a clean
+disconnect, 1 when the connection could not be established.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import threading
+import time
+import traceback
+from typing import Optional, Tuple
+
+from repro.runner.backends.wire import WireError, recv_msg, send_msg
+from repro.runner.jobs import spec_from_dict
+from repro.runner.pool import _execute_timed
+from repro.runner.store import result_to_dict
+
+
+def parse_endpoint(value: str) -> Tuple[str, int]:
+    """``HOST:PORT`` (or bare ``:PORT`` for localhost) as a tuple."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"expected HOST:PORT (e.g. 127.0.0.1:7421), got {value!r}")
+    return host or "127.0.0.1", int(port)
+
+
+class _Heartbeat:
+    """Daemon thread pinging the coordinator while a lease executes."""
+
+    def __init__(self, sock: socket.socket, send_lock: threading.Lock,
+                 lease_id: int, interval: float) -> None:
+        self._sock = sock
+        self._send_lock = send_lock
+        self._lease_id = lease_id
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                with self._send_lock:
+                    send_msg(self._sock, {"type": "heartbeat",
+                                          "lease_id": self._lease_id})
+            except OSError:
+                return               # coordinator gone; main loop notices
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=1.0)
+
+
+def run_worker(host: str, port: int, out=None,
+               connect_timeout: float = 10.0) -> int:
+    """Steal and simulate leases from ``host:port`` until shut down."""
+    out = out if out is not None else sys.stderr
+    label = f"{os.uname().nodename}:{os.getpid()}" if hasattr(os, "uname") \
+        else f"pid{os.getpid()}"
+    try:
+        sock = socket.create_connection((host, port),
+                                        timeout=connect_timeout)
+    except OSError as exc:
+        print(f"worker: cannot connect to {host}:{port}: {exc}",
+              file=out, flush=True)
+        return 1
+    sock.settimeout(None)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    send_lock = threading.Lock()
+    leases = cells = 0
+    print(f"worker {label}: connected to {host}:{port}", file=out,
+          flush=True)
+    try:
+        with send_lock:
+            send_msg(sock, {"type": "hello", "worker": label})
+        while True:
+            with send_lock:
+                send_msg(sock, {"type": "steal"})
+            msg = recv_msg(sock)
+            if msg is None or msg.get("type") == "shutdown":
+                break
+            if msg.get("type") == "wait":
+                time.sleep(float(msg.get("seconds", 0.05)))
+                continue
+            if msg.get("type") != "lease":
+                continue
+            lease_id = msg["lease_id"]
+            interval = float(msg.get("heartbeat_seconds", 1.0))
+            with _Heartbeat(sock, send_lock, lease_id, interval):
+                try:
+                    results = []
+                    for payload in msg["specs"]:
+                        spec = spec_from_dict(payload)
+                        result, sim_s, build_s = _execute_timed(spec)
+                        results.append({
+                            "result": result_to_dict(result),
+                            "sim_seconds": sim_s,
+                            "build_seconds": build_s,
+                        })
+                except Exception:
+                    reply = {"type": "error", "lease_id": lease_id,
+                             "error": traceback.format_exc()}
+                else:
+                    reply = {"type": "done", "lease_id": lease_id,
+                             "results": results}
+                    leases += 1
+                    cells += len(results)
+            with send_lock:
+                send_msg(sock, reply)
+    except (WireError, OSError):
+        pass                         # coordinator gone: clean exit
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+    print(f"worker {label}: done ({cells} cells in {leases} leases)",
+          file=out, flush=True)
+    return 0
+
+
+def main(connect: str, out=None) -> int:
+    try:
+        host, port = parse_endpoint(connect)
+    except ValueError as exc:
+        print(f"worker: {exc}", file=out or sys.stderr)
+        return 2
+    return run_worker(host, port, out=out)

@@ -1,0 +1,327 @@
+"""Tests for the pluggable execution backends (repro.runner.backends).
+
+The load-bearing contract: every backend produces **bit-identical**
+results for the same specs — the backend axis changes where cells run,
+never what they compute — so store files written through any backend
+are byte-equal and share the same store keys.  The tcp backend is
+exercised three ways: with two real ``python -m repro worker``
+subprocesses over loopback, with misbehaving fake workers (a zombie
+that never heartbeats, a worker that dies mid-lease), and with no
+workers at all (serial degradation).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.common.config import ScaleConfig, scaled_system
+from repro.runner import (
+    JobSpec, ResultStore, expand_grid, result_to_dict, spec_from_dict,
+    spec_to_dict, sweep)
+from repro.runner.backends import (
+    BACKEND_NAMES, PoolBackend, SerialBackend, TcpBackend,
+    backend_matrix, resolve_backend, validate_backend)
+from repro.runner.backends.wire import (
+    MAX_FRAME, WireError, recv_msg, send_msg)
+from repro.runner.worker import parse_endpoint
+
+TINY = ScaleConfig.tiny()
+TINY_SYSTEM = scaled_system(TINY)
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+
+
+def tiny_specs(workloads=("radix",), protocols=("MESI", "DeNovo")):
+    return expand_grid(workloads, protocols, TINY, TINY_SYSTEM)
+
+
+def store_blob(store: ResultStore):
+    """Every cell file as {name: bytes} (sidecars excluded)."""
+    return {p.name: p.read_bytes() for p in store.entries()}
+
+
+def spawn_worker(address):
+    host, port = address
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC_DIR)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH")
+                          else []))
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         "--connect", f"{host}:{port}"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+
+
+# ----------------------------------------------------------------------
+# Resolution and registry
+# ----------------------------------------------------------------------
+
+class TestResolution:
+    def test_names_are_registered(self):
+        assert BACKEND_NAMES == ("serial", "pool", "tcp")
+        for name in BACKEND_NAMES:
+            assert validate_backend(name) == name
+
+    def test_unknown_backend_suggests_near_miss(self):
+        with pytest.raises(KeyError) as exc:
+            validate_backend("seriall")
+        assert "did you mean 'serial'" in str(exc.value)
+        with pytest.raises(KeyError) as exc:
+            validate_backend("tpc")
+        assert "tcp" in str(exc.value)
+
+    def test_none_keeps_classic_behaviour(self):
+        backend, owned = resolve_backend(None, jobs=1)
+        assert isinstance(backend, SerialBackend) and owned
+        backend, owned = resolve_backend(None, jobs=3)
+        assert isinstance(backend, PoolBackend) and owned
+        assert backend.jobs == 3
+
+    def test_instance_passes_through_unowned(self):
+        mine = SerialBackend()
+        backend, owned = resolve_backend(mine)
+        assert backend is mine and not owned
+
+    def test_names_resolve(self):
+        backend, owned = resolve_backend("serial")
+        assert isinstance(backend, SerialBackend) and owned
+        backend, owned = resolve_backend("pool", jobs=2)
+        assert isinstance(backend, PoolBackend) and backend.jobs == 2
+        backend, owned = resolve_backend("tcp")
+        try:
+            assert isinstance(backend, TcpBackend) and owned
+        finally:
+            backend.close()
+
+    def test_matrix_covers_every_backend(self):
+        assert [row[0] for row in backend_matrix()] == list(BACKEND_NAMES)
+
+
+# ----------------------------------------------------------------------
+# The JobSpec wire codec
+# ----------------------------------------------------------------------
+
+class TestSpecCodec:
+    def test_round_trip_preserves_identity(self):
+        for spec in tiny_specs(("radix", "LU"), ("MESI", "DBypFull")):
+            clone = spec_from_dict(spec_to_dict(spec))
+            assert clone == spec
+            assert clone.store_key() == spec.store_key()
+            assert clone.job_key() == spec.job_key()
+
+    def test_round_trip_survives_json(self):
+        spec = tiny_specs()[0]
+        wire = json.loads(json.dumps(spec_to_dict(spec)))
+        assert spec_from_dict(wire) == spec
+
+    def test_from_dict_revalidates(self):
+        payload = spec_to_dict(tiny_specs()[0])
+        payload["config"] = dict(payload["config"], num_tiles=7)
+        with pytest.raises(ValueError):
+            spec_from_dict(payload)     # 7 tiles is not a square mesh
+
+
+# ----------------------------------------------------------------------
+# Wire framing
+# ----------------------------------------------------------------------
+
+class TestWire:
+    def pair(self):
+        a, b = socket.socketpair()
+        return a, b
+
+    def test_round_trip(self):
+        a, b = self.pair()
+        try:
+            send_msg(a, {"type": "hello", "n": [1, 2, 3]})
+            assert recv_msg(b) == {"type": "hello", "n": [1, 2, 3]}
+        finally:
+            a.close(), b.close()
+
+    def test_clean_eof_is_none(self):
+        a, b = self.pair()
+        a.close()
+        try:
+            assert recv_msg(b) is None
+        finally:
+            b.close()
+
+    def test_truncated_frame_raises(self):
+        a, b = self.pair()
+        try:
+            a.sendall((1000).to_bytes(4, "big") + b"x" * 10)
+            a.close()
+            with pytest.raises(WireError):
+                recv_msg(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected(self):
+        a, b = self.pair()
+        try:
+            a.sendall((MAX_FRAME + 1).to_bytes(4, "big"))
+            with pytest.raises(WireError):
+                recv_msg(b)
+        finally:
+            a.close(), b.close()
+
+    def test_parse_endpoint(self):
+        assert parse_endpoint("10.0.0.1:7421") == ("10.0.0.1", 7421)
+        assert parse_endpoint(":7421") == ("127.0.0.1", 7421)
+        for bad in ("nope", "host:", "host:abc"):
+            with pytest.raises(ValueError):
+                parse_endpoint(bad)
+
+
+# ----------------------------------------------------------------------
+# Cross-backend bit-identity (the acceptance contract)
+# ----------------------------------------------------------------------
+
+class TestBitIdentity:
+    def test_serial_pool_tcp_byte_equal(self, tmp_path):
+        """serial, pool(2 jobs) and tcp(2 real loopback workers) write
+        byte-equal store files under identical store keys."""
+        specs = tiny_specs()
+        blobs = {}
+        results = {}
+
+        store = ResultStore(tmp_path / "serial")
+        outcomes = sweep(specs, store=store, backend="serial")
+        blobs["serial"] = store_blob(store)
+        results["serial"] = [result_to_dict(o.result) for o in outcomes]
+
+        store = ResultStore(tmp_path / "pool")
+        outcomes = sweep(specs, jobs=2, store=store, backend="pool")
+        blobs["pool"] = store_blob(store)
+        results["pool"] = [result_to_dict(o.result) for o in outcomes]
+
+        backend = TcpBackend(connect_grace=30.0)
+        workers = [spawn_worker(backend.listen()) for _ in range(2)]
+        try:
+            store = ResultStore(tmp_path / "tcp")
+            outcomes = sweep(specs, store=store, backend=backend)
+            blobs["tcp"] = store_blob(store)
+            results["tcp"] = [result_to_dict(o.result) for o in outcomes]
+            stats = dict(backend.stats)
+        finally:
+            backend.close()
+            for worker in workers:
+                worker.communicate(timeout=30)
+        assert stats["workers_connected"] == 2
+        assert stats["worker_cells"] == len(specs)
+        assert stats["serial_cells"] == 0
+
+        # Identical store keys: the same file-name set everywhere.
+        names = {frozenset(b) for b in blobs.values()}
+        assert len(names) == 1, blobs.keys()
+        # Bit-identity: byte-equal cell files and result payloads.
+        assert blobs["serial"] == blobs["pool"] == blobs["tcp"]
+        assert results["serial"] == results["pool"] == results["tcp"]
+
+    def test_backend_axis_never_enters_store_keys(self):
+        spec = tiny_specs()[0]
+        # A spec knows nothing about backends: its key is a pure
+        # function of (workload, protocol, scale, config, seed).
+        assert "backend" not in spec_to_dict(spec)
+
+
+# ----------------------------------------------------------------------
+# tcp fault tolerance
+# ----------------------------------------------------------------------
+
+def steal_one_lease(address, got_lease, after):
+    """Fake worker: steal a single lease, then misbehave via ``after``."""
+    sock = socket.create_connection(address, timeout=10.0)
+    try:
+        send_msg(sock, {"type": "hello", "worker": "fake"})
+        while True:
+            send_msg(sock, {"type": "steal"})
+            msg = recv_msg(sock)
+            if msg is None or msg.get("type") == "shutdown":
+                return
+            if msg.get("type") == "lease":
+                got_lease.set()
+                after(sock)
+                return
+            time.sleep(0.02)
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+class TestTcpFaults:
+    def run_with_fake(self, after, lease_timeout):
+        specs = tiny_specs(protocols=("MESI",))
+        backend = TcpBackend(lease_timeout=lease_timeout,
+                             connect_grace=0.2)
+        got_lease = threading.Event()
+        fake = threading.Thread(
+            target=steal_one_lease,
+            args=(backend.listen(), got_lease, after), daemon=True)
+        fake.start()
+        try:
+            outcomes = backend.run_specs(specs)
+            assert got_lease.wait(timeout=1.0)
+            stats = dict(backend.stats)
+        finally:
+            backend.close()
+            fake.join(timeout=5.0)
+        assert [o.result.protocol for o in outcomes] == ["MESI"]
+        return stats
+
+    def test_lease_timeout_reassigns(self):
+        """A worker that takes a lease and never heartbeats loses it:
+        the lease expires, the connection is fenced, and the cell is
+        requeued (here: drained serially) — the sweep still finishes."""
+        def go_silent(sock):
+            # Hold the lease without heartbeats until the coordinator
+            # fences us (recv unblocks with EOF).
+            recv_msg(sock)
+
+        stats = self.run_with_fake(go_silent, lease_timeout=0.3)
+        assert stats["leases_reassigned"] == 1
+        assert stats["serial_cells"] == 1
+        assert stats["worker_cells"] == 0
+
+    def test_worker_death_requeues(self):
+        """A worker that dies mid-lease (socket closes) has its leased
+        cells requeued immediately — no lease-timeout wait needed."""
+        def drop_dead(sock):
+            sock.close()
+
+        stats = self.run_with_fake(drop_dead, lease_timeout=30.0)
+        assert stats["leases_granted"] == 1
+        assert stats["serial_cells"] == 1
+        assert stats["worker_cells"] == 0
+
+    def test_no_workers_degrades_to_serial(self, tmp_path):
+        specs = tiny_specs(protocols=("MESI",))
+        backend = TcpBackend(connect_grace=0.1)
+        try:
+            store = ResultStore(tmp_path)
+            outcomes = sweep(specs, store=store, backend=backend)
+            assert backend.stats["serial_cells"] == len(specs)
+            assert backend.stats["workers_connected"] == 0
+        finally:
+            backend.close()
+        reference = sweep(specs, store=ResultStore(tmp_path / "ref"))
+        assert ([result_to_dict(o.result) for o in outcomes]
+                == [result_to_dict(o.result) for o in reference])
+
+    def test_closed_backend_refuses_listen(self):
+        backend = TcpBackend()
+        backend.listen()
+        backend.close()
+        with pytest.raises(RuntimeError):
+            backend.listen()

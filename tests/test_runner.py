@@ -276,6 +276,41 @@ class TestSweep:
 # run_grid delegation and the bounded in-process LRU
 # ----------------------------------------------------------------------
 
+class TestForkPrewarm:
+    def test_two_workload_sweep_prewarms_both_traces(self, monkeypatch):
+        """Fork-time prewarm must count *distinct* memo keys, not
+        scanned specs: a workload-major list (every protocol rung of
+        workload A before workload B) used to exhaust the scan budget
+        on A's duplicate keys and fork workers cold for B."""
+        from repro.runner import pool as pool_mod
+        monkeypatch.setattr(pool_mod, "_WORKLOAD_MEMO", {})
+        # Paper ladder: 9 rungs per workload, > _WORKLOAD_MEMO_MAX (8)
+        # specs of radix alone — the shape of the regression.
+        specs = expand_grid(["radix", "stream"], None, TINY, TINY_SYSTEM)
+        assert len(specs) > pool_mod._WORKLOAD_MEMO_MAX
+        built = pool_mod._prewarm_traces(specs)
+        assert built == 2
+        warmed = {key[0] for key in pool_mod._WORKLOAD_MEMO}
+        assert warmed == {"radix", "stream"}
+
+    def test_prewarm_stops_at_memo_capacity(self, monkeypatch):
+        from repro.runner import pool as pool_mod
+        monkeypatch.setattr(pool_mod, "_WORKLOAD_MEMO", {})
+        monkeypatch.setattr(pool_mod, "_WORKLOAD_MEMO_MAX", 1)
+        specs = expand_grid(["radix", "stream"], ["MESI"], TINY,
+                            TINY_SYSTEM)
+        assert pool_mod._prewarm_traces(specs) == 1
+        assert len(pool_mod._WORKLOAD_MEMO) == 1
+
+    def test_prewarm_skips_already_memoized(self, monkeypatch):
+        from repro.runner import pool as pool_mod
+        monkeypatch.setattr(pool_mod, "_WORKLOAD_MEMO", {})
+        specs = expand_grid(["radix"], ["MESI", "DeNovo"], TINY,
+                            TINY_SYSTEM)
+        assert pool_mod._prewarm_traces(specs) == 1
+        assert pool_mod._prewarm_traces(specs) == 0
+
+
 class TestRunGridLRU:
     def test_run_grid_memoizes_and_evicts_lru(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
@@ -431,6 +466,41 @@ class TestCLI:
         assert rc == 0
         assert "removed" in capsys.readouterr().out
         assert len(ResultStore(tmp_path)) == 0
+
+    def test_sweep_backend_flag_serial(self, tmp_path, capsys):
+        rc = cli_main(["sweep", "--workloads", "stream",
+                       "--protocols", "MESI", "--scale", "tiny",
+                       "--backend", "serial",
+                       "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert len(ResultStore(tmp_path)) == 1
+
+    def test_unknown_backend_suggests_near_miss(self, capsys):
+        rc = cli_main(["sweep", "--backend", "seriall", "--scale", "tiny"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "seriall" in err
+        assert "did you mean 'serial'" in err
+
+    def test_bind_requires_tcp_backend(self, capsys):
+        rc = cli_main(["sweep", "--backend", "pool",
+                       "--bind", "127.0.0.1:7421", "--scale", "tiny"])
+        assert rc == 2
+        assert "requires --backend tcp" in capsys.readouterr().err
+
+    def test_backends_subcommand_prints_matrix(self, capsys):
+        rc = cli_main(["backends"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("serial", "pool", "tcp"):
+            assert name in out
+        assert "bit-identical" in out
+        assert "python -m repro worker" in out
+
+    def test_worker_bad_endpoint_is_a_clean_cli_error(self, capsys):
+        rc = cli_main(["worker", "--connect", "nonsense"])
+        assert rc == 2
+        assert "HOST:PORT" in capsys.readouterr().err
 
     def test_module_entry_point(self, tmp_path):
         """python -m repro works as an installed-style entry point."""

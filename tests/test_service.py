@@ -1,0 +1,321 @@
+"""Tests for the HTTP sweep service (repro.runner.service).
+
+The headline contract is **single-flight dedup**: N concurrent
+identical submissions cost exactly one simulation per distinct cell —
+asserted with an execution counter wrapped around the simulate path,
+not just by inspecting stats.  Around it: the priority queue, per-client
+quotas (atomic 429), the job/results/stream HTTP endpoints, and the
+registered queue-state sidecar.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro.runner.pool as pool_mod
+from repro.runner import ResultStore, registered_sidecars
+from repro.runner.service import (
+    SERVICE_SIDECAR, BadSubmission, QuotaExceeded, SweepService,
+    make_server)
+from repro.runner.store import register_sidecar
+
+RADIX_PAIR = {"workloads": ["radix"], "protocols": ["MESI", "DeNovo"],
+              "scale": "tiny"}
+
+
+@pytest.fixture
+def counted_execute(monkeypatch):
+    """Wrap the simulate path with a thread-safe execution counter."""
+    calls = []
+    lock = threading.Lock()
+    real = pool_mod._execute_timed
+
+    def wrapper(spec):
+        with lock:
+            calls.append((spec.workload, spec.protocol))
+        return real(spec)
+
+    monkeypatch.setattr(pool_mod, "_execute_timed", wrapper)
+    return calls
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = SweepService(store=ResultStore(tmp_path), jobs=1)
+    yield svc
+    svc.stop()
+
+
+def wait_finished(service, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = service.job_status(job_id)
+        if status["finished"]:
+            return status
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish: "
+                        f"{service.job_status(job_id)}")
+
+
+# ----------------------------------------------------------------------
+# Single-flight dedup
+# ----------------------------------------------------------------------
+
+class TestSingleFlight:
+    def test_n_concurrent_submissions_one_simulation(
+            self, service, counted_execute):
+        """8 threads submit the identical 2-cell grid at once; every
+        job finishes, yet the simulate path ran exactly twice."""
+        barrier = threading.Barrier(8)
+        jobs = []
+        lock = threading.Lock()
+
+        def client(i):
+            barrier.wait()
+            receipt = service.submit(dict(RADIX_PAIR), client=f"c{i}")
+            with lock:
+                jobs.append(receipt["job"])
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for job in jobs:
+            status = wait_finished(service, job)
+            assert status["failed"] == 0
+            assert status["done"] == 2
+        assert sorted(counted_execute) == [("radix", "DeNovo"),
+                                           ("radix", "MESI")]
+        stats = service.snapshot()["stats"]
+        assert stats["simulations"] == 2
+        assert stats["submitted_cells"] == 16
+        # Every duplicate cell either coalesced in flight or hit the
+        # store — none simulated again.
+        assert stats["coalesced"] + stats["cache_hits"] == 14
+
+    def test_protocol_rungs_sharing_a_store_key_stay_distinct(
+            self, service, counted_execute):
+        """Every protocol rung of one shape shares ``store_key()`` —
+        dedup must key on the full (workload, protocol, key) identity,
+        or one rung silently swallows the others."""
+        receipt = service.submit(dict(RADIX_PAIR))
+        keys = {c["key"] for c in receipt["cells"]}
+        assert len(keys) == 1          # the collision this guards
+        assert receipt["new"] == 2
+        status = wait_finished(service, receipt["job"])
+        assert status["done"] == 2
+        assert len(counted_execute) == 2
+        for cell in service.job_results(receipt["job"])["cells"]:
+            assert cell["result"]["protocol"] == cell["protocol"]
+
+    def test_resubmission_after_completion_is_cached(
+            self, service, counted_execute):
+        first = service.submit(dict(RADIX_PAIR))
+        wait_finished(service, first["job"])
+        again = service.submit(dict(RADIX_PAIR))
+        assert again["cached"] == 2 and again["new"] == 0
+        assert all(c["state"] == "done" for c in again["cells"])
+        assert len(counted_execute) == 2
+
+
+# ----------------------------------------------------------------------
+# Priority and quotas
+# ----------------------------------------------------------------------
+
+class TestQueueDiscipline:
+    def test_priority_orders_the_batch(self, tmp_path, monkeypatch):
+        """With the executor blocked, a later priority-0 submission
+        runs before an earlier priority-9 one."""
+        order = []
+        release = threading.Event()
+        real = pool_mod._execute_timed
+
+        def wrapper(spec):
+            if spec.workload == "radix":
+                release.wait(timeout=60.0)
+            order.append(spec.workload)
+            return real(spec)
+
+        monkeypatch.setattr(pool_mod, "_execute_timed", wrapper)
+        service = SweepService(store=ResultStore(tmp_path), jobs=1)
+        try:
+            blocker = service.submit({"workloads": ["radix"],
+                                      "protocols": ["MESI"],
+                                      "scale": "tiny"})
+            time.sleep(0.3)            # let the executor take the batch
+            low = service.submit({"workloads": ["stream"],
+                                  "protocols": ["MESI"], "scale": "tiny",
+                                  "priority": 9})
+            high = service.submit({"workloads": ["FFT"],
+                                   "protocols": ["MESI"], "scale": "tiny",
+                                   "priority": 0})
+            release.set()
+            for receipt in (blocker, low, high):
+                wait_finished(service, receipt["job"])
+        finally:
+            service.stop()
+        assert order == ["radix", "FFT", "stream"]
+
+    def test_quota_rejects_atomically(self, tmp_path):
+        service = SweepService(store=ResultStore(tmp_path), jobs=1,
+                               quota=1)
+        try:
+            with pytest.raises(QuotaExceeded):
+                service.submit(dict(RADIX_PAIR), client="greedy")
+            # Atomic: the rejected submission enqueued nothing.
+            snapshot = service.snapshot()
+            assert snapshot["queue_depth"] + snapshot["running"] == 0
+            assert snapshot["stats"]["rejected_submissions"] == 1
+            # A within-quota submission still works.
+            receipt = service.submit({"workloads": ["radix"],
+                                      "protocols": ["MESI"],
+                                      "scale": "tiny"}, client="greedy")
+            wait_finished(service, receipt["job"])
+        finally:
+            service.stop()
+
+    def test_bad_submissions_rejected(self, service):
+        with pytest.raises(BadSubmission):
+            service.submit({"scale": "huge"})
+        with pytest.raises(BadSubmission):
+            service.submit({"workloads": ["radxi"], "scale": "tiny"})
+        with pytest.raises(BadSubmission):
+            service.submit({"scale": "tiny", "priority": "urgent"})
+        with pytest.raises(BadSubmission):
+            service.submit({"scale": "tiny", "tiles": 7})
+        # Rejected before anything enqueued or counted.
+        snapshot = service.snapshot()
+        assert snapshot["stats"]["submissions"] == 0
+        assert snapshot["queue_depth"] + snapshot["running"] == 0
+
+
+# ----------------------------------------------------------------------
+# The queue-state sidecar
+# ----------------------------------------------------------------------
+
+class TestSidecar:
+    def test_registered_and_excluded_from_entries(self, service):
+        assert SERVICE_SIDECAR in registered_sidecars()
+        receipt = service.submit(dict(RADIX_PAIR))
+        wait_finished(service, receipt["job"])
+        sidecar = service.store.sidecar_path(SERVICE_SIDECAR)
+        assert sidecar.exists()
+        payload = json.loads(sidecar.read_text())
+        assert payload["stats"]["submitted_cells"] == 2
+        # The sidecar is not a cell: entries() sees only results.
+        assert all(p.name != SERVICE_SIDECAR
+                   for p in service.store.entries())
+        assert len(list(service.store.entries())) == 2
+
+    def test_register_sidecar_validates(self):
+        assert register_sidecar("telemetry.json") == "telemetry.json"
+        with pytest.raises(ValueError):
+            register_sidecar("../escape.json")
+        with pytest.raises(ValueError):
+            register_sidecar("not-json.txt")
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+
+class TestHttp:
+    @pytest.fixture
+    def server(self, tmp_path):
+        service = SweepService(store=ResultStore(tmp_path), jobs=1)
+        httpd = make_server(service, allow_shutdown=True)
+        thread = threading.Thread(target=httpd.serve_forever,
+                                  daemon=True)
+        thread.start()
+        host, port = httpd.socket.getsockname()[:2]
+        yield f"http://{host}:{port}", service
+        httpd.shutdown()
+        httpd.server_close()
+        service.stop()
+
+    def call(self, base, method, path, payload=None, headers=()):
+        data = (json.dumps(payload).encode()
+                if payload is not None else None)
+        req = urllib.request.Request(base + path, data=data,
+                                     method=method, headers=dict(headers))
+        try:
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read())
+
+    def test_submit_poll_results_stream(self, server):
+        base, service = server
+        code, health = self.call(base, "GET", "/v1/health")
+        assert code == 200 and health["status"] == "ok"
+        code, receipt = self.call(base, "POST", "/v1/submit", RADIX_PAIR)
+        assert code == 202 and receipt["total"] == 2
+        job = receipt["job"]
+        wait_finished(service, job)
+        code, status = self.call(base, "GET", f"/v1/jobs/{job}")
+        assert code == 200 and status["done"] == 2
+        code, results = self.call(base, "GET", f"/v1/jobs/{job}/results")
+        assert code == 200
+        assert all(c["result"]["protocol"] == c["protocol"]
+                   for c in results["cells"])
+        with urllib.request.urlopen(base + f"/v1/jobs/{job}/stream",
+                                    timeout=60) as resp:
+            lines = [json.loads(line) for line in resp.read().splitlines()]
+        assert len(lines) == 2
+        assert all(line["state"] == "done" and line["result"]
+                   for line in lines)
+        cell = results["cells"][0]
+        code, single = self.call(
+            base, "GET", f"/v1/cells/{cell['workload']}/"
+                         f"{cell['protocol']}/{cell['key']}")
+        assert code == 200
+        assert single["result"] == cell["result"]
+
+    def test_http_error_codes(self, server):
+        base, _ = server
+        assert self.call(base, "GET", "/v1/jobs/j999999")[0] == 404
+        assert self.call(base, "GET", "/v1/nope")[0] == 404
+        assert self.call(base, "POST", "/v1/submit",
+                         {"scale": "huge"})[0] == 400
+        code, body = self.call(base, "GET", "/v1/backends")
+        assert code == 200
+        assert [b["name"] for b in body["backends"]] == ["serial", "pool",
+                                                         "tcp"]
+
+    def test_quota_is_429_over_http(self, tmp_path):
+        service = SweepService(store=ResultStore(tmp_path), jobs=1,
+                               quota=1)
+        httpd = make_server(service)
+        threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        host, port = httpd.socket.getsockname()[:2]
+        base = f"http://{host}:{port}"
+        try:
+            code, body = self.call(
+                base, "POST", "/v1/submit", RADIX_PAIR,
+                headers={"X-Repro-Client": "greedy"})
+            assert code == 429 and "quota" in body["error"]
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.stop()
+
+    def test_shutdown_gated(self, tmp_path):
+        service = SweepService(store=ResultStore(tmp_path), jobs=1)
+        httpd = make_server(service, allow_shutdown=False)
+        threading.Thread(target=httpd.serve_forever, daemon=True).start()
+        host, port = httpd.socket.getsockname()[:2]
+        base = f"http://{host}:{port}"
+        try:
+            assert self.call(base, "POST", "/v1/shutdown")[0] == 403
+        finally:
+            httpd.shutdown()
+            httpd.server_close()
+            service.stop()
